@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks for experiment T-D: the recursive DD
+//! operations of paper Fig. 4 (multiplication, addition, tensor product)
+//! and the compute-table ablation of footnote 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdd_core::{gates, Control, DdPackage, PackageConfig};
+use std::hint::black_box;
+
+/// A package pre-loaded with the QFT(n) functionality and an interesting
+/// state for the operand benchmarks.
+fn qft_setup(n: usize, compute_tables: bool) -> (DdPackage, qdd_core::MatEdge, qdd_core::VecEdge) {
+    let mut dd = DdPackage::with_config(PackageConfig {
+        compute_tables,
+        ..PackageConfig::default()
+    });
+    let qft = qdd_circuit::library::qft(n, false);
+    let mut u = dd.identity(n).unwrap();
+    for op in qft.ops() {
+        for g in op.to_gate_sequence().unwrap() {
+            let m = dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n).unwrap();
+            u = dd.mat_mat(m, u);
+        }
+    }
+    let mut s = dd.zero_state(n).unwrap();
+    for q in 0..n {
+        s = dd.apply_gate(s, gates::ry(0.3 + q as f64 * 0.2), &[], q).unwrap();
+        if q > 0 {
+            s = dd.apply_gate(s, gates::X, &[Control::pos(q)], q - 1).unwrap();
+        }
+    }
+    (dd, u, s)
+}
+
+fn bench_mat_vec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mat_vec");
+    for n in [6usize, 10] {
+        let (mut dd, u, s) = qft_setup(n, true);
+        group.bench_with_input(BenchmarkId::new("qft_matrix_times_state", n), &n, |b, _| {
+            b.iter(|| black_box(dd.mat_vec(u, s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mat_mat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mat_mat");
+    for n in [6usize, 10] {
+        let (mut dd, u, _) = qft_setup(n, true);
+        let h = dd.gate_dd(gates::H, &[], n / 2, n).unwrap();
+        group.bench_with_input(BenchmarkId::new("gate_times_qft", n), &n, |b, _| {
+            b.iter(|| black_box(dd.mat_mat(h, u)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_add_and_kron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("add_kron");
+    let n = 8;
+    let (mut dd, _, s) = qft_setup(n, true);
+    let t = dd.basis_state(n, 0b1010_1010).unwrap();
+    group.bench_function("add_vec", |b| b.iter(|| black_box(dd.add_vec(s, t))));
+    let (mut dd2, u, _) = qft_setup(4, true);
+    let id = dd2.identity(4).unwrap();
+    group.bench_function("kron_mat_qft4_id4", |b| {
+        b.iter(|| black_box(dd2.kron_mat(u, id)))
+    });
+    group.finish();
+}
+
+/// Ablation: the same multiplication with compute tables disabled.
+fn bench_compute_table_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_table_ablation");
+    group.sample_size(10);
+    let n = 8;
+    for (label, enabled) in [("with_caches", true), ("without_caches", false)] {
+        let (mut dd, u, s) = qft_setup(n, enabled);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                dd.clear_compute_tables();
+                black_box(dd.mat_vec(u, s))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("measurement");
+    let n = 12;
+    let (mut dd, _, s) = qft_setup(n, true);
+    group.bench_function("prob_one_mid_qubit", |b| {
+        b.iter(|| {
+            dd.clear_compute_tables();
+            black_box(dd.prob_one(s, n / 2))
+        })
+    });
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+    group.bench_function("sample_once", |b| {
+        b.iter(|| black_box(dd.sample_once(s, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mat_vec,
+    bench_mat_mat,
+    bench_add_and_kron,
+    bench_compute_table_ablation,
+    bench_measurement
+);
+criterion_main!(benches);

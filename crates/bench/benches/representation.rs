@@ -1,0 +1,67 @@
+//! Criterion benchmark for experiment T-A: constructing state
+//! representations — decision diagrams vs dense amplitude vectors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdd_bench::workloads::w_state_amplitudes;
+use qdd_core::DdPackage;
+use std::hint::black_box;
+
+fn bench_state_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_construction");
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("dd_basis", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dd = DdPackage::new();
+                black_box(dd.basis_state(n, 0b1011 % (1 << n)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dd_ghz_circuit", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim =
+                    qdd_sim::DdSimulator::with_seed(qdd_circuit::library::ghz(n), 1);
+                sim.run().unwrap();
+                black_box(sim.node_count())
+            })
+        });
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("dd_w_from_amps", n), &n, |b, &n| {
+                let amps = w_state_amplitudes(n);
+                b.iter(|| {
+                    let mut dd = DdPackage::new();
+                    black_box(dd.state_from_amplitudes(&amps).unwrap())
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("dense_alloc_fill", n), &n, |b, &n| {
+                b.iter(|| {
+                    let amps = w_state_amplitudes(n);
+                    black_box(amps.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_operator_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_construction");
+    for n in [6usize, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("identity", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut dd = DdPackage::new();
+                black_box(dd.identity(n).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mcx_gate", n), &n, |b, &n| {
+            let controls: Vec<qdd_core::Control> =
+                (1..n).map(qdd_core::Control::pos).collect();
+            b.iter(|| {
+                let mut dd = DdPackage::new();
+                black_box(dd.gate_dd(qdd_core::gates::X, &controls, 0, n).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_construction, bench_operator_construction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmark for experiment T-B: DD simulation vs the dense
+//! state-vector baseline (paper §III-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdd_bench::workloads::Family;
+use qdd_sim::{DdSimulator, DenseSimulator};
+use std::hint::black_box;
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for family in [Family::Ghz, Family::Qft, Family::Grover, Family::Random] {
+        for n in [8usize, 12] {
+            let circuit = family.circuit(n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("dd_{}", family.name()), n),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+                        sim.run().unwrap();
+                        black_box(sim.node_count())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("dense_{}", family.name()), n),
+                &circuit,
+                |b, circuit| {
+                    b.iter(|| {
+                        let sim = DenseSimulator::simulate(circuit, 1).unwrap();
+                        black_box(sim.state()[0])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let mut sim = DdSimulator::with_seed(Family::Qft.circuit(12), 1);
+    sim.run().unwrap();
+    group.bench_function("dd_single_path_1000_shots", |b| {
+        b.iter(|| black_box(sim.sample(1000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_families, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmark for experiment T-C: equivalence-checking strategies
+//! on the paper's QFT compilation flow (Example 12 generalized).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdd_bench::workloads::qft_pair;
+use qdd_verify::{EquivalenceChecker, Strategy};
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_qft_pair");
+    group.sample_size(10);
+    for n in [3usize, 5, 7] {
+        let (qft, compiled) = qft_pair(n);
+        for strategy in [
+            Strategy::Construction,
+            Strategy::OneToOne,
+            Strategy::Proportional,
+            Strategy::BarrierGuided,
+            Strategy::Lookahead,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.to_string(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut checker = EquivalenceChecker::new();
+                        let report = checker.check(&qft, &compiled, strategy).unwrap();
+                        assert!(report.result.is_equivalent());
+                        black_box(report.peak_nodes)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_stimuli(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_stimuli");
+    group.sample_size(10);
+    for n in [5usize, 8] {
+        let (qft, compiled) = qft_pair(n);
+        group.bench_with_input(BenchmarkId::new("16_stimuli", n), &n, |b, _| {
+            b.iter(|| {
+                let report =
+                    qdd_verify::simulate_equivalence(&qft, &compiled, 16, 1).unwrap();
+                assert!(report.probably_equivalent);
+                black_box(report.min_fidelity)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_stimuli);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmark for the visualization pipeline: graph extraction
+//! and DOT/SVG/JSON rendering throughput (paper §IV figures at scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdd_sim::DdSimulator;
+use qdd_viz::{dot, graph::DdGraph, json, style::VizStyle, svg};
+use std::hint::black_box;
+
+fn bench_exports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("viz_export");
+    for n in [6usize, 10] {
+        // A random state gives a dense-ish diagram worth rendering.
+        let mut sim = DdSimulator::with_seed(
+            qdd_circuit::library::random_circuit(n, n, 4),
+            1,
+        );
+        sim.run().unwrap();
+        let nodes = sim.node_count();
+        let style = VizStyle::colored();
+
+        group.bench_with_input(
+            BenchmarkId::new("graph_extraction", format!("{n}q_{nodes}nodes")),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(DdGraph::from_vector(sim.package(), sim.state())))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dot", format!("{n}q_{nodes}nodes")),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(dot::vector_to_dot(sim.package(), sim.state(), &style)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("svg", format!("{n}q_{nodes}nodes")),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(svg::vector_to_svg(sim.package(), sim.state(), &style)))
+            },
+        );
+        let graph = DdGraph::from_vector(sim.package(), sim.state());
+        group.bench_with_input(
+            BenchmarkId::new("json", format!("{n}q_{nodes}nodes")),
+            &n,
+            |b, _| b.iter(|| black_box(json::graph_to_json(&graph))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exports);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates paper Fig. 7: the visualization options — (a) the "classic"
+//! mode with explicit weight labels, (b) the HLS color wheel, (c) colored
+//! edge weights — applied to a representative superposition state.
+
+use qdd_bench::out_dir;
+use qdd_core::{gates, Control, DdPackage};
+use qdd_viz::{color, dot, style::VizStyle, svg};
+use std::f64::consts::PI;
+
+fn main() {
+    let mut dd = DdPackage::new();
+    // A state with non-trivial phases: H on both qubits, then T and CZ.
+    let z = dd.zero_state(2).expect("|00⟩");
+    let s = dd.apply_gate(z, gates::H, &[], 1).expect("H q1");
+    let s = dd.apply_gate(s, gates::H, &[], 0).expect("H q0");
+    let s = dd.apply_gate(s, gates::t(), &[], 0).expect("T q0");
+    let state = dd
+        .apply_gate(s, gates::Z, &[Control::pos(1)], 0)
+        .expect("CZ");
+
+    let out = out_dir();
+
+    // (a) classic mode.
+    let classic = VizStyle::classic();
+    std::fs::write(out.join("fig7a_classic.svg"), svg::vector_to_svg(&dd, state, &classic)).unwrap();
+    std::fs::write(out.join("fig7a_classic.dot"), dot::vector_to_dot(&dd, state, &classic)).unwrap();
+
+    // (b) the HLS color wheel.
+    std::fs::write(out.join("fig7b_color_wheel.svg"), svg::color_wheel_svg(36, 80.0)).unwrap();
+
+    // (c) colored edge weights.
+    let colored = VizStyle::colored();
+    std::fs::write(out.join("fig7c_colored.svg"), svg::vector_to_svg(&dd, state, &colored)).unwrap();
+
+    // Bonus: the "modern" node look mentioned in §IV-A.
+    let modern = VizStyle::modern();
+    std::fs::write(out.join("fig7_modern.svg"), svg::vector_to_svg(&dd, state, &modern)).unwrap();
+
+    println!("Fig. 7  visualization styles on a 2-qubit phased superposition");
+    println!("  state nodes: {}", dd.vec_node_count(state));
+    println!("  phase → color samples (HLS wheel of Fig. 7(b)):");
+    for k in 0..8 {
+        let phase = k as f64 * PI / 4.0;
+        println!(
+            "    phase {:>6.3} rad → {}",
+            phase,
+            color::phase_to_color(phase).to_hex()
+        );
+    }
+    println!("\nArtifacts written to {}", out.display());
+}

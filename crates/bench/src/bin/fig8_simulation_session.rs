@@ -1,0 +1,49 @@
+//! Regenerates paper Fig. 8: the four screenshots of simulating the Bell
+//! circuit in the tool — initial |00⟩, the Bell state, the measurement
+//! dialog for q0, and the post-measurement |11⟩. Emits one SVG per frame
+//! and a self-contained HTML explorer.
+
+use qdd_bench::out_dir;
+use qdd_circuit::library;
+use qdd_core::MeasurementOutcome;
+use qdd_sim::StepOutcome;
+use qdd_viz::{html, style::VizStyle, SimulationExplorer};
+
+fn main() {
+    let mut circuit = library::bell();
+    circuit.add_creg("c", 1);
+    circuit.measure(0, 0);
+
+    let mut explorer = SimulationExplorer::new(circuit, VizStyle::classic());
+    // (a) → (b): apply H and CNOT.
+    explorer.step_forward().expect("H");
+    explorer.step_forward().expect("CNOT");
+    // (c): the measurement dialog.
+    let outcome = explorer.step_forward().expect("measure");
+    match outcome {
+        StepOutcome::NeedsChoice(p) => {
+            println!(
+                "Fig. 8(c)  measurement dialog on q{}: p(|0⟩) = {:.2}, p(|1⟩) = {:.2}",
+                p.qubit, p.p0, p.p1
+            );
+        }
+        other => panic!("expected a dialog, got {other:?}"),
+    }
+    // (d): the user chooses |1⟩ — the paper's walk-through.
+    explorer.choose(MeasurementOutcome::One).expect("collapse");
+
+    println!("\nframe log:");
+    for frame in explorer.frames() {
+        println!("  [{}] {} ({} nodes)", frame.index, frame.title, frame.node_count);
+    }
+
+    let out = out_dir();
+    explorer.write_frames(&out.join("fig8_frames")).expect("write frames");
+    html::write_explorer(
+        &out.join("fig8_simulation.html"),
+        "Fig. 8 — simulating the Bell circuit",
+        explorer.frames(),
+    )
+    .expect("write html");
+    println!("\nArtifacts written to {}", out.display());
+}

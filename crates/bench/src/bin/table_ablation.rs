@@ -1,0 +1,116 @@
+//! Experiment T-D: ablations of the design choices called out in
+//! `DESIGN.md` — compute tables on/off (paper footnote 4) and the
+//! complex-table interning statistics (paper ref \[14\]).
+
+use qdd_bench::workloads::Family;
+use qdd_bench::{fmt_duration, print_table};
+use qdd_core::PackageConfig;
+use qdd_sim::DdSimulator;
+use std::time::Instant;
+
+fn main() {
+    // Compute tables on/off. Without memoization the recursive operations
+    // revisit shared sub-diagrams exponentially often.
+    let mut rows = Vec::new();
+    for family in [Family::Ghz, Family::Qft, Family::Random] {
+        for n in [8usize, 12] {
+            let circuit = family.circuit(n);
+
+            let t0 = Instant::now();
+            let mut on = DdSimulator::with_config(circuit.clone(), 1, PackageConfig::default());
+            on.run().expect("with caches");
+            let with_caches = t0.elapsed();
+            let stats_on = on.package().stats();
+
+            let t0 = Instant::now();
+            let mut off = DdSimulator::with_config(
+                circuit,
+                1,
+                PackageConfig {
+                    compute_tables: false,
+                    ..PackageConfig::default()
+                },
+            );
+            off.run().expect("without caches");
+            let without_caches = t0.elapsed();
+
+            let speedup = without_caches.as_secs_f64() / with_caches.as_secs_f64().max(1e-9);
+            rows.push(vec![
+                family.name().to_string(),
+                n.to_string(),
+                fmt_duration(with_caches),
+                fmt_duration(without_caches),
+                format!("{speedup:.1}×"),
+                format!(
+                    "{:.0}%",
+                    100.0 * stats_on.cache_hits as f64 / stats_on.cache_lookups.max(1) as f64
+                ),
+            ]);
+        }
+    }
+    print_table(
+        "T-D.1 — compute tables (paper footnote 4)",
+        &["family", "n", "with caches", "without", "speedup", "hit rate"],
+        &rows,
+    );
+
+    // Complex-table interning pressure per workload.
+    let mut rows = Vec::new();
+    for family in Family::ALL {
+        let n = 10;
+        let mut sim = DdSimulator::with_seed(family.circuit(n), 1);
+        sim.run().expect("simulation");
+        let s = sim.package().stats();
+        rows.push(vec![
+            family.name().to_string(),
+            n.to_string(),
+            s.complex_entries.to_string(),
+            s.vnodes_alive.to_string(),
+            s.mnodes_alive.to_string(),
+        ]);
+    }
+    print_table(
+        "T-D.2 — complex-table interning (paper ref [14])",
+        &["family", "n", "distinct weights", "vec nodes alive", "mat nodes alive"],
+        &rows,
+    );
+
+    // Vector-normalization rule ablation: L2 (paper footnote 3) vs the
+    // QMDD-style max-magnitude rule. Both are canonical; compare node
+    // counts and wall time on measurement-free workloads.
+    let mut rows = Vec::new();
+    for family in [Family::Ghz, Family::W, Family::Qft, Family::Random] {
+        let n = 10;
+        let mut cells = vec![family.name().to_string(), n.to_string()];
+        for rule in [
+            qdd_core::VectorNormalization::L2,
+            qdd_core::VectorNormalization::MaxMagnitude,
+        ] {
+            let cfg = PackageConfig {
+                vector_normalization: rule,
+                ..PackageConfig::default()
+            };
+            let t0 = Instant::now();
+            let mut sim = DdSimulator::with_config(family.circuit(n), 1, cfg);
+            sim.run().expect("simulation");
+            cells.push(format!(
+                "{} / {}",
+                sim.node_count(),
+                fmt_duration(t0.elapsed())
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "T-D.3 — vector normalization rule (L2 vs max-magnitude)",
+        &["family", "n", "L2 nodes/time", "max-mag nodes/time"],
+        &rows,
+    );
+
+    println!(
+        "\nExpected shape: cache hit rates above ~30% and large slowdowns without\n\
+         compute tables on circuits with shared structure; the distinct-weight\n\
+         count stays tiny compared to node counts, which is exactly why interning\n\
+         by tolerance keeps diagrams canonical at negligible cost."
+    );
+}

@@ -1,0 +1,66 @@
+//! Experiment T-E (beyond the paper): the numerical-precision wall of
+//! tolerance-based complex interning.
+//!
+//! Interning perturbs weights by up to the tolerance; fed back through
+//! arithmetic, those perturbations straddle later merge windows. On Grover
+//! circuits — whose corrected-path weights approach `1/√2` as `n` grows —
+//! this fragments the diagram from `~2n` nodes into thousands once the
+//! genuine weight differences come within a few orders of magnitude of the
+//! tolerance. A coarser tolerance makes it *worse* (more injected noise),
+//! which is why the package defaults to 1e-13. This is an inherent
+//! trade-off of the approach of paper ref \[14\], shared by production DD
+//! packages, and squarely part of the paper's goal of conveying the
+//! "strengths and limits" of decision diagrams.
+
+use qdd_bench::{fmt_duration, print_table};
+use qdd_circuit::library;
+use qdd_core::PackageConfig;
+use qdd_sim::DdSimulator;
+use std::time::{Duration, Instant};
+
+const BUDGET: Duration = Duration::from_secs(15);
+
+fn run(n: usize, tolerance: f64) -> (bool, Duration, usize, f64) {
+    let qc = library::grover(n, (1 << n) - 1);
+    let cfg = PackageConfig { tolerance, ..PackageConfig::default() };
+    let mut sim = DdSimulator::with_config(qc, 1, cfg);
+    let t0 = Instant::now();
+    let mut finished = true;
+    while sim.step().expect("simulation") {
+        if t0.elapsed() > BUDGET {
+            finished = false;
+            break;
+        }
+    }
+    let p = sim.amplitude((1 << n) - 1).norm_sqr();
+    (finished, t0.elapsed(), sim.stats().peak_nodes, p)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for n in [12usize, 13, 14, 16, 17, 18] {
+        for tol in [1e-10f64, 1e-13] {
+            let (finished, t, peak, p) = run(n, tol);
+            rows.push(vec![
+                n.to_string(),
+                format!("{tol:.0e}"),
+                if finished { fmt_duration(t) } else { format!(">{}s (aborted)", BUDGET.as_secs()) },
+                peak.to_string(),
+                if finished { format!("{p:.4}") } else { "—".to_string() },
+            ]);
+        }
+    }
+    print_table(
+        "T-E — interning-tolerance precision wall (Grover, marked = all-ones)",
+        &["n", "tolerance", "time", "peak nodes", "P(marked)"],
+        &rows,
+    );
+    println!(
+        "\nExpected shape: with tol = 1e-10 the diagram fragments from n = 14 on;\n\
+         with tol = 1e-13 it stays at ~2n nodes until n = 18, where the genuine\n\
+         weight differences themselves approach the tolerance. The fix is not a\n\
+         coarser tolerance — that injects *more* snapping noise — but higher\n\
+         weight precision (the limit the paper's \"strengths and limits\" framing\n\
+         anticipates)."
+    );
+}

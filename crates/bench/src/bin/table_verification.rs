@@ -1,0 +1,82 @@
+//! Experiment T-C: equivalence-checking strategies compared — full
+//! construction vs the advanced alternating schemes of paper ref \[20\] —
+//! on the QFT-vs-compiled flow (Example 12 generalized to larger n),
+//! plus negative cases that must be caught.
+
+use qdd_bench::workloads::qft_pair;
+use qdd_bench::{fmt_duration, print_table};
+use qdd_circuit::library;
+use qdd_verify::{EquivalenceChecker, Strategy};
+use std::time::Instant;
+
+const STRATEGIES: [Strategy; 5] = [
+    Strategy::Construction,
+    Strategy::OneToOne,
+    Strategy::Proportional,
+    Strategy::BarrierGuided,
+    Strategy::Lookahead,
+];
+
+fn main() {
+    // Positive cases: the compilation-flow verification of Fig. 5.
+    let mut rows = Vec::new();
+    for n in [3usize, 5, 7, 9] {
+        let (qft, compiled) = qft_pair(n);
+        for strategy in STRATEGIES {
+            let mut checker = EquivalenceChecker::new();
+            let t0 = Instant::now();
+            let report = checker.check(&qft, &compiled, strategy).expect("valid");
+            let elapsed = t0.elapsed();
+            assert!(report.result.is_equivalent(), "qft pair must verify");
+            rows.push(vec![
+                n.to_string(),
+                strategy.to_string(),
+                report.peak_nodes.to_string(),
+                fmt_duration(elapsed),
+                (report.applied_left + report.applied_right).to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "T-C.1 — verifying QFT(n) against its compiled form",
+        &["n", "strategy", "peak nodes", "time", "gates applied"],
+        &rows,
+    );
+
+    // Negative cases: a single faulty gate must be caught by every strategy.
+    let mut rows = Vec::new();
+    for n in [4usize, 6] {
+        let good = library::random_circuit(n, 3 * n, 11);
+        let mut bad = good.clone();
+        bad.x(n / 2);
+        for strategy in STRATEGIES {
+            let mut checker = EquivalenceChecker::new();
+            let t0 = Instant::now();
+            let report = checker.check(&good, &bad, strategy).expect("valid");
+            let elapsed = t0.elapsed();
+            rows.push(vec![
+                n.to_string(),
+                strategy.to_string(),
+                format!("{:?}", report.result),
+                report
+                    .counterexample
+                    .map(|c| format!("({}, {})", c.row, c.col))
+                    .unwrap_or_else(|| "—".to_string()),
+                fmt_duration(elapsed),
+            ]);
+            assert!(!report.result.is_equivalent(), "fault must be detected");
+        }
+    }
+    print_table(
+        "T-C.2 — detecting an injected fault (random circuit + stray X)",
+        &["n", "strategy", "verdict", "witness (row, col)", "time"],
+        &rows,
+    );
+
+    println!(
+        "\nExpected shape: for the compilation flow, alternating strategies keep\n\
+         the working diagram near the identity (peak ≈ n+1..2n nodes) while full\n\
+         construction peaks at the QFT functionality size, growing with 2^n —\n\
+         Example 12's 9-vs-21 generalized."
+    );
+}

@@ -1,0 +1,87 @@
+//! Error type for circuit construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from circuit parsing and fallible circuit transformations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A syntax or semantic error while parsing a circuit file.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A qubit index outside the circuit's register.
+    QubitOutOfRange {
+        /// The rejected index.
+        qubit: usize,
+        /// The circuit width.
+        num_qubits: usize,
+    },
+    /// A classical bit index outside the declared registers.
+    BitOutOfRange {
+        /// The rejected index.
+        bit: usize,
+        /// The number of classical bits.
+        num_bits: usize,
+    },
+    /// Inversion requested for a circuit containing non-unitary operations.
+    NotInvertible {
+        /// Index of the first non-invertible operation.
+        op_index: usize,
+    },
+}
+
+impl CircuitError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        CircuitError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::BitOutOfRange { bit, num_bits } => {
+                write!(f, "classical bit {bit} out of range for {num_bits} bits")
+            }
+            CircuitError::NotInvertible { op_index } => {
+                write!(f, "circuit is not invertible: operation {op_index} is non-unitary")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CircuitError::parse(3, "unexpected token").to_string(),
+            "parse error at line 3: unexpected token"
+        );
+        assert!(CircuitError::NotInvertible { op_index: 4 }
+            .to_string()
+            .contains("operation 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<CircuitError>();
+    }
+}

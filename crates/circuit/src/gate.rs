@@ -1,0 +1,283 @@
+//! The single-qubit standard gate set.
+
+use qdd_core::gates::{self, GateMatrix};
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+use std::fmt;
+
+/// A named single-qubit gate (possibly parameterized).
+///
+/// Controlled and multi-qubit gates are represented at the
+/// [`Operation`](crate::Operation) level by attaching controls to one of
+/// these or by dedicated variants (SWAP); this mirrors how the DD package
+/// constructs operators.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum StandardGate {
+    /// Identity.
+    I,
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `P(π/2)`.
+    S,
+    /// Inverse phase gate `P(-π/2)`.
+    Sdg,
+    /// `P(π/4)`.
+    T,
+    /// `P(-π/4)`.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Inverse square root of X.
+    Sxdg,
+    /// Phase gate `P(θ) = diag(1, e^{iθ})`.
+    Phase(f64),
+    /// Rotation about X.
+    Rx(f64),
+    /// Rotation about Y.
+    Ry(f64),
+    /// Rotation about Z.
+    Rz(f64),
+    /// The generic `U(θ, φ, λ)` of OpenQASM 2.
+    U(f64, f64, f64),
+}
+
+impl StandardGate {
+    /// The gate's 2×2 unitary.
+    pub fn matrix(self) -> GateMatrix {
+        match self {
+            StandardGate::I => gates::I,
+            StandardGate::H => gates::H,
+            StandardGate::X => gates::X,
+            StandardGate::Y => gates::Y,
+            StandardGate::Z => gates::Z,
+            StandardGate::S => gates::S,
+            StandardGate::Sdg => gates::SDG,
+            StandardGate::T => gates::t(),
+            StandardGate::Tdg => gates::tdg(),
+            StandardGate::Sx => gates::SX,
+            StandardGate::Sxdg => gates::adjoint(&gates::SX),
+            StandardGate::Phase(theta) => gates::phase(theta),
+            StandardGate::Rx(theta) => gates::rx(theta),
+            StandardGate::Ry(theta) => gates::ry(theta),
+            StandardGate::Rz(theta) => gates::rz(theta),
+            StandardGate::U(theta, phi, lambda) => gates::u3(theta, phi, lambda),
+        }
+    }
+
+    /// The inverse gate (`g · g.inverse() = I`), staying within the
+    /// standard set.
+    pub fn inverse(self) -> StandardGate {
+        match self {
+            StandardGate::I => StandardGate::I,
+            StandardGate::H => StandardGate::H,
+            StandardGate::X => StandardGate::X,
+            StandardGate::Y => StandardGate::Y,
+            StandardGate::Z => StandardGate::Z,
+            StandardGate::S => StandardGate::Sdg,
+            StandardGate::Sdg => StandardGate::S,
+            StandardGate::T => StandardGate::Tdg,
+            StandardGate::Tdg => StandardGate::T,
+            StandardGate::Sx => StandardGate::Sxdg,
+            StandardGate::Sxdg => StandardGate::Sx,
+            StandardGate::Phase(theta) => StandardGate::Phase(-theta),
+            StandardGate::Rx(theta) => StandardGate::Rx(-theta),
+            StandardGate::Ry(theta) => StandardGate::Ry(-theta),
+            StandardGate::Rz(theta) => StandardGate::Rz(-theta),
+            StandardGate::U(theta, phi, lambda) => StandardGate::U(-theta, -lambda, -phi),
+        }
+    }
+
+    /// `true` if the gate is diagonal in the computational basis (its DD is
+    /// a chain without branching — relevant for compactness experiments).
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            StandardGate::I
+                | StandardGate::Z
+                | StandardGate::S
+                | StandardGate::Sdg
+                | StandardGate::T
+                | StandardGate::Tdg
+                | StandardGate::Phase(_)
+                | StandardGate::Rz(_)
+        )
+    }
+
+    /// The canonical lowercase OpenQASM-style mnemonic (without parameters).
+    pub fn name(self) -> &'static str {
+        match self {
+            StandardGate::I => "id",
+            StandardGate::H => "h",
+            StandardGate::X => "x",
+            StandardGate::Y => "y",
+            StandardGate::Z => "z",
+            StandardGate::S => "s",
+            StandardGate::Sdg => "sdg",
+            StandardGate::T => "t",
+            StandardGate::Tdg => "tdg",
+            StandardGate::Sx => "sx",
+            StandardGate::Sxdg => "sxdg",
+            StandardGate::Phase(_) => "p",
+            StandardGate::Rx(_) => "rx",
+            StandardGate::Ry(_) => "ry",
+            StandardGate::Rz(_) => "rz",
+            StandardGate::U(..) => "u",
+        }
+    }
+
+    /// Simplifies a parameterized gate to a named one when the parameters
+    /// hit a special angle (e.g. `P(π/2)` → `S`), used by pretty-printers.
+    pub fn simplified(self) -> StandardGate {
+        const TOL: f64 = 1e-12;
+        if let StandardGate::Phase(theta) = self {
+            for (angle, gate) in [
+                (FRAC_PI_2, StandardGate::S),
+                (-FRAC_PI_2, StandardGate::Sdg),
+                (FRAC_PI_4, StandardGate::T),
+                (-FRAC_PI_4, StandardGate::Tdg),
+                (PI, StandardGate::Z),
+                (0.0, StandardGate::I),
+            ] {
+                if (theta - angle).abs() < TOL {
+                    return gate;
+                }
+            }
+        }
+        self
+    }
+
+    /// The parameters, if any, in OpenQASM argument order.
+    pub fn params(self) -> Vec<f64> {
+        match self {
+            StandardGate::Phase(t) | StandardGate::Rx(t) | StandardGate::Ry(t) | StandardGate::Rz(t) => {
+                vec![t]
+            }
+            StandardGate::U(t, p, l) => vec![t, p, l],
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for StandardGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params = self.params();
+        if params.is_empty() {
+            write!(f, "{}", self.name())
+        } else {
+            let rendered: Vec<String> = params.iter().map(|p| format_angle(*p)).collect();
+            write!(f, "{}({})", self.name(), rendered.join(","))
+        }
+    }
+}
+
+/// Formats an angle, preferring exact `pi` fractions — matching the paper's
+/// `P(π/4)`, `P(π/8)` notation.
+pub(crate) fn format_angle(theta: f64) -> String {
+    const TOL: f64 = 1e-12;
+    if theta.abs() < TOL {
+        return "0".to_string();
+    }
+    for denom in [1i32, 2, 3, 4, 6, 8, 16, 32] {
+        let unit = PI / denom as f64;
+        let ratio = theta / unit;
+        if (ratio - ratio.round()).abs() < TOL && ratio.round().abs() <= 32.0 {
+            let num = ratio.round() as i64;
+            return match (num, denom) {
+                (1, 1) => "pi".to_string(),
+                (-1, 1) => "-pi".to_string(),
+                (1, d) => format!("pi/{d}"),
+                (-1, d) => format!("-pi/{d}"),
+                (n, 1) => format!("{n}*pi"),
+                (n, d) => format!("{n}*pi/{d}"),
+            };
+        }
+    }
+    format!("{theta}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_core::gates::{approx_eq, is_unitary, matmul, I};
+
+    #[test]
+    fn every_gate_is_unitary() {
+        let all = [
+            StandardGate::I,
+            StandardGate::H,
+            StandardGate::X,
+            StandardGate::Y,
+            StandardGate::Z,
+            StandardGate::S,
+            StandardGate::Sdg,
+            StandardGate::T,
+            StandardGate::Tdg,
+            StandardGate::Sx,
+            StandardGate::Sxdg,
+            StandardGate::Phase(0.37),
+            StandardGate::Rx(1.1),
+            StandardGate::Ry(-0.4),
+            StandardGate::Rz(2.6),
+            StandardGate::U(0.3, 1.4, -2.0),
+        ];
+        for g in all {
+            assert!(is_unitary(&g.matrix(), 1e-12), "{g}");
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let all = [
+            StandardGate::H,
+            StandardGate::S,
+            StandardGate::T,
+            StandardGate::Sx,
+            StandardGate::Sxdg,
+            StandardGate::Phase(0.9),
+            StandardGate::Rx(0.5),
+            StandardGate::Ry(1.5),
+            StandardGate::Rz(-0.8),
+            StandardGate::U(0.2, 0.7, 1.3),
+        ];
+        for g in all {
+            let prod = matmul(&g.inverse().matrix(), &g.matrix());
+            assert!(approx_eq(&prod, &I, 1e-12), "{g} inverse failed");
+        }
+    }
+
+    #[test]
+    fn simplification_of_special_phases() {
+        assert_eq!(StandardGate::Phase(FRAC_PI_2).simplified(), StandardGate::S);
+        assert_eq!(StandardGate::Phase(-FRAC_PI_4).simplified(), StandardGate::Tdg);
+        assert_eq!(StandardGate::Phase(PI).simplified(), StandardGate::Z);
+        assert_eq!(
+            StandardGate::Phase(0.123).simplified(),
+            StandardGate::Phase(0.123)
+        );
+    }
+
+    #[test]
+    fn display_uses_pi_fractions() {
+        assert_eq!(StandardGate::Phase(FRAC_PI_4).to_string(), "p(pi/4)");
+        assert_eq!(StandardGate::Phase(-PI / 8.0).to_string(), "p(-pi/8)");
+        assert_eq!(StandardGate::Rz(PI).to_string(), "rz(pi)");
+        assert_eq!(StandardGate::H.to_string(), "h");
+        assert_eq!(
+            StandardGate::Phase(3.0 * FRAC_PI_4).to_string(),
+            "p(3*pi/4)"
+        );
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(StandardGate::T.is_diagonal());
+        assert!(StandardGate::Rz(0.3).is_diagonal());
+        assert!(!StandardGate::H.is_diagonal());
+        assert!(!StandardGate::Sx.is_diagonal());
+    }
+}

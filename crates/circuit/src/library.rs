@@ -1,0 +1,551 @@
+//! Generators for the circuits the paper discusses and the experiments use.
+
+use crate::circuit::QuantumCircuit;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// The paper's Fig. 1(c): `H(q1)` then `CNOT(q1 → q0)` — Bell-state
+/// preparation from `|00⟩`.
+pub fn bell() -> QuantumCircuit {
+    let mut qc = QuantumCircuit::with_name(2, "bell");
+    qc.h(1).cx(1, 0);
+    qc
+}
+
+/// GHZ-state preparation on `n` qubits: `H` on the MSB then a CNOT cascade.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ghz(n: usize) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::with_name(n, format!("ghz_{n}"));
+    qc.h(n - 1);
+    for q in (0..n - 1).rev() {
+        qc.cx(q + 1, q);
+    }
+    qc
+}
+
+/// W-state preparation on `n` qubits via a chain of controlled rotations.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn w_state(n: usize) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::with_name(n, format!("w_{n}"));
+    qc.x(n - 1);
+    for k in 0..n - 1 {
+        let ctrl = n - 1 - k;
+        let tgt = n - 2 - k;
+        let theta = 2.0 * (1.0 / ((n - k) as f64)).sqrt().acos();
+        qc.cry(theta, ctrl, tgt);
+        qc.cx(tgt, ctrl);
+    }
+    qc
+}
+
+/// The Quantum Fourier Transform on `n` qubits (paper Fig. 5(a) for `n=3`):
+/// Hadamards, controlled phase rotations `P(π/2ᵏ)`, and (optionally) the
+/// final qubit-reversal SWAPs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: usize, include_swaps: bool) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::with_name(n, format!("qft_{n}"));
+    for i in (0..n).rev() {
+        qc.h(i);
+        for j in (0..i).rev() {
+            let k = i - j;
+            qc.cp(PI / (1u64 << k) as f64, j, i);
+        }
+    }
+    if include_swaps {
+        for k in 0..n / 2 {
+            qc.swap(k, n - 1 - k);
+        }
+    }
+    qc
+}
+
+/// Inverse QFT.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn iqft(n: usize, include_swaps: bool) -> QuantumCircuit {
+    let mut qc = qft(n, include_swaps).inverse().expect("qft is unitary");
+    qc.set_name(format!("iqft_{n}"));
+    qc
+}
+
+/// Grover search on `n` qubits for the `marked` basis state, with the
+/// canonical `⌊π/4·√2ⁿ⌋` iterations of phase oracle plus diffusion.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `marked ≥ 2ⁿ`.
+pub fn grover(n: usize, marked: u64) -> QuantumCircuit {
+    assert!(n >= 2, "grover needs at least 2 qubits");
+    assert!(marked < (1u64 << n), "marked state out of range");
+    let mut qc = QuantumCircuit::with_name(n, format!("grover_{n}_{marked}"));
+    for q in 0..n {
+        qc.h(q);
+    }
+    let iterations = ((PI / 4.0) * ((1u64 << n) as f64).sqrt()).floor().max(1.0) as usize;
+    let all_but_last: Vec<usize> = (0..n - 1).collect();
+    for _ in 0..iterations {
+        // Phase oracle: flip the sign of |marked⟩.
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                qc.x(q);
+            }
+        }
+        qc.mcz(&all_but_last, n - 1);
+        for q in 0..n {
+            if (marked >> q) & 1 == 0 {
+                qc.x(q);
+            }
+        }
+        // Diffusion operator.
+        for q in 0..n {
+            qc.h(q);
+        }
+        for q in 0..n {
+            qc.x(q);
+        }
+        qc.mcz(&all_but_last, n - 1);
+        for q in 0..n {
+            qc.x(q);
+        }
+        for q in 0..n {
+            qc.h(q);
+        }
+    }
+    qc
+}
+
+/// Bernstein–Vazirani for an `n`-bit `secret`: one query reveals the whole
+/// string. Qubit 0 is the phase ancilla; the data qubits are `1..=n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `secret ≥ 2ⁿ`.
+pub fn bernstein_vazirani(n: usize, secret: u64) -> QuantumCircuit {
+    assert!(n > 0, "need at least one data qubit");
+    assert!(secret < (1u64 << n), "secret out of range");
+    let mut qc = QuantumCircuit::with_name(n + 1, format!("bv_{n}_{secret}"));
+    qc.x(0);
+    for q in 0..=n {
+        qc.h(q);
+    }
+    for b in 0..n {
+        if (secret >> b) & 1 == 1 {
+            qc.cx(b + 1, 0);
+        }
+    }
+    for q in 1..=n {
+        qc.h(q);
+    }
+    qc
+}
+
+/// Quantum teleportation of qubit `q2`'s state to `q0`, including the
+/// measurements and classically-controlled corrections of paper §IV-B.
+///
+/// The message qubit is prepared with `RY(θ)`; classical registers `m1`
+/// (X-correction bit, from `q1`) and `m2` (Z-correction bit, from `q2`)
+/// record the Bell measurement.
+pub fn teleportation(theta: f64) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::with_name(3, "teleportation");
+    let m1 = qc.add_creg("m1", 1);
+    let m2 = qc.add_creg("m2", 1);
+    // Prepare the message on q2.
+    qc.ry(theta, 2);
+    qc.barrier();
+    // Bell pair on q1, q0.
+    qc.h(1).cx(1, 0);
+    qc.barrier();
+    // Bell measurement of q2, q1.
+    qc.cx(2, 1).h(2);
+    qc.measure(1, 0).measure(2, 1);
+    // Classically-controlled corrections on q0.
+    qc.gate_if(
+        crate::StandardGate::X,
+        vec![],
+        0,
+        crate::Condition { creg: m1, value: 1 },
+    );
+    qc.gate_if(
+        crate::StandardGate::Z,
+        vec![],
+        0,
+        crate::Condition { creg: m2, value: 1 },
+    );
+    qc
+}
+
+/// A Cuccaro ripple-carry adder computing `b ← a + b` with carry-out.
+///
+/// Layout (LSB-first): `q0` = carry-in, then alternating `a₀ b₀ a₁ b₁ …`,
+/// and the top qubit as carry-out — `2n + 2` qubits for `n`-bit operands.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn cuccaro_adder(n: usize) -> QuantumCircuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let mut qc = QuantumCircuit::with_name(2 * n + 2, format!("adder_{n}"));
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let cin = 0usize;
+    let cout = 2 * n + 1;
+    let maj = |qc: &mut QuantumCircuit, c: usize, bq: usize, aq: usize| {
+        qc.cx(aq, bq);
+        qc.cx(aq, c);
+        qc.ccx(c, bq, aq);
+    };
+    let uma = |qc: &mut QuantumCircuit, c: usize, bq: usize, aq: usize| {
+        qc.ccx(c, bq, aq);
+        qc.cx(aq, c);
+        qc.cx(c, bq);
+    };
+    maj(&mut qc, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut qc, a(i - 1), b(i), a(i));
+    }
+    qc.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        uma(&mut qc, a(i - 1), b(i), a(i));
+    }
+    uma(&mut qc, cin, b(0), a(0));
+    qc
+}
+
+/// Quantum phase estimation of the eigenphase `θ` of `P(2πθ)` acting on a
+/// `|1⟩`-prepared eigenstate qubit, with `n` counting qubits.
+///
+/// The counting register occupies qubits `1..=n` (qubit 0 holds the
+/// eigenstate) and ends holding `round(θ·2ⁿ)` directly (counting qubit `q`
+/// receives the `2^{n-q}` power so no bit-reversal is needed after the
+/// swap-free inverse QFT).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn phase_estimation(n: usize, theta: f64) -> QuantumCircuit {
+    assert!(n > 0, "need at least one counting qubit");
+    let mut qc = QuantumCircuit::with_name(n + 1, format!("qpe_{n}"));
+    qc.x(0); // eigenstate |1⟩ of the phase gate
+    for q in 1..=n {
+        qc.h(q);
+    }
+    for q in 1..=n {
+        // Controlled-P(2πθ·2^{n-q}): matched to the inverse-QFT convention
+        // below so the counting register ends in |round(θ·2ⁿ)⟩.
+        let angle = 2.0 * PI * theta * (1u64 << (n - q)) as f64;
+        qc.cp(angle, q, 0);
+    }
+    // Inverse QFT on the counting register (shifted by one qubit).
+    for i in 1..=n {
+        for j in (1..i).rev() {
+            let k = i - j;
+            qc.cp(-PI / (1u64 << k) as f64, j, i);
+        }
+        qc.h(i);
+    }
+    qc
+}
+
+
+/// The Deutsch–Jozsa oracle flavours.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DjOracle {
+    /// `f(x) = c` for all inputs.
+    Constant(bool),
+    /// `f(x) = parity(x & mask)` with a non-zero mask — a balanced function.
+    Balanced(u64),
+}
+
+/// Deutsch–Jozsa on `n` data qubits: one query decides whether the oracle
+/// is constant or balanced. Qubit 0 is the phase ancilla; data qubits are
+/// `1..=n`. Measuring the data register all-zero ⇔ constant.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or for a balanced oracle whose mask is zero or out
+/// of range.
+pub fn deutsch_jozsa(n: usize, oracle: DjOracle) -> QuantumCircuit {
+    assert!(n > 0, "need at least one data qubit");
+    if let DjOracle::Balanced(mask) = oracle {
+        assert!(mask != 0, "zero mask is a constant function");
+        assert!(mask < (1u64 << n), "mask out of range");
+    }
+    let mut qc = QuantumCircuit::with_name(n + 1, format!("dj_{n}"));
+    qc.x(0);
+    for q in 0..=n {
+        qc.h(q);
+    }
+    match oracle {
+        DjOracle::Constant(false) => {}
+        DjOracle::Constant(true) => {
+            qc.x(0);
+        }
+        DjOracle::Balanced(mask) => {
+            for b in 0..n {
+                if (mask >> b) & 1 == 1 {
+                    qc.cx(b + 1, 0);
+                }
+            }
+        }
+    }
+    for q in 1..=n {
+        qc.h(q);
+    }
+    qc
+}
+
+/// The three-qubit bit-flip code, end to end: encode `RY(θ)|0⟩` into
+/// qubits 0–2, optionally inject an X error, extract the syndrome into two
+/// ancillas (qubits 3–4), measure it into a 2-bit register `s`, and apply
+/// the classically-controlled correction — a complete exercise of the
+/// paper tool's special operations (measurement dialogs + conditioned
+/// gates) with a verifiable outcome.
+///
+/// Syndrome decoding (`s = s₁s₀` with `s₀ = q0⊕q1`, `s₁ = q0⊕q2`):
+/// `s == 3` → flip q0, `s == 1` → flip q1, `s == 2` → flip q2.
+///
+/// # Panics
+///
+/// Panics if `error_on` names a qubit outside `0..3`.
+pub fn bit_flip_code(theta: f64, error_on: Option<usize>) -> QuantumCircuit {
+    if let Some(q) = error_on {
+        assert!(q < 3, "the code protects qubits 0..3");
+    }
+    let mut qc = QuantumCircuit::with_name(5, "bit_flip_code");
+    let s = qc.add_creg("s", 2);
+    // Encode: |ψ⟩ ⊗ |00⟩ → α|000⟩ + β|111⟩.
+    qc.ry(theta, 0);
+    qc.cx(0, 1).cx(0, 2);
+    qc.barrier();
+    // Error channel.
+    if let Some(q) = error_on {
+        qc.x(q);
+    }
+    qc.barrier();
+    // Syndrome extraction: ancilla 3 = q0⊕q1, ancilla 4 = q0⊕q2.
+    qc.cx(0, 3).cx(1, 3);
+    qc.cx(0, 4).cx(2, 4);
+    qc.measure(3, 0).measure(4, 1);
+    // Correction, conditioned on the whole syndrome register.
+    let x = crate::StandardGate::X;
+    qc.gate_if(x, vec![], 0, crate::Condition { creg: s, value: 3 });
+    qc.gate_if(x, vec![], 1, crate::Condition { creg: s, value: 1 });
+    qc.gate_if(x, vec![], 2, crate::Condition { creg: s, value: 2 });
+    qc
+}
+
+/// A reproducible random circuit: `depth` layers of uniformly chosen
+/// single-qubit gates (`H S T RX RY RZ`) followed by a random CNOT per
+/// layer.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_circuit(n: usize, depth: usize, seed: u64) -> QuantumCircuit {
+    assert!(n >= 2, "random circuit needs at least 2 qubits");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut qc = QuantumCircuit::with_name(n, format!("random_{n}x{depth}"));
+    for _ in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..6) {
+                0 => qc.h(q),
+                1 => qc.s(q),
+                2 => qc.t(q),
+                3 => qc.rx(rng.gen_range(0.0..2.0 * PI), q),
+                4 => qc.ry(rng.gen_range(0.0..2.0 * PI), q),
+                _ => qc.rz(rng.gen_range(0.0..2.0 * PI), q),
+            };
+        }
+        let c = rng.gen_range(0..n);
+        let mut t = rng.gen_range(0..n);
+        while t == c {
+            t = rng.gen_range(0..n);
+        }
+        qc.cx(c, t);
+    }
+    qc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Operation;
+
+    #[test]
+    fn bell_matches_fig_1c() {
+        let qc = bell();
+        assert_eq!(qc.num_qubits(), 2);
+        assert_eq!(qc.gate_count(), 2);
+    }
+
+    #[test]
+    fn ghz_structure() {
+        let qc = ghz(5);
+        assert_eq!(qc.gate_count(), 5);
+        assert_eq!(qc.depth(), 5);
+    }
+
+    #[test]
+    fn qft3_gate_inventory_matches_fig_5a() {
+        let qc = qft(3, true);
+        // 3 H + 3 controlled phases + 1 swap = 7 operations.
+        assert_eq!(qc.len(), 7);
+        let swaps = qc
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Operation::Swap { .. }))
+            .count();
+        assert_eq!(swaps, 1);
+    }
+
+    #[test]
+    fn qft_without_swaps() {
+        let qc = qft(4, false);
+        assert!(qc
+            .ops()
+            .iter()
+            .all(|op| !matches!(op, Operation::Swap { .. })));
+        // n H gates + n(n-1)/2 controlled phases.
+        assert_eq!(qc.gate_count(), 4 + 6);
+    }
+
+    #[test]
+    fn iqft_inverts_qft_structurally() {
+        let f = qft(3, true);
+        let b = iqft(3, true);
+        assert_eq!(f.len(), b.len());
+    }
+
+    #[test]
+    fn grover_iteration_count() {
+        let qc = grover(3, 5);
+        // floor(pi/4 * sqrt(8)) = 2 iterations.
+        assert!(qc.name().contains("grover"));
+        let mcz_count = qc
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                Operation::Gate(g) => {
+                    g.gate == crate::StandardGate::Z && g.controls.len() == 2
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(mcz_count, 4, "two per iteration (oracle + diffusion)");
+    }
+
+    #[test]
+    fn bv_uses_one_cx_per_secret_bit() {
+        let qc = bernstein_vazirani(4, 0b1011);
+        let cx = qc
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                Operation::Gate(g) => {
+                    g.gate == crate::StandardGate::X && g.controls.len() == 1
+                }
+                _ => false,
+            })
+            .count();
+        assert_eq!(cx, 3);
+    }
+
+    #[test]
+    fn teleportation_has_measures_and_conditions() {
+        let qc = teleportation(0.7);
+        let measures = qc
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, Operation::Measure { .. }))
+            .count();
+        assert_eq!(measures, 2);
+        let conditioned = qc
+            .ops()
+            .iter()
+            .filter(|op| match op {
+                Operation::Gate(g) => g.condition.is_some(),
+                _ => false,
+            })
+            .count();
+        assert_eq!(conditioned, 2);
+        assert_eq!(qc.num_clbits(), 2);
+    }
+
+    #[test]
+    fn adder_width() {
+        let qc = cuccaro_adder(3);
+        assert_eq!(qc.num_qubits(), 8);
+        assert!(qc.gate_count() > 0);
+    }
+
+    #[test]
+    fn random_circuit_is_reproducible() {
+        let a = random_circuit(4, 10, 99);
+        let b = random_circuit(4, 10, 99);
+        assert_eq!(a, b);
+        let c = random_circuit(4, 10, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn qpe_width_and_structure() {
+        let qc = phase_estimation(3, 0.125);
+        assert_eq!(qc.num_qubits(), 4);
+        assert!(qc.gate_count() > 6);
+    }
+}
+
+#[cfg(test)]
+mod extended_library_tests {
+    use super::*;
+
+    #[test]
+    fn dj_oracle_validation() {
+        assert!(std::panic::catch_unwind(|| deutsch_jozsa(3, DjOracle::Balanced(0))).is_err());
+        assert!(std::panic::catch_unwind(|| deutsch_jozsa(3, DjOracle::Balanced(8))).is_err());
+        let qc = deutsch_jozsa(3, DjOracle::Balanced(0b101));
+        assert_eq!(qc.num_qubits(), 4);
+    }
+
+    #[test]
+    fn dj_constant_uses_no_entangling_gates() {
+        let qc = deutsch_jozsa(4, DjOracle::Constant(true));
+        let cx = qc
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, crate::Operation::Gate(g) if !g.controls.is_empty()))
+            .count();
+        assert_eq!(cx, 0);
+    }
+
+    #[test]
+    fn bit_flip_code_structure() {
+        let qc = bit_flip_code(0.8, Some(1));
+        assert_eq!(qc.num_qubits(), 5);
+        assert_eq!(qc.num_clbits(), 2);
+        let conditioned = qc
+            .ops()
+            .iter()
+            .filter(|op| matches!(op, crate::Operation::Gate(g) if g.condition.is_some()))
+            .count();
+        assert_eq!(conditioned, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "protects qubits")]
+    fn bit_flip_code_rejects_ancilla_error() {
+        bit_flip_code(0.5, Some(3));
+    }
+}

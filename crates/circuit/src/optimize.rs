@@ -1,0 +1,303 @@
+//! Peephole circuit optimization.
+//!
+//! Compilation flows like the paper's Fig. 5(b) produce redundancy
+//! (adjacent inverse pairs, chains of phase gates); these passes clean it
+//! up. Every rewrite preserves the unitary exactly — the integration tests
+//! verify optimized circuits against their originals with the equivalence
+//! checker, closing the loop the paper draws between compilation and
+//! verification.
+
+use crate::circuit::QuantumCircuit;
+use crate::gate::StandardGate;
+use crate::op::{GateApplication, Operation};
+
+/// What an optimization run did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Adjacent `g·g⁻¹` pairs removed (counting both gates).
+    pub cancelled_gates: usize,
+    /// Phase-family gates merged into a predecessor.
+    pub merged_phases: usize,
+    /// Identity gates (and zero-angle rotations) dropped.
+    pub dropped_identities: usize,
+    /// Fixed-point iterations used.
+    pub passes: usize,
+}
+
+impl OptimizeStats {
+    /// Total operations eliminated.
+    pub fn total_removed(&self) -> usize {
+        self.cancelled_gates + self.merged_phases + self.dropped_identities
+    }
+}
+
+/// Runs the peephole passes to a fixed point and returns the optimized
+/// circuit with statistics.
+///
+/// Barriers are kept and act as optimization fences (a gate never cancels
+/// across a barrier — matching their breakpoint role in the paper's tool).
+/// Measurements, resets, and conditioned gates are fences as well.
+pub fn optimize(qc: &QuantumCircuit) -> (QuantumCircuit, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    let mut ops: Vec<Operation> = qc.ops().to_vec();
+    loop {
+        stats.passes += 1;
+        let before = ops.len();
+        ops = drop_identities(ops, &mut stats);
+        ops = cancel_and_merge(ops, &mut stats);
+        if ops.len() == before || stats.passes > 64 {
+            break;
+        }
+    }
+    let mut out = QuantumCircuit::with_name(qc.num_qubits(), format!("{}_opt", qc.name()));
+    for reg in qc.cregs() {
+        out.add_creg(reg.name.clone(), reg.size);
+    }
+    for op in ops {
+        out.append(op);
+    }
+    out.add_global_phase(qc.global_phase());
+    (out, stats)
+}
+
+const TOL: f64 = 1e-12;
+
+fn is_identity_gate(g: &GateApplication) -> bool {
+    if g.condition.is_some() {
+        return false;
+    }
+    match g.gate {
+        StandardGate::I => true,
+        StandardGate::Phase(t) | StandardGate::Rx(t) | StandardGate::Ry(t)
+        | StandardGate::Rz(t) => t.abs() < TOL,
+        _ => false,
+    }
+}
+
+fn drop_identities(ops: Vec<Operation>, stats: &mut OptimizeStats) -> Vec<Operation> {
+    ops.into_iter()
+        .filter(|op| match op {
+            Operation::Gate(g) if is_identity_gate(g) => {
+                stats.dropped_identities += 1;
+                false
+            }
+            _ => true,
+        })
+        .collect()
+}
+
+/// `true` if the two gate applications act on the same target with the
+/// same controls (gate parameters may differ).
+fn same_site(a: &GateApplication, b: &GateApplication) -> bool {
+    if a.target != b.target || a.condition.is_some() || b.condition.is_some() {
+        return false;
+    }
+    let mut ca = a.controls.clone();
+    let mut cb = b.controls.clone();
+    ca.sort_unstable();
+    cb.sort_unstable();
+    ca == cb
+}
+
+/// `true` if `b` is the exact inverse of `a` (same site).
+fn is_inverse_pair(a: &GateApplication, b: &GateApplication) -> bool {
+    if !same_site(a, b) {
+        return false;
+    }
+    match (a.gate, b.gate.inverse()) {
+        (StandardGate::Phase(x), StandardGate::Phase(y))
+        | (StandardGate::Rx(x), StandardGate::Rx(y))
+        | (StandardGate::Ry(x), StandardGate::Ry(y))
+        | (StandardGate::Rz(x), StandardGate::Rz(y)) => (x - y).abs() < TOL,
+        (StandardGate::U(a1, a2, a3), StandardGate::U(b1, b2, b3)) => {
+            (a1 - b1).abs() < TOL && (a2 - b2).abs() < TOL && (a3 - b3).abs() < TOL
+        }
+        (ga, gb) => ga == gb,
+    }
+}
+
+/// The phase angle if the gate belongs to the diagonal phase family.
+fn phase_of(g: StandardGate) -> Option<f64> {
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+    Some(match g {
+        StandardGate::Phase(t) => t,
+        StandardGate::Z => PI,
+        StandardGate::S => FRAC_PI_2,
+        StandardGate::Sdg => -FRAC_PI_2,
+        StandardGate::T => FRAC_PI_4,
+        StandardGate::Tdg => -FRAC_PI_4,
+        _ => return None,
+    })
+}
+
+/// `true` if the operation blocks reordering/cancellation on `qubits`.
+fn is_fence(op: &Operation) -> bool {
+    match op {
+        Operation::Barrier | Operation::Measure { .. } | Operation::Reset { .. } => true,
+        Operation::Gate(g) => g.condition.is_some(),
+        Operation::Swap { .. } => false,
+    }
+}
+
+fn cancel_and_merge(ops: Vec<Operation>, stats: &mut OptimizeStats) -> Vec<Operation> {
+    let mut out: Vec<Operation> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if is_fence(&op) {
+            out.push(op);
+            continue;
+        }
+        match (&op, out.last()) {
+            // Adjacent self-cancelling SWAPs.
+            (
+                Operation::Swap { a, b, controls },
+                Some(Operation::Swap { a: pa, b: pb, controls: pc }),
+            ) if {
+                let same_pair = (a == pa && b == pb) || (a == pb && b == pa);
+                same_pair && controls == pc
+            } =>
+            {
+                out.pop();
+                stats.cancelled_gates += 2;
+            }
+            (Operation::Gate(g), Some(Operation::Gate(prev))) => {
+                if is_inverse_pair(prev, g) {
+                    out.pop();
+                    stats.cancelled_gates += 2;
+                } else if same_site(prev, g) {
+                    if let (Some(tp), Some(tg)) = (phase_of(prev.gate), phase_of(g.gate)) {
+                        // Merge the diagonal phase family: P(a)·P(b) = P(a+b).
+                        let merged = StandardGate::Phase(tp + tg).simplified();
+                        let controls = prev.controls.clone();
+                        let target = prev.target;
+                        out.pop();
+                        stats.merged_phases += 1;
+                        if !matches!(merged, StandardGate::I) {
+                            out.push(Operation::Gate(GateApplication::new(
+                                merged, controls, target,
+                            )));
+                        } else {
+                            stats.dropped_identities += 1;
+                        }
+                    } else {
+                        out.push(op);
+                    }
+                } else {
+                    out.push(op);
+                }
+            }
+            _ => out.push(op),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_inverse_pairs_cancel() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).h(0).cx(0, 1).cx(0, 1).t(1).tdg(1);
+        let (opt, stats) = optimize(&qc);
+        assert!(opt.is_empty(), "{opt}");
+        assert_eq!(stats.cancelled_gates + stats.merged_phases * 2, 6);
+    }
+
+    #[test]
+    fn rotation_inverse_pairs_cancel() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.rx(0.7, 0).rx(-0.7, 0).rz(1.1, 0).rz(-1.1, 0);
+        let (opt, _) = optimize(&qc);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn phases_merge_into_named_gates() {
+        use std::f64::consts::FRAC_PI_4;
+        let mut qc = QuantumCircuit::new(1);
+        qc.t(0).t(0); // T·T = S
+        let (opt, stats) = optimize(&qc);
+        assert_eq!(opt.len(), 1);
+        match &opt.ops()[0] {
+            Operation::Gate(g) => assert_eq!(g.gate, StandardGate::S),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stats.merged_phases, 1);
+        // P(π/4)·T†·S = T ... chains collapse fully:
+        let mut qc = QuantumCircuit::new(1);
+        qc.p(FRAC_PI_4, 0).tdg(0).s(0).sdg(0);
+        let (opt, _) = optimize(&qc);
+        assert!(opt.is_empty(), "{opt}");
+    }
+
+    #[test]
+    fn controlled_phases_merge_only_on_same_site() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.cp(0.3, 1, 0).cp(0.4, 1, 0).cp(0.5, 2, 0);
+        let (opt, _) = optimize(&qc);
+        assert_eq!(opt.len(), 2, "different control sites must not merge");
+        match &opt.ops()[0] {
+            Operation::Gate(g) => match g.gate {
+                StandardGate::Phase(t) => assert!((t - 0.7).abs() < 1e-12),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identities_and_zero_rotations_drop() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.gate(StandardGate::I, vec![], 0).rx(0.0, 0).p(0.0, 0).x(0);
+        let (opt, stats) = optimize(&qc);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.dropped_identities, 3);
+    }
+
+    #[test]
+    fn barriers_fence_cancellation() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).barrier().h(0);
+        let (opt, stats) = optimize(&qc);
+        assert_eq!(opt.len(), 3, "H|barrier|H must survive");
+        assert_eq!(stats.total_removed(), 0);
+    }
+
+    #[test]
+    fn measurement_fences_cancellation() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.add_creg("c", 1);
+        qc.x(0).measure(0, 0).x(0);
+        let (opt, _) = optimize(&qc);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn swap_pairs_cancel() {
+        let mut qc = QuantumCircuit::new(3);
+        qc.swap(0, 2).swap(2, 0).swap(0, 1);
+        let (opt, stats) = optimize(&qc);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(stats.cancelled_gates, 2);
+    }
+
+    #[test]
+    fn cascades_collapse_to_fixed_point() {
+        // h x x h — the inner pair cancels, then the outer pair.
+        let mut qc = QuantumCircuit::new(1);
+        qc.h(0).x(0).x(0).h(0);
+        let (opt, stats) = optimize(&qc);
+        assert!(opt.is_empty());
+        assert!(stats.passes >= 2);
+    }
+
+    #[test]
+    fn cregs_preserved() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.add_creg("c", 1);
+        qc.h(0);
+        let (opt, _) = optimize(&qc);
+        assert_eq!(opt.num_clbits(), 1);
+    }
+}

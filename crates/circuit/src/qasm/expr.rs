@@ -1,0 +1,111 @@
+//! Parameter-expression AST and evaluation.
+
+use crate::error::CircuitError;
+use std::collections::HashMap;
+
+/// A parameter expression appearing in gate arguments.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Expr {
+    Num(f64),
+    Pi,
+    Param(String),
+    Neg(Box<Expr>),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Pow(Box<Expr>, Box<Expr>),
+    Call(String, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression with the given parameter bindings.
+    pub(crate) fn eval(
+        &self,
+        bindings: &HashMap<String, f64>,
+        line: usize,
+    ) -> Result<f64, CircuitError> {
+        Ok(match self {
+            Expr::Num(v) => *v,
+            Expr::Pi => std::f64::consts::PI,
+            Expr::Param(name) => *bindings.get(name).ok_or_else(|| {
+                CircuitError::parse(line, format!("unknown parameter `{name}`"))
+            })?,
+            Expr::Neg(e) => -e.eval(bindings, line)?,
+            Expr::Add(a, b) => a.eval(bindings, line)? + b.eval(bindings, line)?,
+            Expr::Sub(a, b) => a.eval(bindings, line)? - b.eval(bindings, line)?,
+            Expr::Mul(a, b) => a.eval(bindings, line)? * b.eval(bindings, line)?,
+            Expr::Div(a, b) => {
+                let d = b.eval(bindings, line)?;
+                if d == 0.0 {
+                    return Err(CircuitError::parse(line, "division by zero in parameter"));
+                }
+                a.eval(bindings, line)? / d
+            }
+            Expr::Pow(a, b) => a.eval(bindings, line)?.powf(b.eval(bindings, line)?),
+            Expr::Call(func, arg) => {
+                let v = arg.eval(bindings, line)?;
+                match func.as_str() {
+                    "sin" => v.sin(),
+                    "cos" => v.cos(),
+                    "tan" => v.tan(),
+                    "exp" => v.exp(),
+                    "ln" => v.ln(),
+                    "sqrt" => v.sqrt(),
+                    other => {
+                        return Err(CircuitError::parse(
+                            line,
+                            format!("unknown function `{other}`"),
+                        ))
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(e: &Expr) -> f64 {
+        e.eval(&HashMap::new(), 1).unwrap()
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Add(
+            Box::new(Expr::Mul(Box::new(Expr::Num(2.0)), Box::new(Expr::Pi))),
+            Box::new(Expr::Neg(Box::new(Expr::Num(1.0)))),
+        );
+        assert!((eval(&e) - (2.0 * std::f64::consts::PI - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn functions() {
+        let e = Expr::Call("cos".into(), Box::new(Expr::Num(0.0)));
+        assert!((eval(&e) - 1.0).abs() < 1e-12);
+        let e = Expr::Call("sqrt".into(), Box::new(Expr::Num(4.0)));
+        assert!((eval(&e) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameters_resolve() {
+        let mut b = HashMap::new();
+        b.insert("theta".to_string(), 0.5);
+        let e = Expr::Div(Box::new(Expr::Param("theta".into())), Box::new(Expr::Num(2.0)));
+        assert!((e.eval(&b, 1).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_parameter_errors() {
+        let e = Expr::Param("mystery".into());
+        assert!(e.eval(&HashMap::new(), 7).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::Div(Box::new(Expr::Num(1.0)), Box::new(Expr::Num(0.0)));
+        assert!(e.eval(&HashMap::new(), 1).is_err());
+    }
+}

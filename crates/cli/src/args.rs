@@ -1,0 +1,144 @@
+//! Minimal flag parser shared by the subcommands.
+
+use std::collections::HashMap;
+
+/// Parsed positional arguments and `--flag [value]` options.
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, Option<String>>,
+}
+
+/// Flags that take a value (everything else is boolean).
+const VALUE_FLAGS: &[&str] = &[
+    "--seed", "--shots", "--style", "--svg", "--dot", "--html", "--strategy",
+    "--stimuli", "-o", "--threshold",
+];
+
+impl Args {
+    /// Splits `argv` into positionals and flags.
+    ///
+    /// # Errors
+    ///
+    /// Reports unknown flags and missing flag values.
+    pub fn parse(argv: &[String], known_flags: &[&str]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let token = &argv[i];
+            if token.starts_with('-') && token != "-" {
+                if !known_flags.contains(&token.as_str()) {
+                    return Err(format!("unknown option `{token}`"));
+                }
+                if VALUE_FLAGS.contains(&token.as_str()) {
+                    let value = argv.get(i + 1).ok_or_else(|| {
+                        format!("option `{token}` needs a value")
+                    })?;
+                    flags.insert(token.clone(), Some(value.clone()));
+                    i += 2;
+                } else {
+                    flags.insert(token.clone(), None);
+                    i += 1;
+                }
+            } else {
+                positional.push(token.clone());
+                i += 1;
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    /// `true` if the boolean flag was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// The value of a value-flag, if present.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.as_deref())
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Reports unparsable numbers.
+    pub fn number<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(text) => text
+                .parse()
+                .map_err(|_| format!("option `{flag}`: cannot parse `{text}`")),
+        }
+    }
+}
+
+/// Resolves a `--style` name.
+pub fn parse_style(name: Option<&str>) -> Result<qdd_viz::VizStyle, String> {
+    match name.unwrap_or("classic") {
+        "classic" => Ok(qdd_viz::VizStyle::classic()),
+        "colored" => Ok(qdd_viz::VizStyle::colored()),
+        "modern" => Ok(qdd_viz::VizStyle::modern()),
+        other => Err(format!(
+            "unknown style `{other}` (expected classic, colored, or modern)"
+        )),
+    }
+}
+
+/// Resolves a `--strategy` name.
+pub fn parse_strategy(name: Option<&str>) -> Result<qdd_verify::Strategy, String> {
+    use qdd_verify::Strategy;
+    match name.unwrap_or("proportional") {
+        "construction" => Ok(Strategy::Construction),
+        "one-to-one" => Ok(Strategy::OneToOne),
+        "proportional" => Ok(Strategy::Proportional),
+        "barrier-guided" => Ok(Strategy::BarrierGuided),
+        "lookahead" => Ok(Strategy::Lookahead),
+        other => Err(format!(
+            "unknown strategy `{other}` (expected construction, one-to-one, \
+             proportional, barrier-guided, or lookahead)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_flags_split() {
+        let a = Args::parse(
+            &argv(&["file.qasm", "--seed", "7", "--state"]),
+            &["--seed", "--state"],
+        )
+        .unwrap();
+        assert_eq!(a.positional, vec!["file.qasm"]);
+        assert_eq!(a.value("--seed"), Some("7"));
+        assert!(a.has("--state"));
+        assert_eq!(a.number("--seed", 0u64).unwrap(), 7);
+        assert_eq!(a.number("--shots", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Args::parse(&argv(&["--bogus"]), &["--seed"]).is_err());
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert!(Args::parse(&argv(&["--seed"]), &["--seed"]).is_err());
+    }
+
+    #[test]
+    fn style_and_strategy_names() {
+        assert!(parse_style(Some("colored")).is_ok());
+        assert!(parse_style(Some("neon")).is_err());
+        assert!(parse_strategy(None).is_ok());
+        assert!(parse_strategy(Some("lookahead")).is_ok());
+        assert!(parse_strategy(Some("psychic")).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! `qdd circuit` — inspect a circuit file as ASCII art with statistics.
+
+use crate::args::Args;
+use crate::load::load_circuit;
+
+pub const HELP: &str = "\
+qdd circuit <file.{qasm,real}> [--optimize]
+
+Prints the circuit as ASCII art (most significant qubit on top, like the
+paper's figures) with operation statistics.
+
+OPTIONS:
+  --optimize   run the peephole optimizer first and report what it removed";
+
+const FLAGS: &[&str] = &["--optimize"];
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, FLAGS)?;
+    let [path] = args.positional.as_slice() else {
+        return Err(format!("expected exactly one circuit file\n\n{HELP}"));
+    };
+    let mut circuit = load_circuit(path)?;
+    if args.has("--optimize") {
+        let (optimized, stats) = qdd_circuit::optimize::optimize(&circuit);
+        println!(
+            "optimizer: removed {} operations ({} cancelled, {} merged, {} identities) in {} passes",
+            stats.total_removed(),
+            stats.cancelled_gates,
+            stats.merged_phases,
+            stats.dropped_identities,
+            stats.passes
+        );
+        circuit = optimized;
+    }
+    println!(
+        "{}: {} qubits, {} operations ({} gates), depth {}",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.gate_count(),
+        circuit.depth()
+    );
+    print!("{}", qdd_viz::text::circuit_to_text(&circuit));
+    Ok(())
+}

@@ -1,0 +1,6 @@
+//! Subcommand implementations.
+
+pub mod circuit;
+pub mod render;
+pub mod simulate;
+pub mod verify;

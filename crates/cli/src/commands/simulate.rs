@@ -1,0 +1,123 @@
+//! `qdd simulate` — run a circuit, print the resulting state, sample it,
+//! and optionally export the diagram.
+
+use crate::args::{parse_style, Args};
+use crate::load::load_circuit;
+
+pub const HELP: &str = "\
+qdd simulate <file.{qasm,real}> [options]
+
+Runs the circuit from |0…0⟩ on decision diagrams. Measurements and resets
+use seeded randomness; classically-controlled gates consult the recorded
+bits.
+
+OPTIONS:
+  --seed N          RNG seed for measurements/sampling (default 1)
+  --shots N         sample N basis states from the final state (default 0)
+  --state           print the amplitude table of the final state
+  --threshold P     hide amplitudes below probability P (default 1e-9)
+  --svg PATH        write the final diagram as SVG
+  --dot PATH        write the final diagram as Graphviz DOT
+  --html PATH       write a step-by-step HTML explorer of the whole run
+  --style STYLE     classic | colored | modern  (default classic)";
+
+const FLAGS: &[&str] = &[
+    "--seed", "--shots", "--state", "--threshold", "--svg", "--dot", "--html", "--style",
+];
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, FLAGS)?;
+    let [path] = args.positional.as_slice() else {
+        return Err(format!("expected exactly one circuit file\n\n{HELP}"));
+    };
+    let circuit = load_circuit(path)?;
+    let seed: u64 = args.number("--seed", 1)?;
+    let shots: u64 = args.number("--shots", 0)?;
+    let threshold: f64 = args.number("--threshold", 1e-9)?;
+    let style = parse_style(args.value("--style"))?;
+
+    println!(
+        "{}: {} qubits, {} operations, depth {}",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.depth()
+    );
+
+    // The HTML explorer needs per-step frames; plain runs use the batch
+    // simulator.
+    if let Some(html_path) = args.value("--html") {
+        let mut explorer = qdd_viz::SimulationExplorer::new(circuit.clone(), style);
+        // Resolve dialogs with seeded randomness, like the batch simulator.
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+        loop {
+            match explorer.step_forward().map_err(|e| e.to_string())? {
+                qdd_sim::StepOutcome::AtEnd => break,
+                qdd_sim::StepOutcome::NeedsChoice(p) => {
+                    let outcome = qdd_core::MeasurementOutcome::from(
+                        rand::Rng::gen::<f64>(&mut rng) < p.p1,
+                    );
+                    explorer.choose(outcome).map_err(|e| e.to_string())?;
+                }
+                qdd_sim::StepOutcome::Applied { .. } => {}
+            }
+        }
+        qdd_viz::html::write_explorer(
+            std::path::Path::new(html_path),
+            &format!("qdd — {}", circuit.name()),
+            explorer.frames(),
+        )
+        .map_err(|e| format!("writing `{html_path}`: {e}"))?;
+        println!("wrote {} frames to {html_path}", explorer.frames().len());
+    }
+
+    let mut sim = qdd_sim::DdSimulator::with_seed(circuit.clone(), seed);
+    sim.run().map_err(|e| e.to_string())?;
+    println!(
+        "final diagram: {} nodes (peak {} during the run)",
+        sim.node_count(),
+        sim.stats().peak_nodes
+    );
+    if !sim.classical_bits().is_empty() {
+        let bits: String = sim
+            .classical_bits()
+            .iter()
+            .rev()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect();
+        println!("classical bits: {bits}");
+    }
+
+    if args.has("--state") {
+        print!(
+            "{}",
+            qdd_viz::text::state_table(sim.package(), sim.state(), circuit.num_qubits(), threshold)
+        );
+    }
+
+    if shots > 0 {
+        let counts = sim.sample(shots);
+        let mut entries: Vec<_> = counts.into_iter().collect();
+        entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        println!("{shots} shots:");
+        let n = circuit.num_qubits();
+        for (basis, count) in entries.iter().take(16) {
+            println!("  |{basis:0n$b}⟩ : {count}");
+        }
+        if entries.len() > 16 {
+            println!("  … {} more outcomes", entries.len() - 16);
+        }
+    }
+
+    if let Some(svg_path) = args.value("--svg") {
+        let svg = qdd_viz::svg::vector_to_svg(sim.package(), sim.state(), &style);
+        std::fs::write(svg_path, svg).map_err(|e| format!("writing `{svg_path}`: {e}"))?;
+        println!("wrote {svg_path}");
+    }
+    if let Some(dot_path) = args.value("--dot") {
+        let dot = qdd_viz::dot::vector_to_dot(sim.package(), sim.state(), &style);
+        std::fs::write(dot_path, dot).map_err(|e| format!("writing `{dot_path}`: {e}"))?;
+        println!("wrote {dot_path}");
+    }
+    Ok(())
+}

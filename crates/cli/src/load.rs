@@ -1,0 +1,78 @@
+//! Circuit loading by file extension — the tool's drag-and-drop accepts
+//! `.qasm` and `.real` (paper §IV-B); so do we.
+
+use qdd_circuit::QuantumCircuit;
+use std::path::Path;
+
+/// Loads a circuit from a `.qasm` or `.real` file.
+///
+/// # Errors
+///
+/// Reports I/O failures, unknown extensions, and parse errors with their
+/// source line.
+pub fn load_circuit(path: &str) -> Result<QuantumCircuit, String> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    let mut circuit = match ext {
+        "qasm" => qdd_circuit::qasm::parse(&source).map_err(|e| format!("{path}: {e}"))?,
+        "real" => qdd_circuit::real::parse(&source).map_err(|e| format!("{path}: {e}"))?,
+        other => {
+            return Err(format!(
+                "`{path}`: unsupported extension `.{other}` (expected .qasm or .real)"
+            ))
+        }
+    };
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    circuit.set_name(stem);
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("qdd_cli_{}_{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn loads_qasm() {
+        let p = write_temp("a.qasm", "OPENQASM 2.0; qreg q[2]; h q[1]; cx q[1],q[0];");
+        let qc = load_circuit(p.to_str().unwrap()).unwrap();
+        assert_eq!(qc.num_qubits(), 2);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn loads_real() {
+        let p = write_temp("b.real", ".numvars 2\n.begin\nt2 x1 x2\n.end\n");
+        let qc = load_circuit(p.to_str().unwrap()).unwrap();
+        assert_eq!(qc.num_qubits(), 2);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_extension() {
+        let p = write_temp("c.txt", "hello");
+        assert!(load_circuit(p.to_str().unwrap())
+            .unwrap_err()
+            .contains("unsupported extension"));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn reports_missing_file() {
+        assert!(load_circuit("/definitely/not/here.qasm")
+            .unwrap_err()
+            .contains("cannot read"));
+    }
+}

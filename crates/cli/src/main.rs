@@ -1,0 +1,63 @@
+//! `qdd` — the paper's decision-diagram tool as a command-line interface.
+//!
+//! ```text
+//! qdd simulate <file.{qasm,real}> [--seed N] [--shots N] [--state]
+//!              [--svg PATH] [--dot PATH] [--html PATH] [--style STYLE]
+//! qdd verify   <left> <right> [--strategy STRATEGY] [--stimuli N]
+//! qdd render   <file> [--matrix] [--style STYLE] -o OUT.{svg,dot,json,html}
+//! qdd circuit  <file> [--optimize]
+//! ```
+//!
+//! Argument parsing is hand-rolled (the surface is four subcommands and a
+//! dozen flags; a parser dependency isn't warranted — see DESIGN.md).
+
+mod args;
+mod commands;
+mod load;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qdd — decision diagrams for quantum computing
+
+USAGE:
+  qdd simulate <file.{qasm,real}> [options]   run a circuit on decision diagrams
+  qdd verify   <left> <right> [options]       check two circuits for equivalence
+  qdd render   <file> [options]               export a diagram (svg/dot/json/html)
+  qdd circuit  <file> [--optimize]            show the circuit as ASCII art + stats
+  qdd help [command]                          this message / command details
+
+Run `qdd help <command>` for per-command options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let result = match command.as_str() {
+        "simulate" => commands::simulate::run(rest),
+        "verify" => commands::verify::run(rest),
+        "render" => commands::render::run(rest),
+        "circuit" => commands::circuit::run(rest),
+        "help" | "--help" | "-h" => {
+            match rest.first().map(String::as_str) {
+                Some("simulate") => println!("{}", commands::simulate::HELP),
+                Some("verify") => println!("{}", commands::verify::HELP),
+                Some("render") => println!("{}", commands::render::HELP),
+                Some("circuit") => println!("{}", commands::circuit::HELP),
+                _ => println!("{USAGE}"),
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

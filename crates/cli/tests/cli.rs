@@ -1,0 +1,170 @@
+//! End-to-end tests of the `qdd` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qdd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qdd"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_file(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("qdd_cli_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+fn bell_qasm() -> PathBuf {
+    temp_file(
+        "bell.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\nh q[1];\ncx q[1],q[0];\n",
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = qdd(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["simulate", "verify", "render", "circuit"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = qdd(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = qdd(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn simulate_prints_state_and_shots() {
+    let file = bell_qasm();
+    let out = qdd(&[
+        "simulate",
+        file.to_str().unwrap(),
+        "--state",
+        "--shots",
+        "50",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2 qubits"));
+    assert!(text.contains("1/√2"), "{text}");
+    assert!(text.contains("50 shots:"));
+    std::fs::remove_file(file).ok();
+}
+
+#[test]
+fn simulate_writes_artifacts() {
+    let file = bell_qasm();
+    let svg = std::env::temp_dir().join(format!("qdd_cli_{}.svg", std::process::id()));
+    let html = std::env::temp_dir().join(format!("qdd_cli_{}.html", std::process::id()));
+    let out = qdd(&[
+        "simulate",
+        file.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+        "--html",
+        html.to_str().unwrap(),
+        "--style",
+        "colored",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+    assert!(std::fs::read_to_string(&html).unwrap().starts_with("<!DOCTYPE html>"));
+    std::fs::remove_file(file).ok();
+    std::fs::remove_file(svg).ok();
+    std::fs::remove_file(html).ok();
+}
+
+#[test]
+fn verify_equivalent_exits_zero() {
+    let a = temp_file("va.qasm", "OPENQASM 2.0; qreg q[1]; h q[0]; h q[0];");
+    let b = temp_file("vb.qasm", "OPENQASM 2.0; qreg q[1]; id q[0];");
+    let out = qdd(&["verify", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("equivalent"));
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn verify_inequivalent_exits_nonzero_with_witness() {
+    let a = temp_file("wa.qasm", "OPENQASM 2.0; qreg q[1]; x q[0];");
+    let b = temp_file("wb.qasm", "OPENQASM 2.0; qreg q[1]; h q[0];");
+    let out = qdd(&["verify", a.to_str().unwrap(), b.to_str().unwrap(), "--stimuli", "4"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("NOT equivalent"));
+    assert!(text.contains("counterexample"));
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn render_matrix_dot_and_json() {
+    let file = temp_file("r.qasm", "OPENQASM 2.0; qreg q[2]; h q[1]; cx q[1],q[0];");
+    for ext in ["dot", "json", "html", "svg"] {
+        let out_path = std::env::temp_dir().join(format!(
+            "qdd_cli_render_{}.{ext}",
+            std::process::id()
+        ));
+        let out = qdd(&[
+            "render",
+            file.to_str().unwrap(),
+            "--matrix",
+            "-o",
+            out_path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{ext}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(out_path.exists());
+        std::fs::remove_file(out_path).ok();
+    }
+    std::fs::remove_file(file).ok();
+}
+
+#[test]
+fn render_rejects_unknown_extension() {
+    let file = bell_qasm();
+    let out = qdd(&["render", file.to_str().unwrap(), "-o", "/tmp/x.png"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported output extension"));
+    std::fs::remove_file(file).ok();
+}
+
+#[test]
+fn circuit_ascii_art_and_optimize() {
+    let file = temp_file(
+        "opt.qasm",
+        "OPENQASM 2.0; qreg q[2]; h q[0]; h q[0]; t q[1]; t q[1]; cx q[0],q[1];",
+    );
+    let out = qdd(&["circuit", file.to_str().unwrap(), "--optimize"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("optimizer: removed"));
+    assert!(text.contains("q1:"));
+    assert!(text.contains("[s]"), "T·T merged into S: {text}");
+    std::fs::remove_file(file).ok();
+}
+
+#[test]
+fn real_files_load() {
+    let file = temp_file("t.real", ".numvars 2\n.begin\nt1 x1\nt2 x1 x2\n.end\n");
+    let out = qdd(&["simulate", file.to_str().unwrap(), "--state"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("|11⟩"));
+    std::fs::remove_file(file).ok();
+}

@@ -1,0 +1,433 @@
+//! A minimal, dependency-free complex number type.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// This is the scalar type underlying all decision-diagram edge weights and
+/// dense state vectors in the workspace. It deliberately mirrors the subset
+/// of `num_complex::Complex64` that quantum simulation needs, so no external
+/// dependency is required.
+///
+/// # Examples
+///
+/// ```
+/// use qdd_complex::Complex;
+///
+/// let i = Complex::I;
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// let h = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+/// assert!((h * h * 2.0 - Complex::ONE).abs() < 1e-15);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+    /// `1/√2`, the Hadamard amplitude.
+    pub const SQRT1_2: Complex = Complex {
+        re: std::f64::consts::FRAC_1_SQRT_2,
+        im: 0.0,
+    };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qdd_complex::Complex;
+    /// let v = Complex::from_polar(1.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((v - Complex::I).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Returns `e^{iθ}`, a unit-magnitude phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate `re - im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// The squared magnitude `re² + im²`.
+    ///
+    /// For a normalized quantum amplitude this is the measurement
+    /// probability of the associated basis state.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns `NaN` components when `self` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns `true` if both components are within `tol` of `other`'s.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` if the value is within `tol` of zero.
+    #[inline]
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.re.abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Returns `true` if the value is within `tol` of one.
+    #[inline]
+    pub fn is_one(self, tol: f64) -> bool {
+        (self.re - 1.0).abs() <= tol && self.im.abs() <= tol
+    }
+
+    /// Returns `true` if either component is NaN or infinite.
+    #[inline]
+    pub fn is_non_finite(self) -> bool {
+        !self.re.is_finite() || !self.im.is_finite()
+    }
+
+    /// Square root on the principal branch.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// A compact human-readable label, used for decision-diagram edge
+    /// annotations ("classic" visualization style).
+    ///
+    /// Recognizes a handful of amplitudes ubiquitous in quantum computing
+    /// (±1, ±i, ±1/√2, ±i/√2, ±½) and falls back to trimmed decimals.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qdd_complex::Complex;
+    /// assert_eq!(Complex::SQRT1_2.to_label(), "1/√2");
+    /// assert_eq!(Complex::new(0.0, -1.0).to_label(), "-i");
+    /// assert_eq!(Complex::new(0.25, 0.0).to_label(), "0.25");
+    /// ```
+    pub fn to_label(self) -> String {
+        const TOL: f64 = 1e-9;
+        const NAMED: &[(f64, &str, &str)] = &[
+            (1.0, "1", "i"),
+            (std::f64::consts::FRAC_1_SQRT_2, "1/√2", "i/√2"),
+            (0.5, "1/2", "i/2"),
+        ];
+        let fmt_part = |v: f64, one: &str| -> Option<String> {
+            if (v - 1.0).abs() <= TOL {
+                return Some(one.to_string());
+            }
+            if (v + 1.0).abs() <= TOL {
+                return Some(format!("-{one}"));
+            }
+            for &(mag, re_name, im_name) in NAMED {
+                let name = if one == "1" { re_name } else { im_name };
+                if (v - mag).abs() <= TOL {
+                    return Some(name.to_string());
+                }
+                if (v + mag).abs() <= TOL {
+                    return Some(format!("-{name}"));
+                }
+            }
+            None
+        };
+        let re_zero = self.re.abs() <= TOL;
+        let im_zero = self.im.abs() <= TOL;
+        match (re_zero, im_zero) {
+            (true, true) => "0".to_string(),
+            (false, true) => {
+                fmt_part(self.re, "1").unwrap_or_else(|| trim_decimal(self.re))
+            }
+            (true, false) => fmt_part(self.im, "i")
+                .unwrap_or_else(|| format!("{}i", trim_decimal(self.im))),
+            (false, false) => {
+                let re = fmt_part(self.re, "1").unwrap_or_else(|| trim_decimal(self.re));
+                let im_abs = self.im.abs();
+                let im = fmt_part(im_abs, "i")
+                    .unwrap_or_else(|| format!("{}i", trim_decimal(im_abs)));
+                let sign = if self.im < 0.0 { "-" } else { "+" };
+                format!("{re}{sign}{im}")
+            }
+        }
+    }
+}
+
+/// Formats an `f64` with four decimals and trimmed trailing zeros.
+fn trim_decimal(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im == 0.0 {
+            write!(f, "{}", self.re)
+        } else if self.re == 0.0 {
+            write!(f, "{}i", self.im)
+        } else if self.im < 0.0 {
+            write!(f, "{}{}i", self.re, self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex::real(re)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert!((z / z - Complex::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((Complex::I.arg() - FRAC_PI_2).abs() < 1e-15);
+        assert!((Complex::new(-1.0, 0.0).arg() - PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conjugate_multiplication_gives_norm() {
+        let z = Complex::new(1.5, 2.5);
+        let zz = z * z.conj();
+        assert!((zz.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(zz.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, FRAC_PI_4);
+        assert!((z.abs() - 2.0).abs() < 1e-15);
+        assert!((z.arg() - FRAC_PI_4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((Complex::cis(theta).abs() - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sqrt_of_i() {
+        // √i = (1+i)/√2, the ω = e^{iπ/4} of the paper's QFT matrix.
+        let s = Complex::I.sqrt();
+        let omega = Complex::cis(FRAC_PI_4);
+        assert!((s - omega).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_of_zero_is_nan() {
+        assert!(Complex::ZERO.inv().re.is_nan());
+    }
+
+    #[test]
+    fn labels_for_common_amplitudes() {
+        assert_eq!(Complex::ONE.to_label(), "1");
+        assert_eq!((-Complex::ONE).to_label(), "-1");
+        assert_eq!(Complex::I.to_label(), "i");
+        assert_eq!(Complex::ZERO.to_label(), "0");
+        assert_eq!(Complex::SQRT1_2.to_label(), "1/√2");
+        assert_eq!((-Complex::SQRT1_2).to_label(), "-1/√2");
+        assert_eq!(Complex::new(0.5, 0.5).to_label(), "1/2+i/2");
+        assert_eq!(Complex::new(0.0, -0.5).to_label(), "-i/2");
+        assert_eq!(Complex::new(0.1234, 0.0).to_label(), "0.1234");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Complex::new(1.0, 0.0).to_string(), "1");
+        assert_eq!(Complex::new(0.0, -2.0).to_string(), "-2i");
+        assert_eq!(Complex::new(1.0, 1.0).to_string(), "1+1i");
+        assert_eq!(Complex::new(1.0, -1.0).to_string(), "1-1i");
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let vals = [Complex::ONE, Complex::I, Complex::new(2.0, 0.0)];
+        let s: Complex = vals.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, 1.0));
+        let p: Complex = vals.iter().copied().product();
+        assert_eq!(p, Complex::new(0.0, 2.0));
+    }
+}

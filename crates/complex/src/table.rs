@@ -1,0 +1,390 @@
+//! Tolerance-based interning of complex edge weights.
+//!
+//! Every edge weight occurring in a decision diagram is stored exactly once
+//! in a [`ComplexTable`] and referred to by a compact [`ComplexIdx`] handle.
+//! Handle equality *is* value equality (up to the table's tolerance), which
+//! makes node hashing exact and decision diagrams canonical — the scheme of
+//! reference \[14\] of the reproduced paper.
+
+use crate::complex::Complex;
+use crate::hash::FxHashMap;
+use crate::DEFAULT_TOLERANCE;
+
+/// A stable handle to an interned complex value in a [`ComplexTable`].
+///
+/// Two handles from the same table are equal iff they denote the same
+/// (tolerance-collapsed) value; handles are meaningless across tables.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComplexIdx(u32);
+
+/// The handle of the interned value `0`, identical in every table.
+pub const C_ZERO: ComplexIdx = ComplexIdx(0);
+/// The handle of the interned value `1`, identical in every table.
+pub const C_ONE: ComplexIdx = ComplexIdx(1);
+
+impl ComplexIdx {
+    /// Returns the raw table slot, mainly useful for diagnostics.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` if this is the interned zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self == C_ZERO
+    }
+
+    /// Returns `true` if this is the interned one.
+    #[inline]
+    pub fn is_one(self) -> bool {
+        self == C_ONE
+    }
+}
+
+/// Aggregate statistics of a [`ComplexTable`], for diagnostics and the
+/// ablation experiments.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComplexTableStats {
+    /// Number of distinct interned values.
+    pub entries: usize,
+    /// Total `lookup` calls.
+    pub lookups: u64,
+    /// Lookups answered by an existing entry.
+    pub hits: u64,
+}
+
+/// An interning table for complex numbers with tolerance-bucketed lookup.
+///
+/// Values are quantized onto a grid of cell size equal to the tolerance;
+/// a lookup probes the value's cell and the eight neighbouring cells, so any
+/// stored value within the tolerance ball is found. Slots `0` and `1` are
+/// pre-seeded with the constants `0` and `1` ([`C_ZERO`], [`C_ONE`]).
+///
+/// # Examples
+///
+/// ```
+/// use qdd_complex::{Complex, ComplexTable, C_ONE, C_ZERO};
+///
+/// let mut t = ComplexTable::new();
+/// assert_eq!(t.lookup(Complex::ZERO), C_ZERO);
+/// assert_eq!(t.lookup(Complex::ONE), C_ONE);
+/// let a = t.lookup(Complex::new(0.25, 0.75));
+/// assert_eq!(t.lookup(Complex::new(0.25, 0.75)), a);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ComplexTable {
+    values: Vec<Complex>,
+    buckets: FxHashMap<(i64, i64), Vec<u32>>,
+    tolerance: f64,
+    lookups: u64,
+    hits: u64,
+}
+
+impl ComplexTable {
+    /// Creates a table with the [`DEFAULT_TOLERANCE`].
+    pub fn new() -> Self {
+        Self::with_tolerance(DEFAULT_TOLERANCE)
+    }
+
+    /// Creates a table collapsing values within `tolerance` of each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not finite and positive.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "tolerance must be finite and positive"
+        );
+        let mut table = ComplexTable {
+            values: Vec::with_capacity(64),
+            buckets: FxHashMap::default(),
+            tolerance,
+            lookups: 0,
+            hits: 0,
+        };
+        // Seed the two ubiquitous constants at fixed slots.
+        let zero = table.insert(Complex::ZERO);
+        let one = table.insert(Complex::ONE);
+        debug_assert_eq!(zero, C_ZERO);
+        debug_assert_eq!(one, C_ONE);
+        table
+    }
+
+    /// The interning tolerance.
+    #[inline]
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// The number of distinct interned values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the table holds only the seeded constants.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.len() <= 2
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ComplexTableStats {
+        ComplexTableStats {
+            entries: self.values.len(),
+            lookups: self.lookups,
+            hits: self.hits,
+        }
+    }
+
+    /// Returns the value behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` did not come from this table.
+    #[inline]
+    pub fn value(&self, idx: ComplexIdx) -> Complex {
+        self.values[idx.0 as usize]
+    }
+
+    fn cell(&self, v: Complex) -> (i64, i64) {
+        (
+            (v.re / self.tolerance).round() as i64,
+            (v.im / self.tolerance).round() as i64,
+        )
+    }
+
+    fn insert(&mut self, v: Complex) -> ComplexIdx {
+        let idx = self.values.len() as u32;
+        self.values.push(v);
+        let cell = self.cell(v);
+        self.buckets.entry(cell).or_default().push(idx);
+        ComplexIdx(idx)
+    }
+
+    /// Interns `v`, returning the handle of an existing value within
+    /// tolerance if there is one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has a NaN or infinite component — such weights indicate
+    /// a bug upstream (e.g. normalizing an all-zero node) and must never be
+    /// interned.
+    pub fn lookup(&mut self, v: Complex) -> ComplexIdx {
+        assert!(
+            !v.is_non_finite(),
+            "cannot intern non-finite complex value {v:?}"
+        );
+        self.lookups += 1;
+        // Fast paths for the seeded constants.
+        if v.is_zero(self.tolerance) {
+            self.hits += 1;
+            return C_ZERO;
+        }
+        if v.is_one(self.tolerance) {
+            self.hits += 1;
+            return C_ONE;
+        }
+        let (cr, ci) = self.cell(v);
+        for dr in -1..=1 {
+            for di in -1..=1 {
+                if let Some(bucket) = self.buckets.get(&(cr + dr, ci + di)) {
+                    for &slot in bucket {
+                        if self.values[slot as usize].approx_eq(v, self.tolerance) {
+                            self.hits += 1;
+                            return ComplexIdx(slot);
+                        }
+                    }
+                }
+            }
+        }
+        self.insert(v)
+    }
+
+    /// Interns the product of two handles.
+    pub fn mul(&mut self, a: ComplexIdx, b: ComplexIdx) -> ComplexIdx {
+        if a.is_zero() || b.is_zero() {
+            return C_ZERO;
+        }
+        if a.is_one() {
+            return b;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let v = self.value(a) * self.value(b);
+        self.lookup(v)
+    }
+
+    /// Interns the sum of two handles.
+    pub fn add(&mut self, a: ComplexIdx, b: ComplexIdx) -> ComplexIdx {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let v = self.value(a) + self.value(b);
+        self.lookup(v)
+    }
+
+    /// Interns the quotient `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is the interned zero.
+    pub fn div(&mut self, a: ComplexIdx, b: ComplexIdx) -> ComplexIdx {
+        assert!(!b.is_zero(), "division by interned zero");
+        if a.is_zero() {
+            return C_ZERO;
+        }
+        if b.is_one() {
+            return a;
+        }
+        let v = self.value(a) / self.value(b);
+        self.lookup(v)
+    }
+
+    /// Interns the negation of a handle.
+    pub fn neg(&mut self, a: ComplexIdx) -> ComplexIdx {
+        if a.is_zero() {
+            return C_ZERO;
+        }
+        let v = -self.value(a);
+        self.lookup(v)
+    }
+
+    /// Interns the complex conjugate of a handle.
+    pub fn conj(&mut self, a: ComplexIdx) -> ComplexIdx {
+        let v = self.value(a);
+        if v.im == 0.0 {
+            return a;
+        }
+        self.lookup(v.conj())
+    }
+
+    /// Returns `true` if the two handles denote values within tolerance.
+    ///
+    /// Because interning already collapses such values, this is simply
+    /// handle equality — exposed as a named method for readability at call
+    /// sites that check canonicity.
+    #[inline]
+    pub fn approx_equal(&self, a: ComplexIdx, b: ComplexIdx) -> bool {
+        a == b
+    }
+}
+
+impl Default for ComplexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_zero_and_one() {
+        let mut t = ComplexTable::new();
+        assert_eq!(t.lookup(Complex::ZERO), C_ZERO);
+        assert_eq!(t.lookup(Complex::ONE), C_ONE);
+        assert_eq!(t.value(C_ZERO), Complex::ZERO);
+        assert_eq!(t.value(C_ONE), Complex::ONE);
+    }
+
+    #[test]
+    fn collapses_values_within_tolerance() {
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        let a = t.lookup(Complex::new(0.3, 0.4));
+        let b = t.lookup(Complex::new(0.3 + 4e-11, 0.4 - 4e-11));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn distinguishes_values_beyond_tolerance() {
+        let mut t = ComplexTable::with_tolerance(1e-10);
+        let a = t.lookup(Complex::new(0.3, 0.4));
+        let b = t.lookup(Complex::new(0.3 + 1e-6, 0.4));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn near_zero_and_near_one_snap_to_constants() {
+        let mut t = ComplexTable::new();
+        assert_eq!(t.lookup(Complex::new(1e-14, -1e-14)), C_ZERO);
+        assert_eq!(t.lookup(Complex::new(1.0 + 1e-14, 1e-14)), C_ONE);
+    }
+
+    #[test]
+    fn arithmetic_shortcuts() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.5, 0.5));
+        assert_eq!(t.mul(a, C_ZERO), C_ZERO);
+        assert_eq!(t.mul(a, C_ONE), a);
+        assert_eq!(t.add(a, C_ZERO), a);
+        assert_eq!(t.div(a, C_ONE), a);
+        assert_eq!(t.neg(C_ZERO), C_ZERO);
+    }
+
+    #[test]
+    fn mul_and_div_are_inverse() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.6, -0.8));
+        let b = t.lookup(Complex::new(0.1, 0.2));
+        let prod = t.mul(a, b);
+        assert_eq!(t.div(prod, b), a);
+    }
+
+    #[test]
+    fn conj_of_real_is_identity_handle() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.7, 0.0));
+        assert_eq!(t.conj(a), a);
+        let b = t.lookup(Complex::new(0.0, 0.7));
+        let bc = t.conj(b);
+        assert_eq!(t.value(bc), Complex::new(0.0, -0.7));
+    }
+
+    #[test]
+    fn stats_track_hits() {
+        let mut t = ComplexTable::new();
+        let v = Complex::new(0.33, 0.44);
+        t.lookup(v);
+        t.lookup(v);
+        let s = t.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let mut t = ComplexTable::new();
+        t.lookup(Complex::new(f64::NAN, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by interned zero")]
+    fn rejects_division_by_zero_handle() {
+        let mut t = ComplexTable::new();
+        let a = t.lookup(Complex::new(0.5, 0.0));
+        t.div(a, C_ZERO);
+    }
+
+    #[test]
+    fn boundary_values_across_grid_cells_collapse() {
+        // Two values straddling a grid-cell boundary but within tolerance
+        // must still collapse (exercises the neighbour probing).
+        let tol = 1e-10;
+        let mut t = ComplexTable::with_tolerance(tol);
+        let base = 0.25 + tol * 0.49;
+        let a = t.lookup(Complex::new(base, 0.5));
+        let b = t.lookup(Complex::new(base + tol * 0.9, 0.5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,174 @@
+//! Compute tables (operation caches).
+//!
+//! Real decision-diagram packages memoize recursive operation results so
+//! repeated sub-computations are answered in O(1) (paper footnote 4). Keys
+//! are canonical operand node ids (weights are factored out by the callers,
+//! so cached entries are scale-invariant and hit rates stay high).
+
+use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
+use qdd_complex::{ComplexIdx, FxHashMap};
+use std::hash::Hash;
+
+/// A single memoization map with hit statistics.
+#[derive(Clone, Debug)]
+pub(crate) struct Cache<K, V> {
+    map: FxHashMap<K, V>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl<K: Eq + Hash, V: Copy> Cache<K, V> {
+    pub(crate) fn new() -> Self {
+        Cache {
+            map: FxHashMap::default(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        self.lookups += 1;
+        let hit = self.map.get(key).copied();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    pub(crate) fn insert(&mut self, key: K, value: V) {
+        self.map.insert(key, value);
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub(crate) fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+/// All operation caches of a package.
+#[derive(Clone, Debug)]
+pub(crate) struct ComputeTables {
+    /// `add(x, y·β)` for unit-weight `x`: key `(x, y, β)`.
+    pub add_vec: Cache<(VNodeId, VNodeId, ComplexIdx), VecEdge>,
+    /// Matrix addition, same keying as `add_vec`.
+    pub add_mat: Cache<(MNodeId, MNodeId, ComplexIdx), MatEdge>,
+    /// `M · v` for unit-weight operands.
+    pub mat_vec: Cache<(MNodeId, VNodeId), VecEdge>,
+    /// `A · B` for unit-weight operands.
+    pub mat_mat: Cache<(MNodeId, MNodeId), MatEdge>,
+    /// `a ⊗ b` for unit-weight operands.
+    pub kron_vec: Cache<(VNodeId, VNodeId), VecEdge>,
+    /// `A ⊗ B` for unit-weight operands.
+    pub kron_mat: Cache<(MNodeId, MNodeId), MatEdge>,
+    /// Conjugate transpose of a unit-weight matrix node.
+    pub adjoint: Cache<MNodeId, MatEdge>,
+    /// `⟨a|b⟩` for unit-weight operands.
+    pub inner: Cache<(VNodeId, VNodeId), ComplexIdx>,
+    /// Probability of measuring `1` on a qubit below a unit-weight node.
+    pub prob_one: Cache<(VNodeId, Qubit), f64>,
+}
+
+impl ComputeTables {
+    pub(crate) fn new() -> Self {
+        ComputeTables {
+            add_vec: Cache::new(),
+            add_mat: Cache::new(),
+            mat_vec: Cache::new(),
+            mat_mat: Cache::new(),
+            kron_vec: Cache::new(),
+            kron_mat: Cache::new(),
+            adjoint: Cache::new(),
+            inner: Cache::new(),
+            prob_one: Cache::new(),
+        }
+    }
+
+    /// Drops every cached entry (mandatory after garbage collection, since
+    /// keys refer to node ids that may have been freed).
+    pub(crate) fn clear(&mut self) {
+        self.add_vec.clear();
+        self.add_mat.clear();
+        self.mat_vec.clear();
+        self.mat_mat.clear();
+        self.kron_vec.clear();
+        self.kron_mat.clear();
+        self.adjoint.clear();
+        self.inner.clear();
+        self.prob_one.clear();
+    }
+
+    pub(crate) fn total_lookups(&self) -> u64 {
+        self.add_vec.lookups()
+            + self.add_mat.lookups()
+            + self.mat_vec.lookups()
+            + self.mat_mat.lookups()
+            + self.kron_vec.lookups()
+            + self.kron_mat.lookups()
+            + self.adjoint.lookups()
+            + self.inner.lookups()
+            + self.prob_one.lookups()
+    }
+
+    pub(crate) fn total_hits(&self) -> u64 {
+        self.add_vec.hits()
+            + self.add_mat.hits()
+            + self.mat_vec.hits()
+            + self.mat_mat.hits()
+            + self.kron_vec.hits()
+            + self.kron_mat.hits()
+            + self.adjoint.hits()
+            + self.inner.hits()
+            + self.prob_one.hits()
+    }
+
+    pub(crate) fn total_entries(&self) -> usize {
+        self.add_vec.len()
+            + self.add_mat.len()
+            + self.mat_vec.len()
+            + self.mat_mat.len()
+            + self.kron_vec.len()
+            + self.kron_mat.len()
+            + self.adjoint.len()
+            + self.inner.len()
+            + self.prob_one.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut c: Cache<u32, u32> = Cache::new();
+        assert_eq!(c.get(&1), None);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.lookups(), 2);
+        assert_eq!(c.hits(), 1);
+        c.clear();
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn compute_tables_clear_all() {
+        let mut t = ComputeTables::new();
+        t.mat_vec
+            .insert((MNodeId::from_index(0), VNodeId::from_index(0)), VecEdge::ZERO);
+        assert_eq!(t.total_entries(), 1);
+        t.clear();
+        assert_eq!(t.total_entries(), 0);
+    }
+}

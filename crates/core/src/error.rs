@@ -1,0 +1,118 @@
+//! Error type for fallible package operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the public, user-input-driven package API.
+///
+/// Internal invariant violations (malformed diagrams produced by the package
+/// itself) are bugs and panic instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DdError {
+    /// Requested qubit count exceeds [`MAX_QUBITS`](crate::MAX_QUBITS) or is zero.
+    QubitCountOutOfRange {
+        /// The rejected count.
+        requested: usize,
+    },
+    /// A qubit index was not below the declared register size.
+    QubitIndexOutOfRange {
+        /// The rejected index.
+        qubit: usize,
+        /// The register size.
+        num_qubits: usize,
+    },
+    /// A control qubit coincided with the gate target.
+    ControlOnTarget {
+        /// The offending qubit.
+        qubit: usize,
+    },
+    /// The same qubit appeared twice in a control list.
+    DuplicateControl {
+        /// The offending qubit.
+        qubit: usize,
+    },
+    /// An amplitude slice whose length is not a power of two.
+    AmplitudesNotPowerOfTwo {
+        /// The rejected length.
+        len: usize,
+    },
+    /// A state vector with (near-)zero norm.
+    ZeroVector,
+    /// A gate matrix that is not unitary within tolerance.
+    NotUnitary,
+    /// A measurement/collapse on an outcome of probability ~0.
+    ImpossibleOutcome {
+        /// The qubit being measured.
+        qubit: usize,
+        /// The requested outcome.
+        outcome: bool,
+    },
+    /// Dense export requested for a register too large to materialize.
+    TooLargeForDense {
+        /// The register size.
+        num_qubits: usize,
+        /// The largest register `to_dense_*` accepts.
+        max: usize,
+    },
+}
+
+impl fmt::Display for DdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DdError::QubitCountOutOfRange { requested } => {
+                write!(f, "qubit count {requested} out of range 1..={}", crate::MAX_QUBITS)
+            }
+            DdError::QubitIndexOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit index {qubit} out of range for {num_qubits}-qubit register")
+            }
+            DdError::ControlOnTarget { qubit } => {
+                write!(f, "control qubit {qubit} coincides with gate target")
+            }
+            DdError::DuplicateControl { qubit } => {
+                write!(f, "qubit {qubit} appears twice in the control list")
+            }
+            DdError::AmplitudesNotPowerOfTwo { len } => {
+                write!(f, "amplitude vector length {len} is not a power of two")
+            }
+            DdError::ZeroVector => write!(f, "state vector has zero norm"),
+            DdError::NotUnitary => write!(f, "gate matrix is not unitary"),
+            DdError::ImpossibleOutcome { qubit, outcome } => {
+                write!(
+                    f,
+                    "qubit {qubit} has probability 0 of outcome |{}⟩",
+                    u8::from(*outcome)
+                )
+            }
+            DdError::TooLargeForDense { num_qubits, max } => {
+                write!(f, "dense export of {num_qubits} qubits exceeds the {max}-qubit limit")
+            }
+        }
+    }
+}
+
+impl Error for DdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = DdError::QubitIndexOutOfRange {
+            qubit: 5,
+            num_qubits: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "qubit index 5 out of range for 3-qubit register"
+        );
+        assert!(DdError::ZeroVector.to_string().contains("zero norm"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<DdError>();
+    }
+}

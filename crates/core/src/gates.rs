@@ -1,0 +1,261 @@
+//! Primitive 2×2 gate matrices and control specifications.
+//!
+//! The decision-diagram package constructs operator DDs from a local 2×2
+//! unitary plus a set of (possibly negative) controls; everything larger
+//! (SWAP, Toffoli beyond one target, …) is decomposed at the circuit level.
+//!
+//! # Examples
+//!
+//! ```
+//! use qdd_core::gates;
+//! let h = gates::H;
+//! assert!(gates::is_unitary(&h, 1e-12));
+//! let p = gates::phase(std::f64::consts::FRAC_PI_2);
+//! assert!(gates::approx_eq(&p, &gates::S, 1e-12));
+//! ```
+
+use qdd_complex::Complex;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A 2×2 complex matrix in row-major order: `m[i][j]` maps input `|j⟩` to
+/// output `|i⟩`.
+pub type GateMatrix = [[Complex; 2]; 2];
+
+/// Control polarity: apply the gate when the control qubit is `|1⟩`
+/// (positive, the paper's `•`) or `|0⟩` (negative, RevLib's `◦`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Polarity {
+    /// Gate fires when the control is `|1⟩`.
+    Positive,
+    /// Gate fires when the control is `|0⟩`.
+    Negative,
+}
+
+/// A control qubit with polarity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Control {
+    /// The controlling qubit.
+    pub qubit: usize,
+    /// When the control fires.
+    pub polarity: Polarity,
+}
+
+impl Control {
+    /// A positive (`•`) control on `qubit`.
+    #[inline]
+    pub fn pos(qubit: usize) -> Self {
+        Control {
+            qubit,
+            polarity: Polarity::Positive,
+        }
+    }
+
+    /// A negative (`◦`) control on `qubit`.
+    #[inline]
+    pub fn neg(qubit: usize) -> Self {
+        Control {
+            qubit,
+            polarity: Polarity::Negative,
+        }
+    }
+}
+
+const C0: Complex = Complex::ZERO;
+const C1: Complex = Complex::ONE;
+const CI: Complex = Complex::I;
+const CH: Complex = Complex::new(FRAC_1_SQRT_2, 0.0);
+
+/// The identity matrix `I₂`.
+pub const I: GateMatrix = [[C1, C0], [C0, C1]];
+
+/// The Hadamard gate (Fig. 1(a) of the paper).
+pub const H: GateMatrix = [[CH, CH], [CH, Complex::new(-FRAC_1_SQRT_2, 0.0)]];
+
+/// The Pauli-X (NOT) gate.
+pub const X: GateMatrix = [[C0, C1], [C1, C0]];
+
+/// The Pauli-Y gate.
+pub const Y: GateMatrix = [[C0, Complex::new(0.0, -1.0)], [CI, C0]];
+
+/// The Pauli-Z gate.
+pub const Z: GateMatrix = [[C1, C0], [C0, Complex::new(-1.0, 0.0)]];
+
+/// The S gate, `P(π/2)`.
+pub const S: GateMatrix = [[C1, C0], [C0, CI]];
+
+/// The S† gate, `P(-π/2)`.
+pub const SDG: GateMatrix = [[C1, C0], [C0, Complex::new(0.0, -1.0)]];
+
+/// The √X gate.
+pub const SX: GateMatrix = [
+    [Complex::new(0.5, 0.5), Complex::new(0.5, -0.5)],
+    [Complex::new(0.5, -0.5), Complex::new(0.5, 0.5)],
+];
+
+/// The T gate, `P(π/4)`.
+pub fn t() -> GateMatrix {
+    phase(std::f64::consts::FRAC_PI_4)
+}
+
+/// The T† gate, `P(-π/4)`.
+pub fn tdg() -> GateMatrix {
+    phase(-std::f64::consts::FRAC_PI_4)
+}
+
+/// The phase gate `P(θ) = diag(1, e^{iθ})` — the paper's `p(θ)` family
+/// (with `S = p(π/2)`, `T = p(π/4)`).
+pub fn phase(theta: f64) -> GateMatrix {
+    [[C1, C0], [C0, Complex::cis(theta)]]
+}
+
+/// Rotation about X: `RX(θ)`.
+pub fn rx(theta: f64) -> GateMatrix {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = Complex::new(0.0, -(theta / 2.0).sin());
+    [[c, s], [s, c]]
+}
+
+/// Rotation about Y: `RY(θ)`.
+pub fn ry(theta: f64) -> GateMatrix {
+    let c = Complex::real((theta / 2.0).cos());
+    let s = (theta / 2.0).sin();
+    [[c, Complex::real(-s)], [Complex::real(s), c]]
+}
+
+/// Rotation about Z: `RZ(θ) = diag(e^{-iθ/2}, e^{iθ/2})`.
+pub fn rz(theta: f64) -> GateMatrix {
+    [
+        [Complex::cis(-theta / 2.0), C0],
+        [C0, Complex::cis(theta / 2.0)],
+    ]
+}
+
+/// The generic single-qubit gate `U(θ, φ, λ)` of OpenQASM 2.
+pub fn u3(theta: f64, phi: f64, lambda: f64) -> GateMatrix {
+    let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+    [
+        [Complex::real(ct), Complex::cis(lambda) * (-st)],
+        [Complex::cis(phi) * st, Complex::cis(phi + lambda) * ct],
+    ]
+}
+
+/// The global-phase "gate" `e^{iθ}·I₂`, used to track global phase where a
+/// circuit format requires it.
+pub fn global_phase(theta: f64) -> GateMatrix {
+    let w = Complex::cis(theta);
+    [[w, C0], [C0, w]]
+}
+
+/// The adjoint (conjugate transpose) of a 2×2 matrix.
+pub fn adjoint(m: &GateMatrix) -> GateMatrix {
+    [
+        [m[0][0].conj(), m[1][0].conj()],
+        [m[0][1].conj(), m[1][1].conj()],
+    ]
+}
+
+/// The product `a · b` of two 2×2 matrices.
+pub fn matmul(a: &GateMatrix, b: &GateMatrix) -> GateMatrix {
+    let mut r = [[C0; 2]; 2];
+    for (i, row) in r.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    r
+}
+
+/// Checks `U†U ≈ I` within `tol`.
+pub fn is_unitary(m: &GateMatrix, tol: f64) -> bool {
+    let p = matmul(&adjoint(m), m);
+    approx_eq(&p, &I, tol)
+}
+
+/// Element-wise approximate equality of two 2×2 matrices.
+pub fn approx_eq(a: &GateMatrix, b: &GateMatrix, tol: f64) -> bool {
+    (0..2).all(|i| (0..2).all(|j| a[i][j].approx_eq(b[i][j], tol)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        for (name, m) in [
+            ("I", I),
+            ("H", H),
+            ("X", X),
+            ("Y", Y),
+            ("Z", Z),
+            ("S", S),
+            ("SDG", SDG),
+            ("SX", SX),
+            ("T", t()),
+            ("TDG", tdg()),
+            ("RX", rx(0.3)),
+            ("RY", ry(1.2)),
+            ("RZ", rz(2.1)),
+            ("U3", u3(0.4, 1.1, -0.7)),
+        ] {
+            assert!(is_unitary(&m, TOL), "{name} not unitary");
+        }
+    }
+
+    #[test]
+    fn hadamard_squares_to_identity() {
+        assert!(approx_eq(&matmul(&H, &H), &I, TOL));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        // XY = iZ
+        let xy = matmul(&X, &Y);
+        let iz = [[Complex::I, Complex::ZERO], [Complex::ZERO, -Complex::I]];
+        assert!(approx_eq(&xy, &iz, TOL));
+        // S² = Z, T² = S
+        assert!(approx_eq(&matmul(&S, &S), &Z, TOL));
+        assert!(approx_eq(&matmul(&t(), &t()), &S, TOL));
+    }
+
+    #[test]
+    fn phase_family_matches_paper() {
+        assert!(approx_eq(&phase(FRAC_PI_2), &S, TOL));
+        assert!(approx_eq(&phase(PI), &Z, TOL));
+        let t_gate = phase(FRAC_PI_4);
+        assert!(approx_eq(&t_gate, &t(), TOL));
+    }
+
+    #[test]
+    fn rotations_at_special_angles() {
+        // RY(π) = -iY ... check RX(π) ∝ X:
+        let m = rx(PI);
+        assert!(m[0][1].approx_eq(Complex::new(0.0, -1.0), TOL));
+        assert!(m[0][0].abs() < TOL);
+        // U3(π/2, 0, π) = H
+        assert!(approx_eq(&u3(FRAC_PI_2, 0.0, PI), &H, 1e-12));
+    }
+
+    #[test]
+    fn adjoint_inverts() {
+        for m in [H, X, Y, Z, S, SX, t(), u3(0.3, 0.9, 1.7)] {
+            assert!(approx_eq(&matmul(&adjoint(&m), &m), &I, TOL));
+        }
+    }
+
+    #[test]
+    fn control_constructors() {
+        assert_eq!(Control::pos(3).polarity, Polarity::Positive);
+        assert_eq!(Control::neg(1).polarity, Polarity::Negative);
+        assert_eq!(Control::pos(3).qubit, 3);
+    }
+
+    #[test]
+    fn non_unitary_detected() {
+        let bad = [[C1, C1], [C0, C1]];
+        assert!(!is_unitary(&bad, TOL));
+    }
+}

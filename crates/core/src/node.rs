@@ -1,0 +1,59 @@
+//! Arena node representations.
+
+use crate::types::{MatEdge, Qubit, VecEdge};
+
+/// A vector-DD node: a qubit label and two successor edges.
+///
+/// Successor `0` leads to the sub-vector where the node's qubit is `|0⟩`,
+/// successor `1` to the `|1⟩` sub-vector (paper §III-A).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VNode {
+    /// Qubit this node decides on.
+    pub var: Qubit,
+    /// Successor edges `[e₀, e₁]`.
+    pub children: [VecEdge; 2],
+    /// External root-reference count (used by garbage collection; not a
+    /// structural property).
+    pub(crate) rc: u32,
+    /// Tombstone flag set when the slot is on the free list.
+    pub(crate) dead: bool,
+}
+
+/// A matrix-DD node: a qubit label and four successor edges.
+///
+/// Successors are ordered `[U₀₀, U₀₁, U₁₀, U₁₁]` — row index `i` is the
+/// *output* value of the qubit, column index `j` the *input* value, matching
+/// Fig. 2(c) of the paper (child `2·i + j`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MNode {
+    /// Qubit this node decides on.
+    pub var: Qubit,
+    /// Successor edges `[e₀₀, e₀₁, e₁₀, e₁₁]`.
+    pub children: [MatEdge; 4],
+    /// External root-reference count.
+    pub(crate) rc: u32,
+    /// Tombstone flag set when the slot is on the free list.
+    pub(crate) dead: bool,
+}
+
+impl VNode {
+    pub(crate) fn new(var: Qubit, children: [VecEdge; 2]) -> Self {
+        VNode {
+            var,
+            children,
+            rc: 0,
+            dead: false,
+        }
+    }
+}
+
+impl MNode {
+    pub(crate) fn new(var: Qubit, children: [MatEdge; 4]) -> Self {
+        MNode {
+            var,
+            children,
+            rc: 0,
+            dead: false,
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Pointwise addition of vector and matrix decision diagrams.
+
+use crate::package::DdPackage;
+use crate::types::{MatEdge, VecEdge};
+
+impl DdPackage {
+    /// Adds two state-vector DDs (paper Fig. 4, right half).
+    ///
+    /// Addition is the workhorse inside multiplication; it is exposed
+    /// publicly because linear combinations of states are useful on their
+    /// own (e.g. constructing superpositions for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different qubit counts.
+    pub fn add_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == b.node {
+            let w = self.ctable.add(a.weight, b.weight);
+            return if w.is_zero() {
+                VecEdge::ZERO
+            } else {
+                VecEdge::new(a.node, w)
+            };
+        }
+        assert!(
+            !a.is_terminal() && !b.is_terminal(),
+            "vector addition rank mismatch"
+        );
+        // Commutative: order operands canonically for better cache reuse.
+        let (x, y) = if a.node.raw() <= b.node.raw() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let alpha = x.weight;
+        let beta = self.ctable.div(y.weight, alpha);
+        let key = (x.node, y.node, beta);
+        if self.config.compute_tables {
+            if let Some(r) = self.caches.add_vec.get(&key) {
+                return self.scale_vec(r, alpha);
+            }
+        }
+        let xn = self.vnode(x.node);
+        let yn = self.vnode(y.node);
+        assert_eq!(xn.var, yn.var, "vector addition rank mismatch");
+        let var = xn.var;
+        let xc = xn.children;
+        let yc = yn.children;
+        let mut rc = [VecEdge::ZERO; 2];
+        for i in 0..2 {
+            let ye = self.scale_vec(yc[i], beta);
+            rc[i] = self.add_vec(xc[i], ye);
+        }
+        let r = self.make_vec_node(var, rc);
+        if self.config.compute_tables {
+            self.caches.add_vec.insert(key, r);
+        }
+        self.scale_vec(r, alpha)
+    }
+
+    /// Adds two matrix DDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different qubit counts.
+    pub fn add_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        if a.node == b.node {
+            let w = self.ctable.add(a.weight, b.weight);
+            return if w.is_zero() {
+                MatEdge::ZERO
+            } else {
+                MatEdge::new(a.node, w)
+            };
+        }
+        assert!(
+            !a.is_terminal() && !b.is_terminal(),
+            "matrix addition rank mismatch"
+        );
+        let (x, y) = if a.node.raw() <= b.node.raw() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let alpha = x.weight;
+        let beta = self.ctable.div(y.weight, alpha);
+        let key = (x.node, y.node, beta);
+        if self.config.compute_tables {
+            if let Some(r) = self.caches.add_mat.get(&key) {
+                return self.scale_mat(r, alpha);
+            }
+        }
+        let xn = self.mnode(x.node);
+        let yn = self.mnode(y.node);
+        assert_eq!(xn.var, yn.var, "matrix addition rank mismatch");
+        let var = xn.var;
+        let xc = xn.children;
+        let yc = yn.children;
+        let mut rc = [MatEdge::ZERO; 4];
+        for i in 0..4 {
+            let ye = self.scale_mat(yc[i], beta);
+            rc[i] = self.add_mat(xc[i], ye);
+        }
+        let r = self.make_mat_node(var, rc);
+        if self.config.compute_tables {
+            self.caches.add_mat.insert(key, r);
+        }
+        self.scale_mat(r, alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::DdPackage;
+    use qdd_complex::Complex;
+
+    #[test]
+    fn add_is_commutative_and_canonical() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state(3, 1).unwrap();
+        let b = dd.basis_state(3, 6).unwrap();
+        let ab = dd.add_vec(a, b);
+        let ba = dd.add_vec(b, a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn add_with_zero_is_identity() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state(2, 3).unwrap();
+        assert_eq!(dd.add_vec(a, crate::VecEdge::ZERO), a);
+        assert_eq!(dd.add_vec(crate::VecEdge::ZERO, a), a);
+    }
+
+    #[test]
+    fn state_plus_negated_state_vanishes() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state(2, 2).unwrap();
+        let neg_w = dd.intern(Complex::real(-1.0));
+        let minus_a = dd.scale_vec(a, neg_w);
+        assert!(dd.add_vec(a, minus_a).is_zero());
+    }
+
+    #[test]
+    fn add_matches_dense_semantics() {
+        let mut dd = DdPackage::new();
+        let amps_a = [
+            Complex::real(0.5),
+            Complex::new(0.0, 0.5),
+            Complex::real(-0.5),
+            Complex::real(0.5),
+        ];
+        let amps_b = [
+            Complex::real(0.1),
+            Complex::real(0.2),
+            Complex::new(0.0, -0.3),
+            Complex::real(0.4),
+        ];
+        let a = dd.state_from_amplitudes(&amps_a).unwrap();
+        let b = dd.state_from_amplitudes(&amps_b).unwrap();
+        let sum = dd.add_vec(a, b);
+        let dense_a = dd.to_dense_vector(a, 2);
+        let dense_b = dd.to_dense_vector(b, 2);
+        let dense_sum = dd.to_dense_vector(sum, 2);
+        for i in 0..4 {
+            assert!(dense_sum[i].approx_eq(dense_a[i] + dense_b[i], 1e-12));
+        }
+    }
+
+    #[test]
+    fn matrix_add_builds_projector_sum() {
+        // |0⟩⟨0| ⊗ I + |1⟩⟨1| ⊗ X == CNOT (control = MSB).
+        let mut dd = DdPackage::new();
+        let z = Complex::ZERO;
+        let o = Complex::ONE;
+        let p0 = dd
+            .matrix_from_dense(&[
+                vec![o, z, z, z],
+                vec![z, o, z, z],
+                vec![z, z, z, z],
+                vec![z, z, z, z],
+            ])
+            .unwrap();
+        let p1x = dd
+            .matrix_from_dense(&[
+                vec![z, z, z, z],
+                vec![z, z, z, z],
+                vec![z, z, z, o],
+                vec![z, z, o, z],
+            ])
+            .unwrap();
+        let sum = dd.add_mat(p0, p1x);
+        let cx = dd
+            .gate_dd(crate::gates::X, &[crate::Control::pos(1)], 0, 2)
+            .unwrap();
+        assert_eq!(sum, cx);
+    }
+
+    #[test]
+    fn cache_hit_on_scaled_operands() {
+        let mut dd = DdPackage::new();
+        let a = dd.basis_state(2, 0).unwrap();
+        let b = dd.basis_state(2, 3).unwrap();
+        let _ = dd.add_vec(a, b);
+        let before = dd.stats().cache_hits;
+        let w = dd.intern(Complex::new(0.0, 2.0));
+        let a2 = dd.scale_vec(a, w);
+        let b2 = dd.scale_vec(b, w);
+        let _ = dd.add_vec(a2, b2);
+        assert!(
+            dd.stats().cache_hits > before,
+            "scale-invariant keys should hit the cache"
+        );
+    }
+}

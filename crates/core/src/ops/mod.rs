@@ -1,0 +1,11 @@
+//! Recursive decision-diagram operations (paper §III, Fig. 4).
+//!
+//! All operations factor the operand edge weights out before recursing, so
+//! the compute-table entries are scale-invariant: `op(w·x, v·y)` hits the
+//! cache entry created by `op(x, y)`.
+
+mod add;
+mod adjoint;
+mod inner;
+mod kron;
+mod multiply;

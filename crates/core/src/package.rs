@@ -1,0 +1,999 @@
+//! The decision-diagram package: arenas, unique tables, constructors, and
+//! garbage collection.
+
+use crate::compute::ComputeTables;
+use crate::error::DdError;
+use crate::gates::{self, Control, GateMatrix, Polarity};
+use crate::node::{MNode, VNode};
+use crate::normalize::{normalize_matrix, normalize_vector};
+pub use crate::normalize::VectorNormalization;
+use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
+use crate::MAX_QUBITS;
+use qdd_complex::{Complex, ComplexIdx, ComplexTable, FxHashMap, DEFAULT_TOLERANCE};
+
+/// Tunable parameters of a [`DdPackage`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PackageConfig {
+    /// Tolerance for complex-weight interning and approximate comparisons.
+    pub tolerance: f64,
+    /// Enables the operation caches (compute tables). Disabling them is
+    /// only useful for the ablation experiments — expect exponential
+    /// slowdowns on anything non-trivial.
+    pub compute_tables: bool,
+    /// Validates 2×2 gate matrices for unitarity in [`DdPackage::gate_dd`].
+    pub check_unitarity: bool,
+    /// Normalization rule for vector nodes. Measurement and sampling
+    /// require the default [`VectorNormalization::L2`]; the alternative is
+    /// for the ablation experiments.
+    pub vector_normalization: VectorNormalization,
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        PackageConfig {
+            tolerance: DEFAULT_TOLERANCE,
+            compute_tables: true,
+            check_unitarity: true,
+            vector_normalization: VectorNormalization::default(),
+        }
+    }
+}
+
+/// A snapshot of package health, for diagnostics and experiments.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PackageStats {
+    /// Live (reachable or never-collected) vector nodes.
+    pub vnodes_alive: usize,
+    /// Allocated vector-node slots (live + free-listed).
+    pub vnodes_allocated: usize,
+    /// Live matrix nodes.
+    pub mnodes_alive: usize,
+    /// Allocated matrix-node slots.
+    pub mnodes_allocated: usize,
+    /// Distinct interned complex values.
+    pub complex_entries: usize,
+    /// Total compute-table lookups.
+    pub cache_lookups: u64,
+    /// Compute-table lookups answered from cache.
+    pub cache_hits: u64,
+    /// Entries currently cached.
+    pub cache_entries: usize,
+    /// Garbage-collection runs so far.
+    pub gc_runs: u64,
+}
+
+/// Report of one garbage-collection run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Vector nodes reclaimed.
+    pub freed_vnodes: usize,
+    /// Matrix nodes reclaimed.
+    pub freed_mnodes: usize,
+    /// Vector nodes surviving.
+    pub live_vnodes: usize,
+    /// Matrix nodes surviving.
+    pub live_mnodes: usize,
+}
+
+/// The central object owning all decision-diagram state.
+///
+/// A package holds the node arenas, the unique tables that enforce structural
+/// sharing, the complex-weight interning table, and the operation caches.
+/// All diagrams created by one package may share nodes; edges from different
+/// packages must never be mixed.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Clone, Debug)]
+pub struct DdPackage {
+    pub(crate) vnodes: Vec<VNode>,
+    pub(crate) mnodes: Vec<MNode>,
+    vec_unique: FxHashMap<(Qubit, [VecEdge; 2]), VNodeId>,
+    mat_unique: FxHashMap<(Qubit, [MatEdge; 4]), MNodeId>,
+    vec_free: Vec<u32>,
+    mat_free: Vec<u32>,
+    pub(crate) ctable: ComplexTable,
+    pub(crate) caches: ComputeTables,
+    pub(crate) config: PackageConfig,
+    /// `id_cache[k]` spans variables `0..k`; rebuilt lazily, cleared on GC.
+    id_cache: Vec<MatEdge>,
+    gc_runs: u64,
+}
+
+impl DdPackage {
+    /// Creates a package with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(PackageConfig::default())
+    }
+
+    /// Creates a package with an explicit configuration.
+    pub fn with_config(config: PackageConfig) -> Self {
+        DdPackage {
+            vnodes: Vec::new(),
+            mnodes: Vec::new(),
+            vec_unique: FxHashMap::default(),
+            mat_unique: FxHashMap::default(),
+            vec_free: Vec::new(),
+            mat_free: Vec::new(),
+            ctable: ComplexTable::with_tolerance(config.tolerance),
+            caches: ComputeTables::new(),
+            config,
+            id_cache: vec![MatEdge::ONE],
+            gc_runs: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PackageConfig {
+        &self.config
+    }
+
+    /// Interns a complex value, returning its stable handle.
+    #[inline]
+    pub fn intern(&mut self, v: Complex) -> ComplexIdx {
+        self.ctable.lookup(v)
+    }
+
+    /// The complex value behind an interned handle.
+    #[inline]
+    pub fn complex_value(&self, idx: ComplexIdx) -> Complex {
+        self.ctable.value(idx)
+    }
+
+    /// Read access to a vector node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the terminal sentinel or a foreign/freed id.
+    #[inline]
+    pub fn vnode(&self, id: VNodeId) -> &VNode {
+        let n = &self.vnodes[id.index()];
+        debug_assert!(!n.dead, "access to freed vector node");
+        n
+    }
+
+    /// Read access to a matrix node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the terminal sentinel or a foreign/freed id.
+    #[inline]
+    pub fn mnode(&self, id: MNodeId) -> &MNode {
+        let n = &self.mnodes[id.index()];
+        debug_assert!(!n.dead, "access to freed matrix node");
+        n
+    }
+
+    /// The variable a vector edge decides on, or `None` for terminal edges.
+    #[inline]
+    pub fn vec_var(&self, e: VecEdge) -> Option<Qubit> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.vnode(e.node).var)
+        }
+    }
+
+    /// The variable a matrix edge decides on, or `None` for terminal edges.
+    #[inline]
+    pub fn mat_var(&self, e: MatEdge) -> Option<Qubit> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.mnode(e.node).var)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Node construction (normalize + unique table)
+    // ------------------------------------------------------------------
+
+    /// Creates (or finds) the canonical vector node `var → children` and
+    /// returns the normalized edge pointing at it.
+    ///
+    /// This is the paper's recursive state-vector decomposition step: both
+    /// children must represent the `var`-lower sub-vectors. Returns the
+    /// 0-stub when both children are zero.
+    pub fn make_vec_node(&mut self, var: Qubit, children: [VecEdge; 2]) -> VecEdge {
+        debug_assert!(self.vec_children_well_formed(var, &children));
+        let Some(norm) = normalize_vector(
+            &mut self.ctable,
+            [children[0].weight, children[1].weight],
+            self.config.vector_normalization,
+        ) else {
+            return VecEdge::ZERO;
+        };
+        let canon = [
+            VecEdge::new(
+                if norm.weights[0].is_zero() { VNodeId::TERMINAL } else { children[0].node },
+                norm.weights[0],
+            ),
+            VecEdge::new(
+                if norm.weights[1].is_zero() { VNodeId::TERMINAL } else { children[1].node },
+                norm.weights[1],
+            ),
+        ];
+        let id = match self.vec_unique.get(&(var, canon)) {
+            Some(&id) => id,
+            None => {
+                let id = self.alloc_vnode(VNode::new(var, canon));
+                self.vec_unique.insert((var, canon), id);
+                id
+            }
+        };
+        VecEdge::new(id, norm.top)
+    }
+
+    /// Creates (or finds) the canonical matrix node `var → children`
+    /// (`[U₀₀, U₀₁, U₁₀, U₁₁]`) and returns the normalized edge.
+    pub fn make_mat_node(&mut self, var: Qubit, children: [MatEdge; 4]) -> MatEdge {
+        debug_assert!(self.mat_children_well_formed(var, &children));
+        let weights = [
+            children[0].weight,
+            children[1].weight,
+            children[2].weight,
+            children[3].weight,
+        ];
+        let Some(norm) = normalize_matrix(&mut self.ctable, weights) else {
+            return MatEdge::ZERO;
+        };
+        let mut canon = [MatEdge::ZERO; 4];
+        for i in 0..4 {
+            canon[i] = MatEdge::new(
+                if norm.weights[i].is_zero() { MNodeId::TERMINAL } else { children[i].node },
+                norm.weights[i],
+            );
+        }
+        let id = match self.mat_unique.get(&(var, canon)) {
+            Some(&id) => id,
+            None => {
+                let id = self.alloc_mnode(MNode::new(var, canon));
+                self.mat_unique.insert((var, canon), id);
+                id
+            }
+        };
+        MatEdge::new(id, norm.top)
+    }
+
+    fn vec_children_well_formed(&self, var: Qubit, children: &[VecEdge; 2]) -> bool {
+        children.iter().all(|c| {
+            if c.is_zero() || var == 0 {
+                c.is_terminal()
+            } else {
+                !c.is_terminal() && self.vnode(c.node).var == var - 1
+            }
+        })
+    }
+
+    fn mat_children_well_formed(&self, var: Qubit, children: &[MatEdge; 4]) -> bool {
+        children.iter().all(|c| {
+            if c.is_zero() || var == 0 {
+                c.is_terminal()
+            } else {
+                !c.is_terminal() && self.mnode(c.node).var == var - 1
+            }
+        })
+    }
+
+    fn alloc_vnode(&mut self, node: VNode) -> VNodeId {
+        if let Some(slot) = self.vec_free.pop() {
+            self.vnodes[slot as usize] = node;
+            VNodeId::from_index(slot as usize)
+        } else {
+            self.vnodes.push(node);
+            VNodeId::from_index(self.vnodes.len() - 1)
+        }
+    }
+
+    fn alloc_mnode(&mut self, node: MNode) -> MNodeId {
+        if let Some(slot) = self.mat_free.pop() {
+            self.mnodes[slot as usize] = node;
+            MNodeId::from_index(slot as usize)
+        } else {
+            self.mnodes.push(node);
+            MNodeId::from_index(self.mnodes.len() - 1)
+        }
+    }
+
+    /// Rescales an edge by an interned factor, preserving the 0-stub
+    /// invariant.
+    #[inline]
+    pub(crate) fn scale_vec(&mut self, e: VecEdge, w: ComplexIdx) -> VecEdge {
+        let weight = self.ctable.mul(e.weight, w);
+        if weight.is_zero() {
+            VecEdge::ZERO
+        } else {
+            VecEdge::new(e.node, weight)
+        }
+    }
+
+    /// Rescales a matrix edge by an interned factor.
+    #[inline]
+    pub(crate) fn scale_mat(&mut self, e: MatEdge, w: ComplexIdx) -> MatEdge {
+        let weight = self.ctable.mul(e.weight, w);
+        if weight.is_zero() {
+            MatEdge::ZERO
+        } else {
+            MatEdge::new(e.node, weight)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State constructors
+    // ------------------------------------------------------------------
+
+    fn check_qubits(n: usize) -> Result<(), DdError> {
+        if n == 0 || n > MAX_QUBITS {
+            Err(DdError::QubitCountOutOfRange { requested: n })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The all-zero computational basis state `|0…0⟩` on `n` qubits.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::QubitCountOutOfRange`] if `n` is zero or exceeds
+    /// [`MAX_QUBITS`].
+    pub fn zero_state(&mut self, n: usize) -> Result<VecEdge, DdError> {
+        self.basis_state(n, 0)
+    }
+
+    /// The computational basis state `|index⟩` on `n` qubits (big-endian:
+    /// bit `n-1` of `index` is the most significant qubit `q_{n-1}`).
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::QubitCountOutOfRange`] if `n` is invalid, or
+    /// [`DdError::QubitIndexOutOfRange`] if `index ≥ 2ⁿ`.
+    pub fn basis_state(&mut self, n: usize, index: u64) -> Result<VecEdge, DdError> {
+        Self::check_qubits(n)?;
+        if n < 64 && index >> n != 0 {
+            return Err(DdError::QubitIndexOutOfRange {
+                qubit: index as usize,
+                num_qubits: n,
+            });
+        }
+        let mut e = VecEdge::ONE;
+        for q in 0..n {
+            let bit = if q < 64 { (index >> q) & 1 } else { 0 };
+            let children = if bit == 0 {
+                [e, VecEdge::ZERO]
+            } else {
+                [VecEdge::ZERO, e]
+            };
+            e = self.make_vec_node(q as Qubit, children);
+        }
+        Ok(e)
+    }
+
+    /// Builds a state DD from a dense amplitude vector by the paper's
+    /// recursive halving decomposition (§III-A).
+    ///
+    /// The amplitudes are normalized; the input need not be unit-norm.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::AmplitudesNotPowerOfTwo`] for lengths that are not a
+    /// power of two (or < 2), [`DdError::ZeroVector`] for an all-zero
+    /// input, [`DdError::QubitCountOutOfRange`] for oversized inputs.
+    pub fn state_from_amplitudes(&mut self, amps: &[Complex]) -> Result<VecEdge, DdError> {
+        let len = amps.len();
+        if len < 2 || !len.is_power_of_two() {
+            return Err(DdError::AmplitudesNotPowerOfTwo { len });
+        }
+        let n = len.trailing_zeros() as usize;
+        Self::check_qubits(n)?;
+        let norm2: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        if norm2.sqrt() < self.config.tolerance {
+            return Err(DdError::ZeroVector);
+        }
+        let e = self.vec_from_slice(amps);
+        // Normalize the root weight so the state is unit-norm.
+        let w = self.complex_value(e.weight) / norm2.sqrt();
+        let weight = self.intern(w);
+        Ok(VecEdge::new(e.node, weight))
+    }
+
+    fn vec_from_slice(&mut self, amps: &[Complex]) -> VecEdge {
+        debug_assert!(amps.len().is_power_of_two());
+        if amps.len() == 1 {
+            let w = self.intern(amps[0]);
+            return VecEdge::terminal(w);
+        }
+        let half = amps.len() / 2;
+        let var = (amps.len().trailing_zeros() - 1) as Qubit;
+        let lo = self.vec_from_slice(&amps[..half]);
+        let hi = self.vec_from_slice(&amps[half..]);
+        self.make_vec_node(var, [lo, hi])
+    }
+
+    // ------------------------------------------------------------------
+    // Matrix constructors
+    // ------------------------------------------------------------------
+
+    /// The identity operator on `n` qubits — a single shared node per level.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::QubitCountOutOfRange`] if `n` is invalid.
+    pub fn identity(&mut self, n: usize) -> Result<MatEdge, DdError> {
+        Self::check_qubits(n)?;
+        Ok(self.id_edge(n))
+    }
+
+    /// Identity DD spanning variables `0..k` (`k = 0` is the scalar 1).
+    pub(crate) fn id_edge(&mut self, k: usize) -> MatEdge {
+        while self.id_cache.len() <= k {
+            let prev = self.id_cache[self.id_cache.len() - 1];
+            let var = (self.id_cache.len() - 1) as Qubit;
+            let next = self.make_mat_node(var, [prev, MatEdge::ZERO, MatEdge::ZERO, prev]);
+            self.id_cache.push(next);
+        }
+        self.id_cache[k]
+    }
+
+    /// Builds the `2ⁿ×2ⁿ` operator DD of a (multi-)controlled single-qubit
+    /// gate: `u` on `target`, fired by `controls` (paper Fig. 2(b)/(c)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DdError::QubitIndexOutOfRange`], [`DdError::ControlOnTarget`],
+    /// [`DdError::DuplicateControl`], or [`DdError::NotUnitary`] (the latter
+    /// only when [`PackageConfig::check_unitarity`] is set) for invalid
+    /// inputs.
+    pub fn gate_dd(
+        &mut self,
+        u: GateMatrix,
+        controls: &[Control],
+        target: usize,
+        n: usize,
+    ) -> Result<MatEdge, DdError> {
+        Self::check_qubits(n)?;
+        if target >= n {
+            return Err(DdError::QubitIndexOutOfRange {
+                qubit: target,
+                num_qubits: n,
+            });
+        }
+        let mut seen = [false; MAX_QUBITS];
+        for c in controls {
+            if c.qubit >= n {
+                return Err(DdError::QubitIndexOutOfRange {
+                    qubit: c.qubit,
+                    num_qubits: n,
+                });
+            }
+            if c.qubit == target {
+                return Err(DdError::ControlOnTarget { qubit: c.qubit });
+            }
+            if seen[c.qubit] {
+                return Err(DdError::DuplicateControl { qubit: c.qubit });
+            }
+            seen[c.qubit] = true;
+        }
+        if self.config.check_unitarity && !gates::is_unitary(&u, 1e-9) {
+            return Err(DdError::NotUnitary);
+        }
+
+        let pol_at = |q: usize| controls.iter().find(|c| c.qubit == q).map(|c| c.polarity);
+
+        // Terminal 2×2 block edges [e₀₀, e₀₁, e₁₀, e₁₁].
+        let mut em = [MatEdge::ZERO; 4];
+        for (b, slot) in em.iter_mut().enumerate() {
+            let w = self.intern(u[b >> 1][b & 1]);
+            *slot = MatEdge::terminal(w);
+        }
+
+        // Levels below the target: identity extension, or control wrapping.
+        for q in 0..target {
+            let pol = pol_at(q);
+            #[allow(clippy::needless_range_loop)] // em[b] is rebuilt in place
+            for b in 0..4 {
+                let (i, j) = (b >> 1, b & 1);
+                em[b] = match pol {
+                    None => self.make_mat_node(
+                        q as Qubit,
+                        [em[b], MatEdge::ZERO, MatEdge::ZERO, em[b]],
+                    ),
+                    Some(p) => {
+                        // On the non-firing branch an identity must act on
+                        // the target sub-space: diagonal blocks get the
+                        // identity of the processed levels, off-diagonal
+                        // blocks vanish.
+                        let idle = if i == j { self.id_edge(q) } else { MatEdge::ZERO };
+                        let (c00, c11) = match p {
+                            Polarity::Positive => (idle, em[b]),
+                            Polarity::Negative => (em[b], idle),
+                        };
+                        self.make_mat_node(q as Qubit, [c00, MatEdge::ZERO, MatEdge::ZERO, c11])
+                    }
+                };
+            }
+        }
+
+        let mut e = self.make_mat_node(target as Qubit, em);
+
+        // Levels above the target.
+        for q in target + 1..n {
+            e = match pol_at(q) {
+                None => self.make_mat_node(q as Qubit, [e, MatEdge::ZERO, MatEdge::ZERO, e]),
+                Some(p) => {
+                    let idle = self.id_edge(q);
+                    let (c00, c11) = match p {
+                        Polarity::Positive => (idle, e),
+                        Polarity::Negative => (e, idle),
+                    };
+                    self.make_mat_node(q as Qubit, [c00, MatEdge::ZERO, MatEdge::ZERO, c11])
+                }
+            };
+        }
+        Ok(e)
+    }
+
+    /// Builds a matrix DD from a dense row-major `2ⁿ×2ⁿ` matrix by
+    /// recursive quadrant splitting.
+    ///
+    /// Mainly useful for tests and small demonstrations.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::AmplitudesNotPowerOfTwo`] when the matrix is not square
+    /// with power-of-two dimension ≥ 2.
+    pub fn matrix_from_dense(&mut self, rows: &[Vec<Complex>]) -> Result<MatEdge, DdError> {
+        let dim = rows.len();
+        if dim < 2 || !dim.is_power_of_two() || rows.iter().any(|r| r.len() != dim) {
+            return Err(DdError::AmplitudesNotPowerOfTwo { len: dim });
+        }
+        let n = dim.trailing_zeros() as usize;
+        Self::check_qubits(n)?;
+        Ok(self.mat_from_region(rows, 0, 0, dim))
+    }
+
+    fn mat_from_region(&mut self, rows: &[Vec<Complex>], r0: usize, c0: usize, dim: usize) -> MatEdge {
+        if dim == 1 {
+            let w = self.intern(rows[r0][c0]);
+            return MatEdge::terminal(w);
+        }
+        let h = dim / 2;
+        let var = (dim.trailing_zeros() - 1) as Qubit;
+        let e00 = self.mat_from_region(rows, r0, c0, h);
+        let e01 = self.mat_from_region(rows, r0, c0 + h, h);
+        let e10 = self.mat_from_region(rows, r0 + h, c0, h);
+        let e11 = self.mat_from_region(rows, r0 + h, c0 + h, h);
+        self.make_mat_node(var, [e00, e01, e10, e11])
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting and garbage collection
+    // ------------------------------------------------------------------
+
+    /// Marks a vector edge as an external root, protecting it from
+    /// [`Self::garbage_collect`].
+    pub fn inc_ref_vec(&mut self, e: VecEdge) {
+        if !e.is_terminal() {
+            self.vnodes[e.node.index()].rc += 1;
+        }
+    }
+
+    /// Releases an external root previously registered with
+    /// [`Self::inc_ref_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge's root count is already zero.
+    pub fn dec_ref_vec(&mut self, e: VecEdge) {
+        if !e.is_terminal() {
+            let rc = &mut self.vnodes[e.node.index()].rc;
+            assert!(*rc > 0, "unbalanced dec_ref_vec");
+            *rc -= 1;
+        }
+    }
+
+    /// Marks a matrix edge as an external root.
+    pub fn inc_ref_mat(&mut self, e: MatEdge) {
+        if !e.is_terminal() {
+            self.mnodes[e.node.index()].rc += 1;
+        }
+    }
+
+    /// Releases an external matrix root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge's root count is already zero.
+    pub fn dec_ref_mat(&mut self, e: MatEdge) {
+        if !e.is_terminal() {
+            let rc = &mut self.mnodes[e.node.index()].rc;
+            assert!(*rc > 0, "unbalanced dec_ref_mat");
+            *rc -= 1;
+        }
+    }
+
+    /// Reclaims every node not reachable from a root registered via the
+    /// `inc_ref_*` methods. Clears all compute tables (their keys may refer
+    /// to reclaimed ids) and the identity cache.
+    pub fn garbage_collect(&mut self) -> GcReport {
+        self.gc_runs += 1;
+
+        // Mark phase — vectors.
+        let mut vmark = vec![false; self.vnodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, n) in self.vnodes.iter().enumerate() {
+            if !n.dead && n.rc > 0 {
+                stack.push(i as u32);
+            }
+        }
+        while let Some(i) = stack.pop() {
+            if vmark[i as usize] {
+                continue;
+            }
+            vmark[i as usize] = true;
+            for c in self.vnodes[i as usize].children {
+                if !c.is_terminal() {
+                    stack.push(c.node.raw());
+                }
+            }
+        }
+
+        // Mark phase — matrices.
+        let mut mmark = vec![false; self.mnodes.len()];
+        let mut mstack: Vec<u32> = Vec::new();
+        for (i, n) in self.mnodes.iter().enumerate() {
+            if !n.dead && n.rc > 0 {
+                mstack.push(i as u32);
+            }
+        }
+        while let Some(i) = mstack.pop() {
+            if mmark[i as usize] {
+                continue;
+            }
+            mmark[i as usize] = true;
+            for c in self.mnodes[i as usize].children {
+                if !c.is_terminal() {
+                    mstack.push(c.node.raw());
+                }
+            }
+        }
+
+        // Sweep phase.
+        let mut report = GcReport::default();
+        for (i, n) in self.vnodes.iter_mut().enumerate() {
+            if n.dead {
+                continue;
+            }
+            if vmark[i] {
+                report.live_vnodes += 1;
+            } else {
+                n.dead = true;
+                self.vec_free.push(i as u32);
+                report.freed_vnodes += 1;
+            }
+        }
+        for (i, n) in self.mnodes.iter_mut().enumerate() {
+            if n.dead {
+                continue;
+            }
+            if mmark[i] {
+                report.live_mnodes += 1;
+            } else {
+                n.dead = true;
+                self.mat_free.push(i as u32);
+                report.freed_mnodes += 1;
+            }
+        }
+
+        // Rebuild unique tables from the survivors.
+        self.vec_unique.clear();
+        for (i, n) in self.vnodes.iter().enumerate() {
+            if !n.dead {
+                self.vec_unique
+                    .insert((n.var, n.children), VNodeId::from_index(i));
+            }
+        }
+        self.mat_unique.clear();
+        for (i, n) in self.mnodes.iter().enumerate() {
+            if !n.dead {
+                self.mat_unique
+                    .insert((n.var, n.children), MNodeId::from_index(i));
+            }
+        }
+
+        self.caches.clear();
+        self.id_cache.truncate(1);
+        report
+    }
+
+    /// Drops all cached operation results without collecting nodes.
+    pub fn clear_compute_tables(&mut self) {
+        self.caches.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The number of distinct nodes reachable from `e`, excluding the
+    /// terminal (the size measure used throughout the paper, e.g. Ex. 6).
+    pub fn vec_node_count(&self, e: VecEdge) -> usize {
+        let mut seen = qdd_complex::FxHashSet::default();
+        let mut stack = vec![e];
+        while let Some(edge) = stack.pop() {
+            if edge.is_terminal() || !seen.insert(edge.node) {
+                continue;
+            }
+            for c in self.vnode(edge.node).children {
+                stack.push(c);
+            }
+        }
+        seen.len()
+    }
+
+    /// The number of distinct nodes reachable from `e`, excluding the
+    /// terminal.
+    pub fn mat_node_count(&self, e: MatEdge) -> usize {
+        let mut seen = qdd_complex::FxHashSet::default();
+        let mut stack = vec![e];
+        while let Some(edge) = stack.pop() {
+            if edge.is_terminal() || !seen.insert(edge.node) {
+                continue;
+            }
+            for c in self.mnode(edge.node).children {
+                stack.push(c);
+            }
+        }
+        seen.len()
+    }
+
+    /// A constant-time estimate of live nodes (allocated minus free-listed
+    /// slots) — the trigger metric for automatic garbage collection in
+    /// long-running simulations and checks.
+    #[inline]
+    pub fn live_node_estimate(&self) -> usize {
+        (self.vnodes.len() - self.vec_free.len()) + (self.mnodes.len() - self.mat_free.len())
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> PackageStats {
+        PackageStats {
+            vnodes_alive: self.vnodes.iter().filter(|n| !n.dead).count(),
+            vnodes_allocated: self.vnodes.len(),
+            mnodes_alive: self.mnodes.iter().filter(|n| !n.dead).count(),
+            mnodes_allocated: self.mnodes.len(),
+            complex_entries: self.ctable.len(),
+            cache_lookups: self.caches.total_lookups(),
+            cache_hits: self.caches.total_hits(),
+            cache_entries: self.caches.total_entries(),
+            gc_runs: self.gc_runs,
+        }
+    }
+}
+
+impl Default for DdPackage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_is_chain() {
+        let mut dd = DdPackage::new();
+        let e = dd.zero_state(4).unwrap();
+        assert_eq!(dd.vec_node_count(e), 4);
+        assert_eq!(dd.vec_var(e), Some(3));
+        // Root weight is 1.
+        assert!(dd.complex_value(e.weight).is_one(1e-12));
+    }
+
+    #[test]
+    fn basis_state_amplitude_paths() {
+        let mut dd = DdPackage::new();
+        let e = dd.basis_state(3, 0b101).unwrap();
+        // Walk: q2=1, q1=0, q0=1.
+        let n2 = dd.vnode(e.node);
+        assert!(n2.children[0].is_zero());
+        let n1 = dd.vnode(n2.children[1].node);
+        assert!(n1.children[1].is_zero());
+        let n0 = dd.vnode(n1.children[0].node);
+        assert!(n0.children[0].is_zero());
+        assert!(n0.children[1].is_terminal());
+    }
+
+    #[test]
+    fn basis_state_rejects_out_of_range_index() {
+        let mut dd = DdPackage::new();
+        assert!(matches!(
+            dd.basis_state(2, 4),
+            Err(DdError::QubitIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn qubit_count_bounds() {
+        let mut dd = DdPackage::new();
+        assert!(dd.zero_state(0).is_err());
+        assert!(dd.zero_state(MAX_QUBITS + 1).is_err());
+        assert!(dd.zero_state(MAX_QUBITS).is_ok());
+    }
+
+    #[test]
+    fn structural_sharing_in_unique_table() {
+        let mut dd = DdPackage::new();
+        let a = dd.zero_state(3).unwrap();
+        let b = dd.zero_state(3).unwrap();
+        assert_eq!(a, b, "identical states share the identical edge");
+    }
+
+    #[test]
+    fn bell_state_from_amplitudes_matches_paper_example_6() {
+        let mut dd = DdPackage::new();
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let amps = [
+            Complex::real(h),
+            Complex::ZERO,
+            Complex::ZERO,
+            Complex::real(h),
+        ];
+        let e = dd.state_from_amplitudes(&amps).unwrap();
+        // Paper Ex. 6: 3 nodes (terminal not counted).
+        assert_eq!(dd.vec_node_count(e), 3);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes_input() {
+        let mut dd = DdPackage::new();
+        let amps = [Complex::real(3.0), Complex::real(4.0)];
+        let e = dd.state_from_amplitudes(&amps).unwrap();
+        let root_w = dd.complex_value(e.weight);
+        // Norm of 5 divided out; the state is unit norm.
+        assert!((root_w.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_rejects_bad_inputs() {
+        let mut dd = DdPackage::new();
+        assert!(matches!(
+            dd.state_from_amplitudes(&[Complex::ONE; 3]),
+            Err(DdError::AmplitudesNotPowerOfTwo { len: 3 })
+        ));
+        assert!(matches!(
+            dd.state_from_amplitudes(&[Complex::ZERO; 4]),
+            Err(DdError::ZeroVector)
+        ));
+        assert!(matches!(
+            dd.state_from_amplitudes(&[Complex::ONE]),
+            Err(DdError::AmplitudesNotPowerOfTwo { len: 1 })
+        ));
+    }
+
+    #[test]
+    fn identity_has_one_node_per_level() {
+        let mut dd = DdPackage::new();
+        let id = dd.identity(5).unwrap();
+        assert_eq!(dd.mat_node_count(id), 5);
+        assert!(dd.complex_value(id.weight).is_one(1e-12));
+    }
+
+    #[test]
+    fn hadamard_gate_dd_is_single_node() {
+        let mut dd = DdPackage::new();
+        let h = dd.gate_dd(gates::H, &[], 0, 1).unwrap();
+        // Fig. 2(b): one node; root weight 1/√2.
+        assert_eq!(dd.mat_node_count(h), 1);
+        let w = dd.complex_value(h.weight);
+        assert!((w.re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_gate_dd_matches_fig_2c() {
+        let mut dd = DdPackage::new();
+        // Control q1 (MSB), target q0 — the paper's CNOT.
+        let cx = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
+        // Fig. 2(c): 2 non-terminal nodes... the q1 node plus I and X nodes
+        // at q0 level → 3 total (the figure draws q0 twice).
+        assert_eq!(dd.mat_node_count(cx), 3);
+        let root = dd.mnode(cx.node);
+        assert_eq!(root.var, 1);
+        assert!(root.children[1].is_zero());
+        assert!(root.children[2].is_zero());
+    }
+
+    #[test]
+    fn gate_dd_validation() {
+        let mut dd = DdPackage::new();
+        assert!(matches!(
+            dd.gate_dd(gates::X, &[], 2, 2),
+            Err(DdError::QubitIndexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dd.gate_dd(gates::X, &[Control::pos(0)], 0, 2),
+            Err(DdError::ControlOnTarget { qubit: 0 })
+        ));
+        assert!(matches!(
+            dd.gate_dd(gates::X, &[Control::pos(1), Control::neg(1)], 0, 3),
+            Err(DdError::DuplicateControl { qubit: 1 })
+        ));
+        let bad = [[Complex::ONE, Complex::ONE], [Complex::ZERO, Complex::ONE]];
+        assert!(matches!(dd.gate_dd(bad, &[], 0, 1), Err(DdError::NotUnitary)));
+    }
+
+    #[test]
+    fn unitarity_check_can_be_disabled() {
+        let mut dd = DdPackage::with_config(PackageConfig {
+            check_unitarity: false,
+            ..PackageConfig::default()
+        });
+        let not_unitary = [[Complex::ONE, Complex::ONE], [Complex::ZERO, Complex::ONE]];
+        assert!(dd.gate_dd(not_unitary, &[], 0, 1).is_ok());
+    }
+
+    #[test]
+    fn gc_reclaims_unreferenced_nodes() {
+        let mut dd = DdPackage::new();
+        let keep = dd.zero_state(3).unwrap();
+        let _drop = dd.basis_state(3, 5).unwrap();
+        dd.inc_ref_vec(keep);
+        let report = dd.garbage_collect();
+        assert_eq!(report.live_vnodes, 3);
+        assert!(report.freed_vnodes > 0);
+        // The kept state is still intact and re-creatable slots are reused.
+        assert_eq!(dd.vec_node_count(keep), 3);
+        let again = dd.basis_state(3, 5).unwrap();
+        assert_eq!(dd.vec_node_count(again), 3);
+        dd.dec_ref_vec(keep);
+    }
+
+    #[test]
+    fn gc_protects_matrix_roots() {
+        let mut dd = DdPackage::new();
+        let id = dd.identity(3).unwrap();
+        dd.inc_ref_mat(id);
+        let _tmp = dd.gate_dd(gates::H, &[], 1, 3).unwrap();
+        let report = dd.garbage_collect();
+        assert_eq!(report.live_mnodes, 3);
+        assert_eq!(dd.mat_node_count(id), 3);
+        dd.dec_ref_mat(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_dec_ref_panics() {
+        let mut dd = DdPackage::new();
+        let e = dd.zero_state(1).unwrap();
+        dd.dec_ref_vec(e);
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let mut dd = DdPackage::new();
+        let _ = dd.zero_state(4).unwrap();
+        let s = dd.stats();
+        assert_eq!(s.vnodes_alive, 4);
+        assert!(s.complex_entries >= 2);
+        assert_eq!(s.gc_runs, 0);
+    }
+
+    #[test]
+    fn matrix_from_dense_round_trips_gate() {
+        let mut dd = DdPackage::new();
+        let h = std::f64::consts::FRAC_1_SQRT_2;
+        let rows = vec![
+            vec![Complex::real(h), Complex::real(h)],
+            vec![Complex::real(h), Complex::real(-h)],
+        ];
+        let from_dense = dd.matrix_from_dense(&rows).unwrap();
+        let direct = dd.gate_dd(gates::H, &[], 0, 1).unwrap();
+        assert_eq!(from_dense, direct, "canonicity: same operator, same edge");
+    }
+
+    #[test]
+    fn matrix_from_dense_rejects_ragged() {
+        let mut dd = DdPackage::new();
+        let rows = vec![vec![Complex::ONE; 2], vec![Complex::ONE; 3]];
+        assert!(dd.matrix_from_dense(&rows).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Core identifier and edge types.
+
+use qdd_complex::{ComplexIdx, C_ONE, C_ZERO};
+
+/// A qubit / decision-diagram variable label.
+///
+/// Variables are ordered with the **most-significant qubit at the root**
+/// (big-endian, matching the paper's `|q_{n-1} … q_0⟩` convention): a node
+/// labelled `q` has children labelled `q-1` (or zero-stub / terminal edges).
+pub type Qubit = u8;
+
+macro_rules! node_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// The sentinel id of the shared terminal node.
+            pub const TERMINAL: $name = $name(u32::MAX);
+
+            /// Wraps a raw arena slot.
+            #[inline]
+            pub(crate) fn from_index(i: usize) -> Self {
+                debug_assert!(i < u32::MAX as usize);
+                $name(i as u32)
+            }
+
+            /// The raw arena slot.
+            ///
+            /// # Panics
+            ///
+            /// Panics if called on [`Self::TERMINAL`].
+            #[inline]
+            pub(crate) fn index(self) -> usize {
+                debug_assert!(self != Self::TERMINAL, "terminal has no arena slot");
+                self.0 as usize
+            }
+
+            /// Returns `true` for the terminal sentinel.
+            #[inline]
+            pub fn is_terminal(self) -> bool {
+                self == Self::TERMINAL
+            }
+
+            /// The raw value, for diagnostics and visualization keys.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+    };
+}
+
+node_id! {
+    /// Identifier of a vector-DD node inside a [`DdPackage`](crate::DdPackage).
+    VNodeId
+}
+
+node_id! {
+    /// Identifier of a matrix-DD node inside a [`DdPackage`](crate::DdPackage).
+    MNodeId
+}
+
+/// An edge of a vector decision diagram: a target node plus an interned
+/// complex weight.
+///
+/// The all-zero sub-vector ("0-stub" in the paper) is the edge with weight
+/// zero pointing at the terminal; the invariant *weight = 0 ⇒ node =
+/// terminal* is maintained by every constructor and operation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct VecEdge {
+    /// Target node (or [`VNodeId::TERMINAL`]).
+    pub node: VNodeId,
+    /// Interned edge weight.
+    pub weight: ComplexIdx,
+}
+
+/// An edge of a matrix decision diagram.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MatEdge {
+    /// Target node (or [`MNodeId::TERMINAL`]).
+    pub node: MNodeId,
+    /// Interned edge weight.
+    pub weight: ComplexIdx,
+}
+
+macro_rules! edge_impl {
+    ($edge:ident, $id:ident) => {
+        impl $edge {
+            /// The zero edge (0-stub): terminal with weight `0`.
+            pub const ZERO: $edge = $edge {
+                node: $id::TERMINAL,
+                weight: C_ZERO,
+            };
+
+            /// The unit terminal edge: the scalar `1`.
+            pub const ONE: $edge = $edge {
+                node: $id::TERMINAL,
+                weight: C_ONE,
+            };
+
+            /// Creates an edge.
+            #[inline]
+            pub fn new(node: $id, weight: ComplexIdx) -> Self {
+                $edge { node, weight }
+            }
+
+            /// A terminal edge carrying `weight`.
+            #[inline]
+            pub fn terminal(weight: ComplexIdx) -> Self {
+                if weight.is_zero() {
+                    Self::ZERO
+                } else {
+                    $edge {
+                        node: $id::TERMINAL,
+                        weight,
+                    }
+                }
+            }
+
+            /// Returns `true` if this is the zero edge.
+            #[inline]
+            pub fn is_zero(self) -> bool {
+                self.weight.is_zero()
+            }
+
+            /// Returns `true` if the edge points at the terminal node.
+            #[inline]
+            pub fn is_terminal(self) -> bool {
+                self.node.is_terminal()
+            }
+        }
+    };
+}
+
+edge_impl!(VecEdge, VNodeId);
+edge_impl!(MatEdge, MNodeId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_sentinel_round_trip() {
+        assert!(VNodeId::TERMINAL.is_terminal());
+        assert!(!VNodeId::from_index(0).is_terminal());
+        assert_eq!(MNodeId::from_index(7).index(), 7);
+    }
+
+    #[test]
+    fn zero_edge_invariant() {
+        assert!(VecEdge::ZERO.is_zero());
+        assert!(VecEdge::ZERO.is_terminal());
+        assert_eq!(VecEdge::terminal(C_ZERO), VecEdge::ZERO);
+        assert!(!MatEdge::ONE.is_zero());
+    }
+
+    #[test]
+    fn edges_are_hashable_keys() {
+        let mut set = std::collections::HashSet::new();
+        assert!(set.insert(VecEdge::ZERO));
+        assert!(!set.insert(VecEdge::ZERO));
+        assert!(set.insert(VecEdge::ONE));
+    }
+}

@@ -1,0 +1,496 @@
+//! Batch decision-diagram simulation.
+
+use crate::creg_value;
+use crate::error::SimError;
+use qdd_circuit::{Operation, QuantumCircuit};
+use qdd_complex::{Complex, FxHashMap};
+use qdd_core::{DdPackage, MeasurementOutcome, PackageConfig, VecEdge};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Live-node estimate beyond which the simulator garbage-collects between
+/// operations. The current state is always protected by its root reference.
+const AUTO_GC_THRESHOLD: usize = 2_000_000;
+
+/// Per-run statistics of a [`DdSimulator`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Node count of the state DD after each applied operation.
+    pub nodes_per_step: Vec<usize>,
+    /// Peak node count over the run.
+    pub peak_nodes: usize,
+    /// Number of operations applied.
+    pub applied_ops: usize,
+}
+
+/// Simulates a [`QuantumCircuit`] by consecutive matrix–vector products on
+/// decision diagrams (paper Example 9), handling the tool's special
+/// operations — measurements collapse with seeded randomness, resets
+/// discard a probabilistic branch, classically-controlled gates consult the
+/// classical bits.
+///
+/// For interactive navigation (step back, choice dialogs) use
+/// [`SteppableSimulation`](crate::SteppableSimulation) instead.
+#[derive(Debug)]
+pub struct DdSimulator {
+    dd: DdPackage,
+    circuit: QuantumCircuit,
+    state: VecEdge,
+    classical: Vec<bool>,
+    cursor: usize,
+    rng: SmallRng,
+    stats: SimStats,
+}
+
+impl DdSimulator {
+    /// Creates a simulator over `circuit` starting from `|0…0⟩`, with an
+    /// entropy-seeded RNG.
+    pub fn new(circuit: QuantumCircuit) -> Self {
+        Self::with_seed(circuit, rand::random())
+    }
+
+    /// Creates a simulator with a fixed RNG seed (reproducible measurement
+    /// outcomes).
+    pub fn with_seed(circuit: QuantumCircuit, seed: u64) -> Self {
+        Self::with_config(circuit, seed, PackageConfig::default())
+    }
+
+    /// Creates a simulator with an explicit package configuration (used by
+    /// the ablation benchmarks).
+    pub fn with_config(circuit: QuantumCircuit, seed: u64, config: PackageConfig) -> Self {
+        let mut dd = DdPackage::with_config(config);
+        let state = dd
+            .zero_state(circuit.num_qubits())
+            .expect("circuit widths are validated at construction");
+        dd.inc_ref_vec(state);
+        let classical = vec![false; circuit.num_clbits()];
+        DdSimulator {
+            dd,
+            circuit,
+            state,
+            classical,
+            cursor: 0,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Replaces the initial state with `amplitudes` (length `2ⁿ`),
+    /// normalizing them. Must be called before any step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation of
+    /// [`DdPackage::state_from_amplitudes`]; returns
+    /// [`SimError::InvalidTransition`] after stepping has begun.
+    pub fn set_initial_state(&mut self, amplitudes: &[Complex]) -> Result<(), SimError> {
+        if self.cursor != 0 {
+            return Err(SimError::InvalidTransition {
+                reason: "initial state must be set before stepping",
+            });
+        }
+        let state = self.dd.state_from_amplitudes(amplitudes)?;
+        self.set_state(state);
+        Ok(())
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &QuantumCircuit {
+        &self.circuit
+    }
+
+    /// The current state edge.
+    pub fn state(&self) -> VecEdge {
+        self.state
+    }
+
+    /// The decision-diagram package (for inspection/visualization).
+    pub fn package(&self) -> &DdPackage {
+        &self.dd
+    }
+
+    /// Mutable package access (e.g. to compute probabilities).
+    pub fn package_mut(&mut self) -> &mut DdPackage {
+        &mut self.dd
+    }
+
+    /// The classical bits recorded so far.
+    pub fn classical_bits(&self) -> &[bool] {
+        &self.classical
+    }
+
+    /// The recorded value of classical register `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not a declared register.
+    pub fn creg(&self, index: usize) -> u64 {
+        let reg = &self.circuit.cregs()[index];
+        creg_value(&self.classical, reg.offset, reg.size)
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Runs the remainder of the circuit to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from invalid operations.
+    pub fn run(&mut self) -> Result<VecEdge, SimError> {
+        while self.cursor < self.circuit.len() {
+            self.step()?;
+        }
+        Ok(self.state)
+    }
+
+    /// Applies the next operation; returns `false` when the circuit is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from invalid operations.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        if self.cursor >= self.circuit.len() {
+            return Ok(false);
+        }
+        let op = self.circuit.ops()[self.cursor].clone();
+        self.cursor += 1;
+        self.apply_operation(&op)?;
+        if self.dd.live_node_estimate() > AUTO_GC_THRESHOLD {
+            self.dd.garbage_collect();
+        }
+        let nodes = self.dd.vec_node_count(self.state);
+        self.stats.nodes_per_step.push(nodes);
+        self.stats.peak_nodes = self.stats.peak_nodes.max(nodes);
+        self.stats.applied_ops += 1;
+        Ok(true)
+    }
+
+    fn set_state(&mut self, new_state: VecEdge) {
+        self.dd.inc_ref_vec(new_state);
+        self.dd.dec_ref_vec(self.state);
+        self.state = new_state;
+    }
+
+    /// Applies one operation to the current state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for out-of-range classical bits or
+    /// package-level failures.
+    pub fn apply_operation(&mut self, op: &Operation) -> Result<(), SimError> {
+        match op {
+            Operation::Barrier => {}
+            Operation::Gate(g) => {
+                if let Some(cond) = g.condition {
+                    let reg = &self.circuit.cregs()[cond.creg];
+                    let value = creg_value(&self.classical, reg.offset, reg.size);
+                    if value != cond.value {
+                        return Ok(());
+                    }
+                }
+                let new_state =
+                    self.dd
+                        .apply_gate(self.state, g.gate.matrix(), &g.controls, g.target)?;
+                self.set_state(new_state);
+            }
+            Operation::Swap { .. } => {
+                let mut s = self.state;
+                for g in op.to_gate_sequence().expect("swap is unitary") {
+                    s = self.dd.apply_gate(s, g.gate.matrix(), &g.controls, g.target)?;
+                }
+                self.set_state(s);
+            }
+            Operation::Measure { qubit, bit } => {
+                if *bit >= self.classical.len() {
+                    return Err(SimError::BitOutOfRange {
+                        bit: *bit,
+                        num_bits: self.classical.len(),
+                    });
+                }
+                let (outcome, _p, new_state) =
+                    self.dd.measure(self.state, *qubit, &mut self.rng)?;
+                self.classical[*bit] = outcome.as_bool();
+                self.set_state(new_state);
+            }
+            Operation::Reset { qubit } => {
+                let new_state = self.dd.reset(self.state, *qubit, &mut self.rng)?;
+                self.set_state(new_state);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces a specific outcome for the next measurement-like collapse —
+    /// useful for scripting the paper's Fig. 8 walk-through.
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ImpossibleOutcome`](qdd_core::DdError::ImpossibleOutcome)
+    /// if the outcome has probability ≈ 0.
+    pub fn measure_with_outcome(
+        &mut self,
+        qubit: usize,
+        bit: usize,
+        outcome: MeasurementOutcome,
+    ) -> Result<(), SimError> {
+        if bit >= self.classical.len() {
+            return Err(SimError::BitOutOfRange {
+                bit,
+                num_bits: self.classical.len(),
+            });
+        }
+        let new_state = self.dd.collapse(self.state, qubit, outcome)?;
+        self.classical[bit] = outcome.as_bool();
+        self.set_state(new_state);
+        Ok(())
+    }
+
+    /// Samples `shots` basis states from the **current** state
+    /// (non-destructively, paper ref \[16\]).
+    pub fn sample(&mut self, shots: u64) -> FxHashMap<u64, u64> {
+        self.dd.sample(self.state, shots, &mut self.rng)
+    }
+
+    /// The amplitude of one basis state of the current state.
+    pub fn amplitude(&self, basis: u64) -> Complex {
+        self.dd.amplitude(self.state, basis)
+    }
+
+    /// Dense export of the current state (small registers only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for registers above 24 qubits.
+    pub fn dense_state(&self) -> Vec<Complex> {
+        self.dd.to_dense_vector(self.state, self.circuit.num_qubits())
+    }
+
+    /// The node count of the current state DD.
+    pub fn node_count(&self) -> usize {
+        self.dd.vec_node_count(self.state)
+    }
+
+    /// Runs the whole circuit once and returns `(final state, simulator)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn simulate(circuit: QuantumCircuit, seed: u64) -> Result<DdSimulator, SimError> {
+        let mut sim = Self::with_seed(circuit, seed);
+        sim.run()?;
+        Ok(sim)
+    }
+
+    /// Repeats the full circuit `shots` times (fresh state each time) and
+    /// histograms the final **classical** bits — needed when mid-circuit
+    /// measurements make single-run sampling insufficient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn run_shots(
+        circuit: &QuantumCircuit,
+        shots: u64,
+        seed: u64,
+    ) -> Result<FxHashMap<u64, u64>, SimError> {
+        let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+        for shot in 0..shots {
+            let mut sim = Self::with_seed(circuit.clone(), seed.wrapping_add(shot));
+            sim.run()?;
+            let value = creg_value(&sim.classical, 0, sim.classical.len());
+            *counts.entry(value).or_insert(0) += 1;
+        }
+        Ok(counts)
+    }
+
+    /// Collects garbage in the underlying package, keeping the live state.
+    pub fn collect_garbage(&mut self) {
+        self.dd.garbage_collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_circuit::library;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    #[test]
+    fn bell_state_amplitudes_match_example_5() {
+        let mut sim = DdSimulator::with_seed(library::bell(), 1);
+        sim.run().unwrap();
+        let amps = sim.dense_state();
+        assert!(amps[0].approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(amps[3].approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
+        assert!(amps[1].approx_eq(Complex::ZERO, 1e-12));
+        assert!(amps[2].approx_eq(Complex::ZERO, 1e-12));
+    }
+
+    #[test]
+    fn ghz_has_linear_node_count() {
+        let mut sim = DdSimulator::with_seed(library::ghz(10), 1);
+        sim.run().unwrap();
+        // Two disjoint chains below the root: 2n - 1 nodes (3 for Bell).
+        assert_eq!(sim.node_count(), 19, "GHZ grows linearly, not exponentially");
+    }
+
+    #[test]
+    fn stats_track_peak_nodes() {
+        let mut sim = DdSimulator::with_seed(library::qft(4, true), 1);
+        sim.run().unwrap();
+        let stats = sim.stats();
+        assert_eq!(stats.applied_ops, sim.circuit().len());
+        assert!(stats.peak_nodes >= 4);
+        assert_eq!(
+            stats.peak_nodes,
+            stats.nodes_per_step.iter().copied().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn measurement_writes_classical_bits() {
+        let mut qc = library::bell();
+        qc.add_creg("c", 2);
+        qc.measure(0, 0).measure(1, 1);
+        let mut sim = DdSimulator::with_seed(qc, 5);
+        sim.run().unwrap();
+        let bits = sim.classical_bits();
+        // Entangled: both bits agree.
+        assert_eq!(bits[0], bits[1]);
+    }
+
+    #[test]
+    fn forced_measurement_reproduces_fig_8() {
+        let mut sim = DdSimulator::with_seed(library::bell(), 1);
+        sim.run().unwrap();
+        let mut qc_bits = library::bell();
+        qc_bits.add_creg("c", 1);
+        let mut sim = DdSimulator::with_seed(qc_bits, 1);
+        sim.run().unwrap();
+        sim.measure_with_outcome(0, 0, MeasurementOutcome::One).unwrap();
+        let amps = sim.dense_state();
+        assert!(amps[3].abs() > 0.999, "post-measurement state |11⟩");
+    }
+
+    #[test]
+    fn classical_condition_controls_gate() {
+        // Measure |1⟩ then conditionally flip another qubit.
+        let mut qc = qdd_circuit::QuantumCircuit::new(2);
+        let c = qc.add_creg("c", 1);
+        qc.x(0);
+        qc.measure(0, 0);
+        qc.gate_if(
+            qdd_circuit::StandardGate::X,
+            vec![],
+            1,
+            qdd_circuit::Condition { creg: c, value: 1 },
+        );
+        let mut sim = DdSimulator::with_seed(qc, 3);
+        sim.run().unwrap();
+        let amps = sim.dense_state();
+        assert!(amps[0b11].abs() > 0.999);
+    }
+
+    #[test]
+    fn classical_condition_that_fails_is_skipped() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(2);
+        let c = qc.add_creg("c", 1);
+        qc.measure(0, 0); // records 0
+        qc.gate_if(
+            qdd_circuit::StandardGate::X,
+            vec![],
+            1,
+            qdd_circuit::Condition { creg: c, value: 1 },
+        );
+        let mut sim = DdSimulator::with_seed(qc, 3);
+        sim.run().unwrap();
+        let amps = sim.dense_state();
+        assert!(amps[0].abs() > 0.999, "gate must not fire");
+    }
+
+    #[test]
+    fn reset_reinitializes_qubit() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(2);
+        qc.h(0).cx(0, 1).reset(0);
+        let mut sim = DdSimulator::with_seed(qc, 11);
+        sim.run().unwrap();
+        let state = sim.state();
+        let p1 = sim.package_mut().prob_one(state, 0);
+        assert!(p1 < 1e-12, "q0 is |0⟩ after reset");
+    }
+
+    #[test]
+    fn swap_operation_swaps() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(2);
+        qc.x(0).swap(0, 1);
+        let mut sim = DdSimulator::with_seed(qc, 1);
+        sim.run().unwrap();
+        let amps = sim.dense_state();
+        assert!(amps[0b10].abs() > 0.999);
+    }
+
+    #[test]
+    fn run_shots_histograms_classical_outcomes() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(1);
+        qc.add_creg("c", 1);
+        qc.h(0).measure(0, 0);
+        let counts = DdSimulator::run_shots(&qc, 400, 17).unwrap();
+        let ones = *counts.get(&1).unwrap_or(&0) as f64;
+        assert!((ones / 400.0 - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        let marked = 5u64;
+        let mut sim = DdSimulator::with_seed(library::grover(3, marked), 2);
+        sim.run().unwrap();
+        let amps = sim.dense_state();
+        let p_marked = amps[marked as usize].norm_sqr();
+        assert!(p_marked > 0.8, "marked probability {p_marked}");
+    }
+
+    #[test]
+    fn bv_reveals_secret_deterministically() {
+        let secret = 0b1101u64;
+        let mut sim = DdSimulator::with_seed(library::bernstein_vazirani(4, secret), 3);
+        sim.run().unwrap();
+        // Data qubits are 1..=4; ancilla q0 holds |−⟩.
+        let mut counts = sim.sample(64);
+        let (basis, _) = counts.drain().max_by_key(|&(_, c)| c).unwrap();
+        assert_eq!((basis >> 1) & 0b1111, secret);
+    }
+
+    /// Regression: with a coarse interning tolerance, snapping noise
+    /// (≈ tolerance-sized perturbations re-entering arithmetic) used to
+    /// fragment Grover diagrams beyond 13 qubits from ~2n nodes into
+    /// thousands. The default tolerance must keep them compact.
+    #[test]
+    fn grover_16_stays_compact() {
+        let n = 16;
+        let mut sim = DdSimulator::with_seed(library::grover(n, (1 << n) - 1), 1);
+        sim.run().unwrap();
+        assert!(
+            sim.stats().peak_nodes <= 4 * n,
+            "peak {} nodes — interning-noise fragmentation is back",
+            sim.stats().peak_nodes
+        );
+        let p = sim.amplitude((1 << n) - 1).norm_sqr();
+        assert!(p > 0.99, "P(marked) = {p}");
+    }
+
+    #[test]
+    fn gc_keeps_live_state() {
+        let mut sim = DdSimulator::with_seed(library::qft(5, true), 1);
+        sim.run().unwrap();
+        let before = sim.dense_state();
+        sim.collect_garbage();
+        let after = sim.dense_state();
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert!(a.approx_eq(*b, 1e-12));
+        }
+    }
+}

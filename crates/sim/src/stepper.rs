@@ -1,0 +1,480 @@
+//! Interactive, navigable simulation — the semantics of the paper tool's
+//! simulation tab (§IV-B).
+//!
+//! The web tool offers `→ / ←` single-stepping, `⏮ / ⏭` jumps (the latter
+//! stopping at *special operations*), a slide-show mode, and pop-up dialogs
+//! whenever a measurement or reset hits a qubit in superposition. This
+//! module models those controls as a state machine:
+//!
+//! * [`SteppableSimulation::step_forward`] applies one operation — or
+//!   returns [`StepOutcome::NeedsChoice`], the library form of the pop-up
+//!   dialog, holding both outcome probabilities;
+//! * [`SteppableSimulation::choose`] resolves the dialog and commits the
+//!   irreversible collapse;
+//! * [`SteppableSimulation::step_back`] walks history (snapshots of the
+//!   shared diagram, so this is cheap);
+//! * [`SteppableSimulation::fast_forward`] runs to the next barrier,
+//!   choice point, or the end — the tool's `⏭`.
+
+use crate::creg_value;
+use crate::error::SimError;
+use qdd_circuit::{Operation, QuantumCircuit};
+use qdd_core::{DdPackage, MeasurementOutcome, VecEdge};
+
+/// Why a choice is pending.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChoiceKind {
+    /// A `measure` op: the chosen outcome is recorded into `bit`.
+    Measurement {
+        /// Classical bit receiving the outcome.
+        bit: usize,
+    },
+    /// A `reset` op: the chosen branch is kept, then relabelled `|0⟩`.
+    Reset,
+}
+
+/// The library form of the tool's measurement/reset pop-up dialog.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PendingChoice {
+    /// The qubit being measured or reset.
+    pub qubit: usize,
+    /// Probability of observing `|0⟩`.
+    pub p0: f64,
+    /// Probability of observing `|1⟩`.
+    pub p1: f64,
+    /// Measurement or reset.
+    pub kind: ChoiceKind,
+}
+
+/// Result of a navigation call.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum StepOutcome {
+    /// The operation at `op_index` was applied.
+    Applied {
+        /// Index of the applied operation.
+        op_index: usize,
+    },
+    /// A dialog is open; resolve it with
+    /// [`SteppableSimulation::choose`].
+    NeedsChoice(PendingChoice),
+    /// The circuit is exhausted.
+    AtEnd,
+}
+
+/// An interactive simulation session over one circuit.
+#[derive(Debug)]
+pub struct SteppableSimulation {
+    dd: DdPackage,
+    circuit: QuantumCircuit,
+    cursor: usize,
+    state: VecEdge,
+    classical: Vec<bool>,
+    /// Pre-op snapshots, one per applied operation.
+    history: Vec<(VecEdge, Vec<bool>)>,
+    pending: Option<PendingChoice>,
+}
+
+impl SteppableSimulation {
+    /// Opens a session on `circuit`, positioned before the first operation
+    /// in state `|0…0⟩` (the tool's initial screen, Fig. 8(a)).
+    pub fn new(circuit: QuantumCircuit) -> Self {
+        let mut dd = DdPackage::new();
+        let state = dd
+            .zero_state(circuit.num_qubits())
+            .expect("circuit widths are validated at construction");
+        dd.inc_ref_vec(state);
+        let classical = vec![false; circuit.num_clbits()];
+        SteppableSimulation {
+            dd,
+            circuit,
+            cursor: 0,
+            state,
+            classical,
+            history: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// The circuit under simulation.
+    pub fn circuit(&self) -> &QuantumCircuit {
+        &self.circuit
+    }
+
+    /// The decision-diagram package, for visualization.
+    pub fn package(&self) -> &DdPackage {
+        &self.dd
+    }
+
+    /// Mutable package access.
+    pub fn package_mut(&mut self) -> &mut DdPackage {
+        &mut self.dd
+    }
+
+    /// The current state diagram.
+    pub fn state(&self) -> VecEdge {
+        self.state
+    }
+
+    /// The classical bits recorded so far.
+    pub fn classical_bits(&self) -> &[bool] {
+        &self.classical
+    }
+
+    /// The number of operations applied so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// `true` once every operation has been applied.
+    pub fn is_finished(&self) -> bool {
+        self.cursor >= self.circuit.len() && self.pending.is_none()
+    }
+
+    /// The open dialog, if any.
+    pub fn pending(&self) -> Option<PendingChoice> {
+        self.pending
+    }
+
+    /// The next operation to be applied.
+    pub fn next_op(&self) -> Option<&Operation> {
+        self.circuit.ops().get(self.cursor)
+    }
+
+    fn set_state(&mut self, new_state: VecEdge) {
+        self.dd.inc_ref_vec(new_state);
+        self.dd.dec_ref_vec(self.state);
+        self.state = new_state;
+    }
+
+    fn snapshot(&mut self) {
+        self.dd.inc_ref_vec(self.state);
+        self.history.push((self.state, self.classical.clone()));
+    }
+
+    /// Applies the next operation (the tool's `→`).
+    ///
+    /// Measurements and resets on qubits in superposition open a dialog
+    /// instead of advancing; repeated calls return the same
+    /// [`StepOutcome::NeedsChoice`] until [`Self::choose`] is called.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from invalid operations.
+    pub fn step_forward(&mut self) -> Result<StepOutcome, SimError> {
+        if let Some(p) = self.pending {
+            return Ok(StepOutcome::NeedsChoice(p));
+        }
+        if self.cursor >= self.circuit.len() {
+            return Ok(StepOutcome::AtEnd);
+        }
+        let op = self.circuit.ops()[self.cursor].clone();
+        match &op {
+            Operation::Barrier => {
+                self.snapshot();
+                self.cursor += 1;
+                Ok(StepOutcome::Applied { op_index: self.cursor - 1 })
+            }
+            Operation::Gate(g) => {
+                if let Some(cond) = g.condition {
+                    let reg = &self.circuit.cregs()[cond.creg];
+                    if creg_value(&self.classical, reg.offset, reg.size) != cond.value {
+                        self.snapshot();
+                        self.cursor += 1;
+                        return Ok(StepOutcome::Applied { op_index: self.cursor - 1 });
+                    }
+                }
+                let new_state =
+                    self.dd
+                        .apply_gate(self.state, g.gate.matrix(), &g.controls, g.target)?;
+                self.snapshot();
+                self.set_state(new_state);
+                self.cursor += 1;
+                Ok(StepOutcome::Applied { op_index: self.cursor - 1 })
+            }
+            Operation::Swap { .. } => {
+                let mut s = self.state;
+                for g in op.to_gate_sequence().expect("swap is unitary") {
+                    s = self.dd.apply_gate(s, g.gate.matrix(), &g.controls, g.target)?;
+                }
+                self.snapshot();
+                self.set_state(s);
+                self.cursor += 1;
+                Ok(StepOutcome::Applied { op_index: self.cursor - 1 })
+            }
+            Operation::Measure { qubit, bit } => {
+                if *bit >= self.classical.len() {
+                    return Err(SimError::BitOutOfRange {
+                        bit: *bit,
+                        num_bits: self.classical.len(),
+                    });
+                }
+                self.open_choice(*qubit, ChoiceKind::Measurement { bit: *bit })
+            }
+            Operation::Reset { qubit } => self.open_choice(*qubit, ChoiceKind::Reset),
+        }
+    }
+
+    fn open_choice(&mut self, qubit: usize, kind: ChoiceKind) -> Result<StepOutcome, SimError> {
+        let (p0, p1) = self.dd.qubit_probabilities(self.state, qubit);
+        const TOL: f64 = 1e-12;
+        if p1 < TOL || p0 < TOL {
+            // The qubit is not in superposition: the tool applies the
+            // operation silently, no dialog.
+            let outcome = MeasurementOutcome::from(p0 < TOL);
+            self.commit_choice(qubit, kind, outcome)?;
+            return Ok(StepOutcome::Applied { op_index: self.cursor - 1 });
+        }
+        let pending = PendingChoice { qubit, p0, p1, kind };
+        self.pending = Some(pending);
+        Ok(StepOutcome::NeedsChoice(pending))
+    }
+
+    /// Resolves the open dialog with `outcome` (the user clicking `|0⟩` or
+    /// `|1⟩` in Fig. 8(c)) and commits the irreversible collapse.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidTransition`] if no dialog is open;
+    /// [`DdError::ImpossibleOutcome`](qdd_core::DdError::ImpossibleOutcome)
+    /// if the chosen branch has probability ≈ 0.
+    pub fn choose(&mut self, outcome: MeasurementOutcome) -> Result<(), SimError> {
+        let Some(p) = self.pending else {
+            return Err(SimError::InvalidTransition {
+                reason: "no pending measurement or reset to resolve",
+            });
+        };
+        self.commit_choice(p.qubit, p.kind, outcome)?;
+        self.pending = None;
+        Ok(())
+    }
+
+    fn commit_choice(
+        &mut self,
+        qubit: usize,
+        kind: ChoiceKind,
+        outcome: MeasurementOutcome,
+    ) -> Result<(), SimError> {
+        let new_state = match kind {
+            ChoiceKind::Measurement { .. } => self.dd.collapse(self.state, qubit, outcome)?,
+            ChoiceKind::Reset => self.dd.reset_with_outcome(self.state, qubit, outcome)?,
+        };
+        self.snapshot();
+        if let ChoiceKind::Measurement { bit } = kind {
+            self.classical[bit] = outcome.as_bool();
+        }
+        self.set_state(new_state);
+        self.cursor += 1;
+        Ok(())
+    }
+
+    /// Steps one operation back (the tool's `←`). An open dialog is
+    /// dismissed first. Returns `false` at the very beginning.
+    pub fn step_back(&mut self) -> bool {
+        if self.pending.take().is_some() {
+            return true;
+        }
+        let Some((state, classical)) = self.history.pop() else {
+            return false;
+        };
+        self.dd.dec_ref_vec(self.state);
+        // The popped snapshot already carries a reference.
+        self.state = state;
+        self.classical = classical;
+        self.cursor -= 1;
+        true
+    }
+
+    /// Rewinds to the initial state (the tool's `⏮`).
+    pub fn to_start(&mut self) {
+        while self.step_back() {}
+    }
+
+    /// Runs forward until a barrier has been applied, a dialog opens, or
+    /// the circuit ends (the tool's `⏭`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`].
+    pub fn fast_forward(&mut self) -> Result<StepOutcome, SimError> {
+        loop {
+            let was_barrier = matches!(self.next_op(), Some(Operation::Barrier));
+            let outcome = self.step_forward()?;
+            match outcome {
+                StepOutcome::Applied { .. } if was_barrier => return Ok(outcome),
+                StepOutcome::Applied { .. } => continue,
+                other => return Ok(other),
+            }
+        }
+    }
+
+    /// Node count of the current state diagram.
+    pub fn node_count(&self) -> usize {
+        self.dd.vec_node_count(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_circuit::library;
+    use qdd_complex::Complex;
+    use std::f64::consts::FRAC_1_SQRT_2;
+
+    fn bell_with_measure() -> QuantumCircuit {
+        let mut qc = library::bell();
+        qc.add_creg("c", 1);
+        qc.measure(0, 0);
+        qc
+    }
+
+    /// The full Fig. 8 walk-through: |00⟩ → Bell → measure q0 = 1 → |11⟩.
+    #[test]
+    fn fig_8_walkthrough() {
+        let mut s = SteppableSimulation::new(bell_with_measure());
+        // (a) initial |00⟩
+        assert_eq!(s.node_count(), 2);
+        // apply H, CX
+        assert!(matches!(s.step_forward().unwrap(), StepOutcome::Applied { op_index: 0 }));
+        assert!(matches!(s.step_forward().unwrap(), StepOutcome::Applied { op_index: 1 }));
+        // (b) Bell state
+        let amps = s.dd.to_dense_vector(s.state(), 2);
+        assert!(amps[0].approx_eq(Complex::real(FRAC_1_SQRT_2), 1e-12));
+        // (c) measurement dialog with 50/50
+        let out = s.step_forward().unwrap();
+        match out {
+            StepOutcome::NeedsChoice(p) => {
+                assert_eq!(p.qubit, 0);
+                assert!((p.p0 - 0.5).abs() < 1e-12);
+                assert!((p.p1 - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected dialog, got {other:?}"),
+        }
+        // (d) choose |1⟩ → |11⟩
+        s.choose(MeasurementOutcome::One).unwrap();
+        let amps = s.dd.to_dense_vector(s.state(), 2);
+        assert!(amps[3].abs() > 0.999);
+        assert!(s.classical_bits()[0]);
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn dialog_is_idempotent_until_resolved() {
+        let mut s = SteppableSimulation::new(bell_with_measure());
+        s.step_forward().unwrap();
+        s.step_forward().unwrap();
+        let a = s.step_forward().unwrap();
+        let b = s.step_forward().unwrap();
+        assert_eq!(a, b);
+        assert!(matches!(a, StepOutcome::NeedsChoice(_)));
+    }
+
+    #[test]
+    fn choose_without_dialog_errors() {
+        let mut s = SteppableSimulation::new(library::bell());
+        assert!(matches!(
+            s.choose(MeasurementOutcome::Zero),
+            Err(SimError::InvalidTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn step_back_restores_states() {
+        let mut s = SteppableSimulation::new(library::bell());
+        s.step_forward().unwrap();
+        s.step_forward().unwrap();
+        let bell_nodes = s.node_count();
+        assert!(s.step_back());
+        assert!(s.step_back());
+        assert_eq!(s.position(), 0);
+        assert_eq!(s.node_count(), 2, "back to |00⟩");
+        assert!(!s.step_back(), "cannot step before the start");
+        // Forward again reproduces the Bell state.
+        s.step_forward().unwrap();
+        s.step_forward().unwrap();
+        assert_eq!(s.node_count(), bell_nodes);
+    }
+
+    #[test]
+    fn step_back_dismisses_dialog() {
+        let mut s = SteppableSimulation::new(bell_with_measure());
+        s.step_forward().unwrap();
+        s.step_forward().unwrap();
+        assert!(matches!(s.step_forward().unwrap(), StepOutcome::NeedsChoice(_)));
+        assert!(s.step_back());
+        assert!(s.pending().is_none());
+        // Still positioned before the measurement.
+        assert_eq!(s.position(), 2);
+    }
+
+    #[test]
+    fn deterministic_measurement_skips_dialog() {
+        let mut qc = QuantumCircuit::new(1);
+        qc.add_creg("c", 1);
+        qc.x(0).measure(0, 0);
+        let mut s = SteppableSimulation::new(qc);
+        s.step_forward().unwrap();
+        let out = s.step_forward().unwrap();
+        assert!(matches!(out, StepOutcome::Applied { .. }));
+        assert!(s.classical_bits()[0]);
+    }
+
+    #[test]
+    fn fast_forward_stops_at_barriers() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.h(0).barrier().h(1).barrier().cx(0, 1);
+        let mut s = SteppableSimulation::new(qc);
+        let out = s.fast_forward().unwrap();
+        assert!(matches!(out, StepOutcome::Applied { op_index: 1 }));
+        assert_eq!(s.position(), 2, "stopped right after the first barrier");
+        let out = s.fast_forward().unwrap();
+        assert!(matches!(out, StepOutcome::Applied { op_index: 3 }));
+        let out = s.fast_forward().unwrap();
+        assert!(matches!(out, StepOutcome::AtEnd));
+        assert!(s.is_finished());
+    }
+
+    #[test]
+    fn fast_forward_stops_at_dialogs() {
+        let mut s = SteppableSimulation::new(bell_with_measure());
+        let out = s.fast_forward().unwrap();
+        assert!(matches!(out, StepOutcome::NeedsChoice(_)));
+    }
+
+    #[test]
+    fn to_start_resets_everything() {
+        let mut s = SteppableSimulation::new(bell_with_measure());
+        s.fast_forward().unwrap();
+        s.choose(MeasurementOutcome::Zero).unwrap();
+        assert!(s.is_finished());
+        s.to_start();
+        assert_eq!(s.position(), 0);
+        assert!(!s.classical_bits()[0]);
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn conditioned_gate_in_stepper() {
+        let mut qc = QuantumCircuit::new(2);
+        let c = qc.add_creg("c", 1);
+        qc.x(0);
+        qc.measure(0, 0);
+        qc.gate_if(
+            qdd_circuit::StandardGate::X,
+            vec![],
+            1,
+            qdd_circuit::Condition { creg: c, value: 1 },
+        );
+        let mut s = SteppableSimulation::new(qc);
+        while !s.is_finished() {
+            match s.step_forward().unwrap() {
+                StepOutcome::NeedsChoice(_) => s.choose(MeasurementOutcome::One).unwrap(),
+                StepOutcome::AtEnd => break,
+                StepOutcome::Applied { .. } => {}
+            }
+        }
+        let amps = s.dd.to_dense_vector(s.state(), 2);
+        assert!(amps[0b11].abs() > 0.999);
+    }
+
+    use qdd_circuit::QuantumCircuit;
+}

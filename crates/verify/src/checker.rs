@@ -1,0 +1,576 @@
+//! The equivalence checker.
+
+use crate::error::VerifyError;
+use crate::result::{Counterexample, Equivalence, EquivalenceReport, Strategy};
+use qdd_circuit::{GateApplication, Operation, QuantumCircuit};
+use qdd_core::{DdPackage, MatEdge};
+
+/// Node-arena size that triggers an intermediate garbage collection.
+const GC_THRESHOLD: usize = 500_000;
+
+/// One primitive step of a flattened circuit.
+#[derive(Clone, Debug)]
+enum Flat {
+    Gate(GateApplication),
+    Barrier,
+}
+
+/// Checks circuit equivalence on decision diagrams.
+///
+/// A checker owns its [`DdPackage`]; reusing one checker across many checks
+/// shares gate diagrams and cache entries.
+#[derive(Debug, Default)]
+pub struct EquivalenceChecker {
+    dd: DdPackage,
+}
+
+impl EquivalenceChecker {
+    /// Creates a checker with a fresh package.
+    pub fn new() -> Self {
+        EquivalenceChecker {
+            dd: DdPackage::new(),
+        }
+    }
+
+    /// Read access to the underlying package (for visualization of the
+    /// working diagram).
+    pub fn package(&self) -> &DdPackage {
+        &self.dd
+    }
+
+    /// Checks whether `left` and `right` realize the same unitary.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::WidthMismatch`] for circuits of different sizes,
+    /// [`VerifyError::NonUnitary`] if either circuit contains measurements,
+    /// resets, or classically-conditioned gates.
+    pub fn check(
+        &mut self,
+        left: &QuantumCircuit,
+        right: &QuantumCircuit,
+        strategy: Strategy,
+    ) -> Result<EquivalenceReport, VerifyError> {
+        if left.num_qubits() != right.num_qubits() {
+            return Err(VerifyError::WidthMismatch {
+                left: left.num_qubits(),
+                right: right.num_qubits(),
+            });
+        }
+        let n = left.num_qubits();
+        let lflat = flatten(left, 0)?;
+        let rflat = flatten(right, 1)?;
+        match strategy {
+            Strategy::Construction => self.check_construction(&lflat, &rflat, n),
+            _ => self.check_alternating(&lflat, &rflat, n, strategy),
+        }
+    }
+
+    /// Builds the full system matrix of a flattened circuit, recording node
+    /// counts (Example 10/11's route).
+    fn build_system_matrix(
+        &mut self,
+        flat: &[Flat],
+        n: usize,
+        trace: &mut Vec<usize>,
+    ) -> Result<MatEdge, VerifyError> {
+        let mut u = self.dd.identity(n)?;
+        for step in flat {
+            let Flat::Gate(g) = step else { continue };
+            let gate = self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
+            u = self.dd.mat_mat(gate, u);
+            trace.push(self.dd.mat_node_count(u));
+            self.maybe_gc(&mut [u]);
+        }
+        Ok(u)
+    }
+
+    fn check_construction(
+        &mut self,
+        lflat: &[Flat],
+        rflat: &[Flat],
+        n: usize,
+    ) -> Result<EquivalenceReport, VerifyError> {
+        let mut trace = Vec::new();
+        let u1 = self.build_system_matrix(lflat, n, &mut trace)?;
+        self.dd.inc_ref_mat(u1);
+        let u2 = self.build_system_matrix(rflat, n, &mut trace)?;
+        self.dd.dec_ref_mat(u1);
+        let peak = trace.iter().copied().max().unwrap_or(0);
+
+        // Fast path: canonicity makes equal functionalities the identical
+        // edge (Example 11). Beyond a handful of qubits, however, the two
+        // independently built diagrams accumulate floating-point error past
+        // the interning tolerance and stop being pointer-equal even for
+        // equivalent circuits — so the slow path decides numerically on
+        // `U₂† · U₁ ≈ e^{iθ}·I`.
+        let mut counterexample = None;
+        let result = if u1 == u2 {
+            Equivalence::Equivalent
+        } else if u1.node == u2.node {
+            let w1 = self.dd.complex_value(u1.weight);
+            let w2 = self.dd.complex_value(u2.weight);
+            let ratio = w1 / w2;
+            if (ratio.abs() - 1.0).abs() < 1e-9 {
+                Equivalence::EquivalentUpToGlobalPhase { phase: ratio.arg() }
+            } else {
+                Equivalence::NotEquivalent
+            }
+        } else {
+            let u2d = self.dd.adjoint_mat(u2);
+            let m = self.dd.mat_mat(u2d, u1);
+            match self.find_magnitude_deviation(m, n) {
+                Some(cx) => {
+                    counterexample = Some(cx);
+                    Equivalence::NotEquivalent
+                }
+                None => {
+                    let reference = self.dd.matrix_entry(m, 0, 0);
+                    if reference.approx_eq(qdd_complex::Complex::ONE, 1e-9) {
+                        Equivalence::Equivalent
+                    } else {
+                        Equivalence::EquivalentUpToGlobalPhase { phase: reference.arg() }
+                    }
+                }
+            }
+        };
+        Ok(EquivalenceReport {
+            result,
+            strategy: Strategy::Construction,
+            nodes_per_step: trace,
+            peak_nodes: peak,
+            applied_left: count_gates(lflat),
+            applied_right: count_gates(rflat),
+            counterexample,
+        })
+    }
+
+    fn check_alternating(
+        &mut self,
+        lflat: &[Flat],
+        rflat: &[Flat],
+        n: usize,
+        strategy: Strategy,
+    ) -> Result<EquivalenceReport, VerifyError> {
+        let lgates: Vec<&GateApplication> = lflat
+            .iter()
+            .filter_map(|f| match f {
+                Flat::Gate(g) => Some(g),
+                Flat::Barrier => None,
+            })
+            .collect();
+        let m1 = lgates.len();
+        let m2 = count_gates(rflat);
+
+        let mut m = self.dd.identity(n)?;
+        let mut trace = vec![self.dd.mat_node_count(m)];
+        let mut i = 0usize; // applied left gates
+        let mut j = 0usize; // applied right gates
+        let mut r_cursor = 0usize; // position in rflat (includes barriers)
+
+        // Applies the next left gate: m ← U_i · m.
+        macro_rules! apply_left {
+            () => {{
+                let g = lgates[i];
+                let gate = self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
+                m = self.dd.mat_mat(gate, m);
+                i += 1;
+                trace.push(self.dd.mat_node_count(m));
+                self.maybe_gc(&mut [m]);
+            }};
+        }
+        // Applies the next right gate (skipping barriers): m ← m · V_j†.
+        macro_rules! apply_right {
+            () => {{
+                while matches!(rflat.get(r_cursor), Some(Flat::Barrier)) {
+                    r_cursor += 1;
+                }
+                if let Some(Flat::Gate(g)) = rflat.get(r_cursor) {
+                    let inv = g.gate.inverse();
+                    let gate = self.dd.gate_dd(inv.matrix(), &g.controls, g.target, n)?;
+                    m = self.dd.mat_mat(m, gate);
+                    j += 1;
+                    r_cursor += 1;
+                    trace.push(self.dd.mat_node_count(m));
+                    self.maybe_gc(&mut [m]);
+                }
+            }};
+        }
+
+        match strategy {
+            Strategy::OneToOne => {
+                while i < m1 || j < m2 {
+                    if i < m1 {
+                        apply_left!();
+                    }
+                    if j < m2 {
+                        apply_right!();
+                    }
+                }
+            }
+            Strategy::Proportional => {
+                while i < m1 {
+                    apply_left!();
+                    while j < m2 && j * m1 < i * m2 {
+                        apply_right!();
+                    }
+                }
+                while j < m2 {
+                    apply_right!();
+                }
+            }
+            Strategy::BarrierGuided => {
+                while i < m1 {
+                    apply_left!();
+                    // Right side: everything up to and including the next
+                    // barrier (Example 12).
+                    loop {
+                        match rflat.get(r_cursor) {
+                            Some(Flat::Barrier) => {
+                                r_cursor += 1;
+                                break;
+                            }
+                            Some(Flat::Gate(_)) => apply_right!(),
+                            None => break,
+                        }
+                    }
+                }
+                while j < m2 {
+                    apply_right!();
+                }
+            }
+            Strategy::Lookahead => {
+                while i < m1 && j < m2 {
+                    // Evaluate both candidates; keep the smaller diagram.
+                    let lg = lgates[i];
+                    let lgate =
+                        self.dd
+                            .gate_dd(lg.gate.matrix(), &lg.controls, lg.target, n)?;
+                    let cand_left = self.dd.mat_mat(lgate, m);
+                    let left_nodes = self.dd.mat_node_count(cand_left);
+
+                    let mut peek = r_cursor;
+                    while matches!(rflat.get(peek), Some(Flat::Barrier)) {
+                        peek += 1;
+                    }
+                    let (cand_right, right_nodes) = if let Some(Flat::Gate(g)) = rflat.get(peek) {
+                        let inv = g.gate.inverse();
+                        let gate =
+                            self.dd.gate_dd(inv.matrix(), &g.controls, g.target, n)?;
+                        let c = self.dd.mat_mat(m, gate);
+                        let nodes = self.dd.mat_node_count(c);
+                        (Some((c, peek)), nodes)
+                    } else {
+                        (None, usize::MAX)
+                    };
+
+                    if left_nodes <= right_nodes {
+                        m = cand_left;
+                        i += 1;
+                        trace.push(left_nodes);
+                    } else if let Some((c, peek)) = cand_right {
+                        m = c;
+                        j += 1;
+                        r_cursor = peek + 1;
+                        trace.push(right_nodes);
+                    }
+                    self.maybe_gc(&mut [m]);
+                }
+                while i < m1 {
+                    apply_left!();
+                }
+                while j < m2 {
+                    apply_right!();
+                }
+            }
+            Strategy::Construction => unreachable!("handled in check()"),
+        }
+
+        let peak = trace.iter().copied().max().unwrap_or(0);
+        let id = self.dd.identity(n)?;
+        let result = if m == id {
+            Equivalence::Equivalent
+        } else if m.node == id.node {
+            let w = self.dd.complex_value(m.weight);
+            if (w.abs() - 1.0).abs() < 1e-9 {
+                Equivalence::EquivalentUpToGlobalPhase { phase: w.arg() }
+            } else {
+                Equivalence::NotEquivalent
+            }
+        } else {
+            Equivalence::NotEquivalent
+        };
+        let counterexample = if result == Equivalence::NotEquivalent {
+            self.find_magnitude_deviation(m, n)
+        } else {
+            None
+        };
+        Ok(EquivalenceReport {
+            result,
+            strategy,
+            nodes_per_step: trace,
+            peak_nodes: peak,
+            applied_left: i,
+            applied_right: j,
+            counterexample,
+        })
+    }
+
+    fn maybe_gc(&mut self, roots: &mut [MatEdge]) {
+        if self.dd.live_node_estimate() < GC_THRESHOLD {
+            return;
+        }
+        for r in roots.iter() {
+            self.dd.inc_ref_mat(*r);
+        }
+        self.dd.garbage_collect();
+        for r in roots.iter() {
+            self.dd.dec_ref_mat(*r);
+        }
+    }
+
+    /// Finds a matrix entry deviating from `M[0][0] · δ_rc` — i.e. a
+    /// witness that `M` is not the identity up to a global phase. Catches
+    /// both magnitude deviations and phase-only deviations (e.g. `M = Z`).
+    fn find_magnitude_deviation(&self, m: MatEdge, n: usize) -> Option<Counterexample> {
+        const TOL: f64 = 1e-9;
+        let reference = self.dd.matrix_entry(m, 0, 0);
+        fn rec(
+            dd: &DdPackage,
+            e: MatEdge,
+            acc: qdd_complex::Complex,
+            reference: qdd_complex::Complex,
+            row: u64,
+            col: u64,
+            level: usize,
+        ) -> Option<Counterexample> {
+            if e.is_zero() {
+                // An all-zero block deviates iff it intersects the diagonal
+                // (aligned blocks: iff row == col) and the reference phase
+                // is non-zero.
+                return if row == col && reference.abs() > TOL {
+                    Some(Counterexample { row, col })
+                } else {
+                    None
+                };
+            }
+            let acc = acc * dd.complex_value(e.weight);
+            if e.is_terminal() {
+                let expected = if row == col {
+                    reference
+                } else {
+                    qdd_complex::Complex::ZERO
+                };
+                return if (acc - expected).abs() > TOL {
+                    Some(Counterexample { row, col })
+                } else {
+                    None
+                };
+            }
+            let node = dd.mnode(e.node);
+            let half = level - 1;
+            for (idx, child) in node.children.iter().enumerate() {
+                let (bi, bj) = ((idx >> 1) as u64, (idx & 1) as u64);
+                let r = row | (bi << half);
+                let c = col | (bj << half);
+                if let Some(cx) = rec(dd, *child, acc, reference, r, c, half) {
+                    return Some(cx);
+                }
+            }
+            None
+        }
+        rec(
+            &self.dd,
+            m,
+            qdd_complex::Complex::ONE,
+            reference,
+            0,
+            0,
+            n,
+        )
+    }
+}
+
+fn count_gates(flat: &[Flat]) -> usize {
+    flat.iter()
+        .filter(|f| matches!(f, Flat::Gate(_)))
+        .count()
+}
+
+/// Flattens a circuit into primitive gates and barriers.
+fn flatten(qc: &QuantumCircuit, which: usize) -> Result<Vec<Flat>, VerifyError> {
+    let mut out = Vec::with_capacity(qc.len());
+    for (op_index, op) in qc.ops().iter().enumerate() {
+        match op {
+            Operation::Barrier => out.push(Flat::Barrier),
+            Operation::Gate(g) if g.condition.is_none() => out.push(Flat::Gate(g.clone())),
+            Operation::Swap { .. } => {
+                for g in op.to_gate_sequence().expect("swap is unitary") {
+                    out.push(Flat::Gate(g));
+                }
+            }
+            _ => {
+                return Err(VerifyError::NonUnitary {
+                    circuit: which,
+                    op_index,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_circuit::{compile, library, QuantumCircuit};
+
+    const ALL_STRATEGIES: [Strategy; 5] = [
+        Strategy::Construction,
+        Strategy::OneToOne,
+        Strategy::Proportional,
+        Strategy::BarrierGuided,
+        Strategy::Lookahead,
+    ];
+
+    /// Paper Example 11: the QFT and its compiled form yield the same
+    /// canonical diagram — equivalent under every strategy.
+    #[test]
+    fn qft_vs_compiled_equivalent_under_all_strategies() {
+        let qft = library::qft(3, true);
+        let compiled = compile::compiled_qft(3);
+        for strategy in ALL_STRATEGIES {
+            let mut checker = EquivalenceChecker::new();
+            let report = checker.check(&qft, &compiled, strategy).unwrap();
+            assert!(
+                report.result.is_equivalent(),
+                "{strategy}: {report}"
+            );
+        }
+    }
+
+    /// Paper Example 12: the barrier-guided alternating check stays near
+    /// the identity — far below the full-construction peak.
+    #[test]
+    fn alternating_peak_is_below_construction_peak() {
+        let qft = library::qft(3, true);
+        let compiled = compile::compiled_qft(3);
+        let mut checker = EquivalenceChecker::new();
+        let full = checker.check(&qft, &compiled, Strategy::Construction).unwrap();
+        let mut checker = EquivalenceChecker::new();
+        let alt = checker.check(&qft, &compiled, Strategy::BarrierGuided).unwrap();
+        assert!(
+            alt.peak_nodes < full.peak_nodes,
+            "alternating {} vs construction {}",
+            alt.peak_nodes,
+            full.peak_nodes
+        );
+    }
+
+    #[test]
+    fn detects_single_gate_difference() {
+        let good = library::ghz(4);
+        let mut bad = library::ghz(4);
+        bad.z(2); // extra phase flip
+        for strategy in ALL_STRATEGIES {
+            let mut checker = EquivalenceChecker::new();
+            let report = checker.check(&good, &bad, strategy).unwrap();
+            assert_eq!(report.result, Equivalence::NotEquivalent, "{strategy}");
+            let cx = report.counterexample.expect("witness");
+            // The extra Z makes G'†G = Z — a phase-only deviation that the
+            // witness search must still localize (some diagonal entry whose
+            // phase differs from M[0][0]).
+            assert!(cx.row < 16 && cx.col < 16);
+        }
+    }
+
+    #[test]
+    fn global_phase_is_reported_as_phase_equivalence() {
+        let mut a = QuantumCircuit::new(1);
+        a.x(0);
+        let mut b = QuantumCircuit::new(1);
+        // Y = i·X·Z up to phase: Z then Y equals i·X.
+        b.z(0).y(0);
+        let mut checker = EquivalenceChecker::new();
+        let report = checker.check(&a, &b, Strategy::Construction).unwrap();
+        match report.result {
+            Equivalence::EquivalentUpToGlobalPhase { phase } => {
+                assert!((phase.abs() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+            }
+            other => panic!("expected phase equivalence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = library::ghz(2);
+        let b = library::ghz(3);
+        let mut checker = EquivalenceChecker::new();
+        assert!(matches!(
+            checker.check(&a, &b, Strategy::OneToOne),
+            Err(VerifyError::WidthMismatch { left: 2, right: 3 })
+        ));
+    }
+
+    #[test]
+    fn non_unitary_rejected() {
+        let mut a = QuantumCircuit::new(1);
+        a.add_creg("c", 1);
+        a.h(0).measure(0, 0);
+        let b = {
+            let mut qc = QuantumCircuit::new(1);
+            qc.h(0);
+            qc
+        };
+        let mut checker = EquivalenceChecker::new();
+        assert!(matches!(
+            checker.check(&a, &b, Strategy::OneToOne),
+            Err(VerifyError::NonUnitary { circuit: 0, op_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn circuit_equals_itself() {
+        let qc = library::random_circuit(4, 20, 13);
+        for strategy in ALL_STRATEGIES {
+            let mut checker = EquivalenceChecker::new();
+            let report = checker.check(&qc, &qc, strategy).unwrap();
+            assert_eq!(report.result, Equivalence::Equivalent, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn swap_decomposition_is_equivalent() {
+        let mut a = QuantumCircuit::new(3);
+        a.swap(0, 2);
+        let mut b = QuantumCircuit::new(3);
+        b.cx(0, 2).cx(2, 0).cx(0, 2);
+        let mut checker = EquivalenceChecker::new();
+        let report = checker.check(&a, &b, Strategy::OneToOne).unwrap();
+        assert_eq!(report.result, Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn report_counts_applied_gates() {
+        let qft = library::qft(3, false);
+        let mut checker = EquivalenceChecker::new();
+        let report = checker.check(&qft, &qft, Strategy::OneToOne).unwrap();
+        assert_eq!(report.applied_left, qft.gate_count());
+        assert_eq!(report.applied_right, qft.gate_count());
+    }
+
+    #[test]
+    fn inverse_circuit_composition_is_identity() {
+        let qc = library::random_circuit(3, 15, 7);
+        let inv = qc.inverse().unwrap();
+        let mut composed = QuantumCircuit::new(3);
+        composed.extend(&qc);
+        composed.extend(&inv);
+        let empty = QuantumCircuit::new(3); // identity
+        let mut checker = EquivalenceChecker::new();
+        let report = checker
+            .check(&composed, &empty, Strategy::Construction)
+            .unwrap();
+        assert!(report.result.is_equivalent());
+    }
+}

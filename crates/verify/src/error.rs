@@ -1,0 +1,72 @@
+//! Verification error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from equivalence checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// The circuits act on different numbers of qubits; the tool "expects
+    /// both algorithms/circuits to have the same number of qubits" (§IV-C).
+    WidthMismatch {
+        /// Qubits of the left circuit.
+        left: usize,
+        /// Qubits of the right circuit.
+        right: usize,
+    },
+    /// A circuit contains a non-unitary operation (measurement, reset,
+    /// classically-controlled gate) — not supported for verification
+    /// "due to their non-unitary nature" (§IV-C).
+    NonUnitary {
+        /// 0 = left circuit, 1 = right circuit.
+        circuit: usize,
+        /// Index of the offending operation.
+        op_index: usize,
+    },
+    /// The underlying DD package rejected an operation.
+    Dd(qdd_core::DdError),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::WidthMismatch { left, right } => {
+                write!(f, "circuits differ in width: {left} vs {right} qubits")
+            }
+            VerifyError::NonUnitary { circuit, op_index } => {
+                let side = if *circuit == 0 { "left" } else { "right" };
+                write!(f, "{side} circuit has a non-unitary operation at index {op_index}")
+            }
+            VerifyError::Dd(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Dd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qdd_core::DdError> for VerifyError {
+    fn from(e: qdd_core::DdError) -> Self {
+        VerifyError::Dd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_identifies_side() {
+        let e = VerifyError::NonUnitary { circuit: 1, op_index: 3 };
+        assert!(e.to_string().contains("right circuit"));
+        let e = VerifyError::WidthMismatch { left: 2, right: 3 };
+        assert!(e.to_string().contains("2 vs 3"));
+    }
+}

@@ -1,0 +1,135 @@
+//! The HLS color wheel used to encode complex phases (paper Fig. 7(b)).
+//!
+//! When explicit edge-weight labels are disabled, the tool encodes the
+//! magnitude of a weight in the **thickness** of the edge and its phase in
+//! a **color** taken from the HLS wheel: phase 0 → red, π/2 → yellow-green,
+//! π → cyan, 3π/2 → violet, wrapping back to red.
+
+use qdd_complex::Complex;
+use std::f64::consts::PI;
+
+/// An sRGB color.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Rgb {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Rgb {
+    /// CSS hex form, e.g. `#ff0000`.
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+impl std::fmt::Display for Rgb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+/// Converts HLS (hue ∈ [0,1), lightness, saturation) to RGB.
+///
+/// Standard CSS/`colorsys` algorithm; exposed because the Fig. 7(b) wheel
+/// is defined in HLS.
+pub fn hls_to_rgb(h: f64, l: f64, s: f64) -> Rgb {
+    let h = h.rem_euclid(1.0);
+    let c = (1.0 - (2.0 * l - 1.0).abs()) * s;
+    let hp = h * 6.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r1, g1, b1) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = l - c / 2.0;
+    let to8 = |v: f64| ((v + m).clamp(0.0, 1.0) * 255.0).round() as u8;
+    Rgb {
+        r: to8(r1),
+        g: to8(g1),
+        b: to8(b1),
+    }
+}
+
+/// Maps a phase angle (radians) onto the Fig. 7(b) wheel.
+pub fn phase_to_color(phase: f64) -> Rgb {
+    let hue = phase.rem_euclid(2.0 * PI) / (2.0 * PI);
+    hls_to_rgb(hue, 0.5, 1.0)
+}
+
+/// The color of a complex weight: its phase on the wheel.
+pub fn weight_color(w: Complex) -> Rgb {
+    phase_to_color(w.arg())
+}
+
+/// The stroke width encoding a weight's magnitude.
+///
+/// Magnitude 1 maps to `max`, magnitude 0 to `min`, linearly.
+pub fn weight_thickness(w: Complex, min: f64, max: f64) -> f64 {
+    let mag = w.abs().clamp(0.0, 1.0);
+    min + (max - min) * mag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_anchor_colors() {
+        // Phase 0 → red.
+        assert_eq!(phase_to_color(0.0), Rgb { r: 255, g: 0, b: 0 });
+        // Phase π → cyan.
+        assert_eq!(phase_to_color(PI), Rgb { r: 0, g: 255, b: 255 });
+        // Phase 2π wraps to red.
+        assert_eq!(phase_to_color(2.0 * PI), phase_to_color(0.0));
+        // Negative phases wrap.
+        assert_eq!(phase_to_color(-PI / 2.0), phase_to_color(3.0 * PI / 2.0));
+    }
+
+    #[test]
+    fn hls_primaries() {
+        assert_eq!(hls_to_rgb(0.0, 0.5, 1.0).to_hex(), "#ff0000");
+        assert_eq!(hls_to_rgb(1.0 / 3.0, 0.5, 1.0).to_hex(), "#00ff00");
+        assert_eq!(hls_to_rgb(2.0 / 3.0, 0.5, 1.0).to_hex(), "#0000ff");
+        // Zero saturation is gray regardless of hue.
+        assert_eq!(hls_to_rgb(0.3, 0.5, 0.0), hls_to_rgb(0.9, 0.5, 0.0));
+    }
+
+    #[test]
+    fn lightness_extremes() {
+        assert_eq!(hls_to_rgb(0.1, 0.0, 1.0).to_hex(), "#000000");
+        assert_eq!(hls_to_rgb(0.1, 1.0, 1.0).to_hex(), "#ffffff");
+    }
+
+    #[test]
+    fn thickness_scales_with_magnitude() {
+        let thin = weight_thickness(Complex::new(0.0, 0.0), 0.5, 3.0);
+        let mid = weight_thickness(Complex::SQRT1_2, 0.5, 3.0);
+        let thick = weight_thickness(Complex::ONE, 0.5, 3.0);
+        assert!(thin < mid && mid < thick);
+        assert!((thin - 0.5).abs() < 1e-12);
+        assert!((thick - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_color_uses_phase_only() {
+        let a = weight_color(Complex::new(0.3, 0.0));
+        let b = weight_color(Complex::new(0.9, 0.0));
+        assert_eq!(a, b, "magnitude must not affect the hue");
+        let c = weight_color(Complex::new(0.0, 0.5));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Rgb { r: 1, g: 2, b: 255 }.to_hex(), "#0102ff");
+        assert_eq!(format!("{}", Rgb { r: 0, g: 0, b: 0 }), "#000000");
+    }
+}

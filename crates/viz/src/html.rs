@@ -1,0 +1,159 @@
+//! Self-contained HTML explorer — the offline stand-in for the paper's
+//! installation-free web tool.
+//!
+//! [`explorer_html`] bundles a session's frames into a single HTML file
+//! with the tool's `⏮ ← → ⏭` navigation (buttons and arrow keys), a title
+//! bar showing the current step, and the node count. No network, no
+//! external assets.
+
+use crate::session::Frame;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Builds a standalone HTML document from captured frames.
+///
+/// # Panics
+///
+/// Panics if `frames` is empty (sessions always capture an initial frame).
+pub fn explorer_html(title: &str, frames: &[Frame]) -> String {
+    assert!(!frames.is_empty(), "at least one frame required");
+    let mut out = String::new();
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    let _ = writeln!(out, "<title>{}</title>", escape_html(title));
+    out.push_str(
+        "<style>\n\
+         body { font-family: Helvetica, sans-serif; margin: 0; background: #fafafa; }\n\
+         header { background: #2b4a6f; color: white; padding: 10px 16px; }\n\
+         #controls { padding: 10px 16px; }\n\
+         #controls button { font-size: 16px; margin-right: 6px; padding: 4px 12px; }\n\
+         #caption { padding: 0 16px 8px; color: #333; }\n\
+         .frame { display: none; padding: 0 16px 16px; }\n\
+         .frame.active { display: block; }\n\
+         .frame svg { max-width: 100%; height: auto; border: 1px solid #ddd; background: white; }\n\
+         </style>\n</head>\n<body>\n",
+    );
+    let _ = writeln!(out, "<header><h1>{}</h1></header>", escape_html(title));
+    out.push_str(
+        "<div id=\"controls\">\n\
+         <button onclick=\"go(0)\" title=\"to start\">&#9198;</button>\n\
+         <button onclick=\"go(current-1)\" title=\"back\">&#8592;</button>\n\
+         <button onclick=\"go(current+1)\" title=\"forward\">&#8594;</button>\n\
+         <button onclick=\"go(frames-1)\" title=\"to end\">&#9197;</button>\n\
+         <span id=\"pos\"></span>\n\
+         </div>\n<div id=\"caption\"></div>\n",
+    );
+    for frame in frames {
+        let _ = writeln!(
+            out,
+            "<div class=\"frame\" id=\"frame{}\" data-title=\"{} ({} nodes)\">",
+            frame.index,
+            escape_html(&frame.title),
+            frame.node_count
+        );
+        out.push_str(&frame.svg);
+        out.push_str("</div>\n");
+    }
+    let _ = writeln!(
+        out,
+        "<script>\n\
+         const frames = {};\n\
+         let current = 0;\n\
+         function go(i) {{\n\
+           if (i < 0 || i >= frames) return;\n\
+           document.getElementById('frame' + current).classList.remove('active');\n\
+           current = i;\n\
+           const el = document.getElementById('frame' + current);\n\
+           el.classList.add('active');\n\
+           document.getElementById('caption').textContent = el.dataset.title;\n\
+           document.getElementById('pos').textContent = (current + 1) + ' / ' + frames;\n\
+         }}\n\
+         document.addEventListener('keydown', e => {{\n\
+           if (e.key === 'ArrowRight') go(current + 1);\n\
+           if (e.key === 'ArrowLeft') go(current - 1);\n\
+           if (e.key === 'Home') go(0);\n\
+           if (e.key === 'End') go(frames - 1);\n\
+         }});\n\
+         document.getElementById('frame0').classList.add('active');\n\
+         go(0);\n\
+         </script>\n</body>\n</html>",
+        frames.len()
+    );
+    out
+}
+
+/// Writes an explorer document to disk.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_explorer(path: &Path, title: &str, frames: &[Frame]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, explorer_html(title, frames))
+}
+
+fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SimulationExplorer;
+    use crate::style::VizStyle;
+    use qdd_circuit::library;
+
+    fn frames() -> Vec<Frame> {
+        let mut ex = SimulationExplorer::new(library::bell(), VizStyle::classic());
+        ex.step_forward().unwrap();
+        ex.step_forward().unwrap();
+        ex.frames().to_vec()
+    }
+
+    #[test]
+    fn html_is_self_contained() {
+        let html = explorer_html("Bell state", &frames());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<title>Bell state</title>"));
+        assert!(html.contains("const frames = 3;"));
+        assert!(html.contains("<svg"));
+        assert!(!html.contains("http://") || html.contains("xmlns"), "no external links beyond the SVG namespace");
+        assert!(html.trim_end().ends_with("</html>"));
+    }
+
+    #[test]
+    fn every_frame_is_embedded() {
+        let fs = frames();
+        let html = explorer_html("x", &fs);
+        for f in &fs {
+            assert!(html.contains(&format!("id=\"frame{}\"", f.index)));
+        }
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let mut fs = frames();
+        fs[0].title = "a < b & \"c\"".to_string();
+        let html = explorer_html("t", &fs);
+        assert!(html.contains("a &lt; b &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn empty_frames_panics() {
+        explorer_html("x", &[]);
+    }
+
+    #[test]
+    fn write_explorer_creates_file() {
+        let path = std::env::temp_dir().join(format!("qdd_explorer_{}.html", std::process::id()));
+        write_explorer(&path, "t", &frames()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,131 @@
+//! JSON export of extracted diagrams (hand-rolled; the schema is small and
+//! fixed, so no serialization dependency is warranted).
+//!
+//! The format is what a web front-end would consume to draw the diagram —
+//! the data interchange the paper's hosted tool uses between its DD backend
+//! and its browser renderer.
+
+use crate::graph::{DdGraph, NodeKind};
+use qdd_complex::Complex;
+use std::fmt::Write as _;
+
+/// Serializes a [`DdGraph`] to a compact JSON document.
+///
+/// Schema:
+///
+/// ```json
+/// {
+///   "kind": "vector" | "matrix",
+///   "numLevels": 2,
+///   "rootWeight": {"re": 0.707, "im": 0.0},
+///   "root": 12,
+///   "nodes": [{"key": 12, "var": 1, "zeroMask": 0}],
+///   "edges": [{"from": 12, "slot": 0, "to": 3, "weight": {"re": 1.0, "im": 0.0}}]
+/// }
+/// ```
+///
+/// `"to": null` denotes the terminal; numbers are plain IEEE doubles.
+pub fn graph_to_json(graph: &DdGraph) -> String {
+    let mut out = String::from("{");
+    let kind = match graph.kind {
+        NodeKind::Vector => "vector",
+        NodeKind::Matrix => "matrix",
+    };
+    let _ = write!(out, "\"kind\":\"{kind}\",");
+    let _ = write!(out, "\"numLevels\":{},", graph.num_levels);
+    let _ = write!(out, "\"rootWeight\":{},", complex_json(graph.root_weight));
+    match graph.root {
+        Some(key) => {
+            let _ = write!(out, "\"root\":{key},");
+        }
+        None => out.push_str("\"root\":null,"),
+    }
+    out.push_str("\"nodes\":[");
+    for (i, n) in graph.nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"key\":{},\"var\":{},\"zeroMask\":{}}}",
+            n.key, n.var, n.zero_mask
+        );
+    }
+    out.push_str("],\"edges\":[");
+    for (i, e) in graph.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let to = match e.to {
+            Some(key) => key.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "{{\"from\":{},\"slot\":{},\"to\":{to},\"weight\":{}}}",
+            e.from,
+            e.slot,
+            complex_json(e.weight)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn complex_json(c: Complex) -> String {
+    format!("{{\"re\":{},\"im\":{}}}", json_number(c.re), json_number(c.im))
+}
+
+/// JSON has no NaN/Infinity; diagrams never contain them (the complex table
+/// rejects non-finite values), but stay defensive.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DdGraph;
+    use qdd_core::{gates, Control, DdPackage};
+
+    #[test]
+    fn bell_graph_round_trips_lexically() {
+        let mut dd = DdPackage::new();
+        let z = dd.zero_state(2).unwrap();
+        let s = dd.apply_gate(z, gates::H, &[], 1).unwrap();
+        let bell = dd.apply_gate(s, gates::X, &[Control::pos(1)], 0).unwrap();
+        let json = graph_to_json(&DdGraph::from_vector(&dd, bell));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"kind\":\"vector\""));
+        assert!(json.contains("\"numLevels\":2"));
+        assert!(json.contains("\"rootWeight\":{\"re\":1"));
+        assert!(json.contains("0.7071067811865476"), "child weights carry 1/sqrt(2)");
+        // Balanced braces/brackets — a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // 3 nodes, 6 edges.
+        assert_eq!(json.matches("\"key\":").count(), 3);
+        assert_eq!(json.matches("\"from\":").count(), 6);
+    }
+
+    #[test]
+    fn terminal_edges_are_null() {
+        let mut dd = DdPackage::new();
+        let s = dd.zero_state(1).unwrap();
+        let json = graph_to_json(&DdGraph::from_vector(&dd, s));
+        assert!(json.contains("\"to\":null"));
+    }
+
+    #[test]
+    fn matrix_kind_is_tagged() {
+        let mut dd = DdPackage::new();
+        let h = dd.gate_dd(gates::H, &[], 0, 1).unwrap();
+        let json = graph_to_json(&DdGraph::from_matrix(&dd, h));
+        assert!(json.contains("\"kind\":\"matrix\""));
+        assert_eq!(json.matches("\"slot\":").count(), 4);
+    }
+}

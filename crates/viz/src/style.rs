@@ -1,0 +1,106 @@
+//! Visualization styles (paper §IV-A, Fig. 7).
+
+/// How edge weights are displayed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EdgeWeightDisplay {
+    /// Explicit textual labels on the edges; edges with weight ≠ 1 are
+    /// drawn dashed — the look "most similar to what is found in research
+    /// papers" (Fig. 7(a)).
+    Labels,
+    /// No labels: magnitude becomes line thickness, phase becomes a color
+    /// from the HLS wheel (Fig. 7(b)/(c) and Fig. 6).
+    ColorAndThickness,
+}
+
+/// The node rendering style.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NodeLook {
+    /// Circles labelled with the qubit, as drawn in research papers.
+    Classic,
+    /// Larger rounded boxes that expose the two/four successor slots,
+    /// "expressing the connection to the underlying state vector in a more
+    /// straight-forward fashion" for newcomers.
+    Modern,
+}
+
+/// A complete style configuration.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct VizStyle {
+    /// Node shape family.
+    pub node_look: NodeLook,
+    /// Edge-weight encoding.
+    pub edge_weights: EdgeWeightDisplay,
+    /// Retract all-zero successors into small stubs on the node
+    /// (the "0-stubs" of the classic look) instead of drawing an edge to
+    /// the terminal.
+    pub retract_zero_stubs: bool,
+    /// Minimum stroke width for [`EdgeWeightDisplay::ColorAndThickness`].
+    pub min_stroke: f64,
+    /// Maximum stroke width for [`EdgeWeightDisplay::ColorAndThickness`].
+    pub max_stroke: f64,
+}
+
+impl VizStyle {
+    /// The "classic" research-paper mode of Fig. 7(a): circles, explicit
+    /// weight labels, dashed non-unit edges, retracted 0-stubs.
+    pub fn classic() -> Self {
+        VizStyle {
+            node_look: NodeLook::Classic,
+            edge_weights: EdgeWeightDisplay::Labels,
+            retract_zero_stubs: true,
+            min_stroke: 1.0,
+            max_stroke: 3.0,
+        }
+    }
+
+    /// Classic shapes with the color/thickness weight encoding of
+    /// Fig. 7(c) — the style used for Fig. 6.
+    pub fn colored() -> Self {
+        VizStyle {
+            edge_weights: EdgeWeightDisplay::ColorAndThickness,
+            ..Self::classic()
+        }
+    }
+
+    /// The "modern" look aimed at users new to decision diagrams.
+    pub fn modern() -> Self {
+        VizStyle {
+            node_look: NodeLook::Modern,
+            edge_weights: EdgeWeightDisplay::ColorAndThickness,
+            retract_zero_stubs: false,
+            min_stroke: 1.0,
+            max_stroke: 4.0,
+        }
+    }
+}
+
+impl Default for VizStyle {
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_the_documented_ways() {
+        let classic = VizStyle::classic();
+        assert_eq!(classic.edge_weights, EdgeWeightDisplay::Labels);
+        assert!(classic.retract_zero_stubs);
+
+        let colored = VizStyle::colored();
+        assert_eq!(colored.edge_weights, EdgeWeightDisplay::ColorAndThickness);
+        assert_eq!(colored.node_look, NodeLook::Classic);
+
+        let modern = VizStyle::modern();
+        assert_eq!(modern.node_look, NodeLook::Modern);
+        assert!(!modern.retract_zero_stubs);
+    }
+
+    #[test]
+    fn default_is_classic() {
+        assert_eq!(VizStyle::default(), VizStyle::classic());
+    }
+}

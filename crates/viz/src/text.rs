@@ -1,0 +1,237 @@
+//! Plain-text renderings: circuit diagrams and state tables.
+//!
+//! The paper's tool shows the circuit next to the diagram and the state's
+//! amplitudes on demand; these renderers produce the terminal equivalents,
+//! used by the examples and handy in tests and logs.
+
+use qdd_circuit::{Operation, Polarity, QuantumCircuit};
+use qdd_core::{DdPackage, VecEdge};
+use std::fmt::Write as _;
+
+/// Renders a circuit as ASCII art, one wire per qubit (most significant on
+/// top, matching the paper's figures), one column per operation.
+///
+/// # Examples
+///
+/// ```
+/// use qdd_circuit::library;
+/// let art = qdd_viz::text::circuit_to_text(&library::bell());
+/// assert!(art.contains("[h]"));
+/// assert!(art.contains("●"));
+/// assert!(art.lines().count() == 2);
+/// ```
+pub fn circuit_to_text(qc: &QuantumCircuit) -> String {
+    let n = qc.num_qubits();
+    // Build one column of cell strings per operation.
+    let mut columns: Vec<Vec<String>> = Vec::with_capacity(qc.len());
+    for op in qc.ops() {
+        let mut col = vec![String::new(); n];
+        match op {
+            Operation::Barrier => {
+                for cell in col.iter_mut() {
+                    *cell = "░".to_string();
+                }
+            }
+            Operation::Measure { qubit, bit } => {
+                col[*qubit] = format!("[M→c{bit}]");
+            }
+            Operation::Reset { qubit } => {
+                col[*qubit] = "[reset]".to_string();
+            }
+            Operation::Swap { a, b, controls } => {
+                col[*a] = "×".to_string();
+                col[*b] = "×".to_string();
+                for c in controls {
+                    col[c.qubit] = "●".to_string();
+                }
+                mark_spans(&mut col, op);
+            }
+            Operation::Gate(g) => {
+                let mut label = format!("[{}]", g.gate.simplified());
+                if let Some(cond) = g.condition {
+                    label = format!("[{} if c{}=={}]", g.gate.simplified(), cond.creg, cond.value);
+                }
+                col[g.target] = label;
+                for c in &g.controls {
+                    col[c.qubit] = match c.polarity {
+                        Polarity::Positive => "●".to_string(),
+                        Polarity::Negative => "○".to_string(),
+                    };
+                }
+                mark_spans(&mut col, op);
+            }
+        }
+        columns.push(col);
+    }
+
+    // Pad each column to its own width, then stitch wires.
+    let mut out = String::new();
+    for q in (0..n).rev() {
+        let _ = write!(out, "q{q}: ");
+        for col in &columns {
+            let width = col.iter().map(|c| c.len_chars()).max().unwrap_or(1).max(1);
+            let cell = &col[q];
+            let content = if cell.is_empty() {
+                "─".repeat(width)
+            } else {
+                center(cell, width)
+            };
+            let _ = write!(out, "─{content}─");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Marks the vertical connector on wires strictly between the extremes of
+/// a multi-qubit operation.
+fn mark_spans(col: &mut [String], op: &Operation) {
+    let qubits = op.qubits();
+    if qubits.len() < 2 {
+        return;
+    }
+    let lo = *qubits.iter().min().expect("non-empty");
+    let hi = *qubits.iter().max().expect("non-empty");
+    for (q, cell) in col.iter_mut().enumerate() {
+        if q > lo && q < hi && cell.is_empty() {
+            *cell = "│".to_string();
+        }
+    }
+}
+
+fn center(s: &str, width: usize) -> String {
+    let len = s.len_chars();
+    if len >= width {
+        return s.to_string();
+    }
+    let left = (width - len) / 2;
+    let right = width - len - left;
+    format!("{}{}{}", "─".repeat(left), s, "─".repeat(right))
+}
+
+/// Character-count helper (`str::len` counts bytes; box-drawing glyphs are
+/// multi-byte).
+trait LenChars {
+    fn len_chars(&self) -> usize;
+}
+
+impl LenChars for String {
+    fn len_chars(&self) -> usize {
+        self.chars().count()
+    }
+}
+impl LenChars for str {
+    fn len_chars(&self) -> usize {
+        self.chars().count()
+    }
+}
+
+/// Renders a state's non-negligible amplitudes as a table with probability
+/// bars — the textual version of the tool's state display.
+///
+/// Amplitudes below `threshold` in probability are omitted; rows are
+/// sorted by basis index.
+pub fn state_table(dd: &DdPackage, state: VecEdge, n: usize, threshold: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>width$}  {:>22}  {:>10}  bar", "basis", "amplitude", "prob", width = n + 2);
+    let mut shown = 0usize;
+    let mut shown_prob = 0.0f64;
+    for basis in dd.nonzero_basis_states(state) {
+        let amp = dd.amplitude(state, basis);
+        let p = amp.norm_sqr();
+        if p < threshold {
+            continue;
+        }
+        shown += 1;
+        shown_prob += p;
+        let bar_len = (p * 24.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "|{basis:0n$b}⟩  {:>22}  {p:>10.6}  {}",
+            amp.to_label(),
+            "█".repeat(bar_len),
+        );
+    }
+    let _ = writeln!(out, "({shown} basis states shown, total probability {shown_prob:.6})");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_circuit::{library, StandardGate};
+    use qdd_core::gates;
+
+    #[test]
+    fn bell_circuit_art() {
+        let art = circuit_to_text(&library::bell());
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("q1:"));
+        assert!(lines[1].starts_with("q0:"));
+        assert!(lines[0].contains("[h]"));
+        assert!(lines[0].contains("●"));
+        assert!(lines[1].contains("[x]"));
+    }
+
+    #[test]
+    fn connector_spans_middle_wires() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(3);
+        qc.cx(2, 0);
+        let art = circuit_to_text(&qc);
+        let q1_line = art.lines().nth(1).unwrap();
+        assert!(q1_line.contains("│"), "middle wire shows the connector: {art}");
+    }
+
+    #[test]
+    fn specials_render() {
+        let qc = library::teleportation(0.5);
+        let art = circuit_to_text(&qc);
+        assert!(art.contains("░"), "barrier");
+        assert!(art.contains("[M→c0]"), "measure");
+        assert!(art.contains("if c0==1"), "condition: {art}");
+    }
+
+    #[test]
+    fn swap_renders_crosses() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(2);
+        qc.swap(0, 1);
+        let art = circuit_to_text(&qc);
+        assert_eq!(art.matches('×').count(), 2);
+    }
+
+    #[test]
+    fn negative_control_renders_open_circle() {
+        let mut qc = qdd_circuit::QuantumCircuit::new(2);
+        qc.gate(StandardGate::X, vec![qdd_circuit::Control::neg(1)], 0);
+        let art = circuit_to_text(&qc);
+        assert!(art.contains("○"));
+    }
+
+    #[test]
+    fn state_table_of_bell() {
+        let mut dd = DdPackage::new();
+        let z = dd.zero_state(2).unwrap();
+        let s = dd.apply_gate(z, gates::H, &[], 1).unwrap();
+        let bell = dd
+            .apply_gate(s, gates::X, &[qdd_core::Control::pos(1)], 0)
+            .unwrap();
+        let table = state_table(&dd, bell, 2, 1e-9);
+        assert!(table.contains("|00⟩"));
+        assert!(table.contains("|11⟩"));
+        assert!(!table.contains("|01⟩"));
+        assert!(table.contains("1/√2"));
+        assert!(table.contains("0.500000"));
+        assert!(table.contains("total probability 1.000000"));
+    }
+
+    #[test]
+    fn state_table_threshold_filters() {
+        let mut dd = DdPackage::new();
+        let z = dd.zero_state(2).unwrap();
+        let s = dd.apply_gate(z, gates::ry(0.2), &[], 0).unwrap();
+        let table = state_table(&dd, s, 2, 0.5);
+        assert!(table.contains("|00⟩"));
+        assert!(table.contains("(1 basis states shown"));
+    }
+}

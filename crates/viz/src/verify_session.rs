@@ -1,0 +1,336 @@
+//! The verification tab of the paper's tool (Fig. 9), as a library.
+//!
+//! Two algorithm boxes, one shared working diagram: gates from the left
+//! circuit multiply onto the diagram from the left, *inverted* gates from
+//! the right circuit from the right, so the diagram equals `G'† · G` of
+//! whatever has been applied so far. If the circuits are equivalent and the
+//! interleaving is chosen well, the picture stays near the identity the
+//! whole time (Example 12).
+
+use crate::dot::matrix_to_dot;
+use crate::session::Frame;
+use crate::style::VizStyle;
+use crate::svg::matrix_to_svg;
+use qdd_circuit::{GateApplication, Operation, QuantumCircuit};
+use qdd_core::{DdPackage, MatEdge};
+use qdd_verify::VerifyError;
+
+/// A flattened circuit entry.
+#[derive(Clone, Debug)]
+enum Step {
+    Gate(GateApplication),
+    Barrier,
+}
+
+fn flatten(qc: &QuantumCircuit, which: usize) -> Result<Vec<Step>, VerifyError> {
+    let mut out = Vec::new();
+    for (op_index, op) in qc.ops().iter().enumerate() {
+        match op {
+            Operation::Barrier => out.push(Step::Barrier),
+            Operation::Gate(g) if g.condition.is_none() => out.push(Step::Gate(g.clone())),
+            Operation::Swap { .. } => {
+                for g in op.to_gate_sequence().expect("swap is unitary") {
+                    out.push(Step::Gate(g));
+                }
+            }
+            _ => return Err(VerifyError::NonUnitary { circuit: which, op_index }),
+        }
+    }
+    Ok(out)
+}
+
+/// Interactive two-circuit verification with frame capture.
+#[derive(Debug)]
+pub struct VerificationExplorer {
+    dd: DdPackage,
+    n: usize,
+    left: Vec<Step>,
+    right: Vec<Step>,
+    li: usize,
+    ri: usize,
+    applied_left: usize,
+    applied_right: usize,
+    matrix: MatEdge,
+    style: VizStyle,
+    frames: Vec<Frame>,
+    peak_nodes: usize,
+}
+
+impl VerificationExplorer {
+    /// Opens a verification session; the working diagram starts as the
+    /// identity.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::WidthMismatch`] or [`VerifyError::NonUnitary`] for
+    /// unsupported inputs (the tool's documented §IV-C restrictions).
+    pub fn new(
+        left: &QuantumCircuit,
+        right: &QuantumCircuit,
+        style: VizStyle,
+    ) -> Result<Self, VerifyError> {
+        if left.num_qubits() != right.num_qubits() {
+            return Err(VerifyError::WidthMismatch {
+                left: left.num_qubits(),
+                right: right.num_qubits(),
+            });
+        }
+        let n = left.num_qubits();
+        let lflat = flatten(left, 0)?;
+        let rflat = flatten(right, 1)?;
+        let mut dd = DdPackage::new();
+        let matrix = dd.identity(n)?;
+        dd.inc_ref_mat(matrix);
+        let mut explorer = VerificationExplorer {
+            dd,
+            n,
+            left: lflat,
+            right: rflat,
+            li: 0,
+            ri: 0,
+            applied_left: 0,
+            applied_right: 0,
+            matrix,
+            style,
+            frames: Vec::new(),
+            peak_nodes: 0,
+        };
+        explorer.capture("identity (nothing applied)".to_string());
+        Ok(explorer)
+    }
+
+    /// The working diagram `G'†·G` of everything applied so far.
+    pub fn matrix(&self) -> MatEdge {
+        self.matrix
+    }
+
+    /// The package, for custom rendering.
+    pub fn package(&self) -> &DdPackage {
+        &self.dd
+    }
+
+    /// All captured frames.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Node count of the working diagram.
+    pub fn node_count(&self) -> usize {
+        self.dd.mat_node_count(self.matrix)
+    }
+
+    /// Peak node count since the session opened (Example 12's metric).
+    pub fn peak_nodes(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// `(applied_left, applied_right)` gate counts (barriers excluded).
+    pub fn position(&self) -> (usize, usize) {
+        (self.applied_left, self.applied_right)
+    }
+
+    /// `true` when both circuits are exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.li >= self.left.len() && self.ri >= self.right.len()
+    }
+
+    /// `true` if the working diagram currently equals the identity
+    /// (possibly times a global phase) — the tool's green light.
+    pub fn resembles_identity(&mut self) -> bool {
+        let id = self.dd.identity(self.n).expect("n validated");
+        if self.matrix.node != id.node {
+            return false;
+        }
+        let w = self.dd.complex_value(self.matrix.weight);
+        (w.abs() - 1.0).abs() < 1e-9
+    }
+
+    fn capture(&mut self, title: String) {
+        let nodes = self.node_count();
+        self.peak_nodes = self.peak_nodes.max(nodes);
+        let svg = matrix_to_svg(&self.dd, self.matrix, &self.style);
+        let dot = matrix_to_dot(&self.dd, self.matrix, &self.style);
+        self.frames.push(Frame {
+            index: self.frames.len(),
+            title,
+            svg,
+            dot,
+            node_count: nodes,
+        });
+    }
+
+    fn set_matrix(&mut self, m: MatEdge) {
+        self.dd.inc_ref_mat(m);
+        self.dd.dec_ref_mat(self.matrix);
+        self.matrix = m;
+    }
+
+    /// Applies the next gate of the **left** circuit (`M ← U·M`); skips
+    /// barriers. Returns `false` when the left circuit is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates package errors.
+    pub fn apply_left(&mut self) -> Result<bool, VerifyError> {
+        while matches!(self.left.get(self.li), Some(Step::Barrier)) {
+            self.li += 1;
+        }
+        let Some(Step::Gate(g)) = self.left.get(self.li).cloned() else {
+            return Ok(false);
+        };
+        let gate = self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, self.n)?;
+        let m = self.dd.mat_mat(gate, self.matrix);
+        self.set_matrix(m);
+        self.li += 1;
+        self.applied_left += 1;
+        self.capture(format!("G: applied {}", Operation::Gate(g)));
+        Ok(true)
+    }
+
+    /// Applies the inverse of the next gate of the **right** circuit
+    /// (`M ← M·V†`); skips barriers. Returns `false` when exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates package errors.
+    pub fn apply_right(&mut self) -> Result<bool, VerifyError> {
+        while matches!(self.right.get(self.ri), Some(Step::Barrier)) {
+            self.ri += 1;
+        }
+        let Some(Step::Gate(g)) = self.right.get(self.ri).cloned() else {
+            return Ok(false);
+        };
+        let inv = g.gate.inverse();
+        let gate = self.dd.gate_dd(inv.matrix(), &g.controls, g.target, self.n)?;
+        let m = self.dd.mat_mat(self.matrix, gate);
+        self.set_matrix(m);
+        self.ri += 1;
+        self.applied_right += 1;
+        self.capture(format!("G': applied inverse of {}", Operation::Gate(g)));
+        Ok(true)
+    }
+
+    /// Applies right-circuit gates up to and including the next barrier —
+    /// the `⏭` behaviour Example 12 leans on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates package errors.
+    pub fn right_to_next_barrier(&mut self) -> Result<(), VerifyError> {
+        loop {
+            match self.right.get(self.ri) {
+                Some(Step::Barrier) => {
+                    self.ri += 1;
+                    return Ok(());
+                }
+                Some(Step::Gate(_)) => {
+                    self.apply_right()?;
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Runs Example 12's schedule to completion: one gate from `G`, then
+    /// right-circuit gates up to the next barrier, repeating; drains
+    /// leftovers. Returns whether the result resembles the identity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates package errors.
+    pub fn run_barrier_guided(&mut self) -> Result<bool, VerifyError> {
+        while self.apply_left()? {
+            self.right_to_next_barrier()?;
+        }
+        while self.apply_right()? {}
+        Ok(self.resembles_identity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_circuit::{compile, library};
+
+    /// Fig. 9 / Example 12: verifying the two QFT versions stays close to
+    /// the identity throughout.
+    #[test]
+    fn example_12_barrier_guided_run() {
+        let qft = library::qft(3, true);
+        let compiled = compile::compiled_qft(3);
+        let mut ex =
+            VerificationExplorer::new(&qft, &compiled, VizStyle::colored()).unwrap();
+        let equivalent = ex.run_barrier_guided().unwrap();
+        assert!(equivalent);
+        // Example 12: a maximum of 9 nodes are required.
+        assert!(
+            ex.peak_nodes() <= 9,
+            "peak {} exceeds the paper's 9-node bound",
+            ex.peak_nodes()
+        );
+        assert!(ex.is_finished());
+    }
+
+    #[test]
+    fn mid_session_matrix_differs_from_identity() {
+        let qft = library::qft(3, true);
+        let compiled = compile::compiled_qft(3);
+        let mut ex =
+            VerificationExplorer::new(&qft, &compiled, VizStyle::colored()).unwrap();
+        assert!(ex.resembles_identity(), "starts at the identity");
+        ex.apply_left().unwrap();
+        assert!(!ex.resembles_identity(), "one-sided application diverges");
+    }
+
+    #[test]
+    fn frames_record_progress() {
+        let bell = library::bell();
+        let mut ex = VerificationExplorer::new(&bell, &bell, VizStyle::classic()).unwrap();
+        ex.apply_left().unwrap();
+        ex.apply_right().unwrap();
+        ex.apply_left().unwrap();
+        ex.apply_right().unwrap();
+        assert_eq!(ex.frames().len(), 5, "initial + 4 applications");
+        assert!(ex.frames()[1].title.starts_with("G:"));
+        assert!(ex.frames()[2].title.starts_with("G':"));
+    }
+
+    #[test]
+    fn self_verification_ends_at_identity() {
+        let qc = library::random_circuit(3, 10, 5);
+        let mut ex = VerificationExplorer::new(&qc, &qc, VizStyle::classic()).unwrap();
+        while ex.apply_left().unwrap() {
+            ex.apply_right().unwrap();
+        }
+        assert!(ex.resembles_identity());
+    }
+
+    #[test]
+    fn non_equivalent_detected() {
+        let good = library::ghz(3);
+        let mut bad = library::ghz(3);
+        bad.x(1);
+        let mut ex = VerificationExplorer::new(&good, &bad, VizStyle::classic()).unwrap();
+        let equivalent = ex.run_barrier_guided().unwrap();
+        assert!(!equivalent);
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let a = library::ghz(2);
+        let b = library::ghz(3);
+        assert!(VerificationExplorer::new(&a, &b, VizStyle::classic()).is_err());
+    }
+
+    #[test]
+    fn measurements_rejected_like_the_tool() {
+        let mut a = QuantumCircuit::new(1);
+        a.add_creg("c", 1);
+        a.measure(0, 0);
+        let b = QuantumCircuit::new(1);
+        assert!(matches!(
+            VerificationExplorer::new(&a, &b, VizStyle::classic()),
+            Err(VerifyError::NonUnitary { circuit: 0, .. })
+        ));
+    }
+}

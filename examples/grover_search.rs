@@ -1,0 +1,55 @@
+//! Grover search on decision diagrams — a workload where the diagrams stay
+//! tiny while the dense state vector is exponential, illustrating the
+//! paper's compactness claim (§III-A) on a real algorithm.
+//!
+//! Run with `cargo run --release --example grover_search`.
+
+use qdd::circuit::library;
+use qdd::sim::{DdSimulator, DenseSimulator};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 12;
+    let marked = 0b1010_1100_0011u64 & ((1 << n) - 1);
+    let circuit = library::grover(n, marked);
+    println!(
+        "Grover search: {n} qubits, marked |{marked:0n$b}⟩, {} gates",
+        circuit.gate_count()
+    );
+
+    // Decision-diagram simulation.
+    let t0 = Instant::now();
+    let mut sim = DdSimulator::with_seed(circuit.clone(), 99);
+    sim.run()?;
+    let dd_time = t0.elapsed();
+    let peak = sim.stats().peak_nodes;
+    println!(
+        "\nDD simulation:    {dd_time:?} — peak {peak} nodes (vs {} dense amplitudes)",
+        1u64 << n
+    );
+
+    // Success probability of the marked element.
+    let p = sim.amplitude(marked).norm_sqr();
+    println!("P(marked) = {p:.4}");
+    assert!(p > 0.9, "Grover must amplify the marked element");
+
+    // Sample shots — the histogram concentrates on the marked element.
+    let counts = sim.sample(200);
+    let hits = counts.get(&marked).copied().unwrap_or(0);
+    println!("200 shots: {hits} hit the marked element");
+
+    // Dense baseline for comparison.
+    let t0 = Instant::now();
+    let dense = DenseSimulator::simulate(&circuit, 99)?;
+    let dense_time = t0.elapsed();
+    let p_dense = dense.state()[marked as usize].norm_sqr();
+    println!("\ndense simulation: {dense_time:?} — P(marked) = {p_dense:.4}");
+    assert!((p - p_dense).abs() < 1e-9, "both simulators must agree");
+
+    println!(
+        "\nThe Grover state never holds more than two distinct amplitude values,\n\
+         so its diagram stays at ~n nodes all the way through — the compactness\n\
+         the paper demonstrates with far smaller examples."
+    );
+    Ok(())
+}

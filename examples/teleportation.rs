@@ -1,0 +1,68 @@
+//! Quantum teleportation with the interactive stepper — exercising every
+//! "special operation" of the paper's tool (§IV-B): barriers as
+//! breakpoints, measurement pop-up dialogs, and classically-controlled
+//! corrections.
+//!
+//! Run with `cargo run --example teleportation`.
+
+use qdd::circuit::library;
+use qdd::core::MeasurementOutcome;
+use qdd::sim::{DdSimulator, StepOutcome, SteppableSimulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let theta = 1.2345;
+    let circuit = library::teleportation(theta);
+    println!("{circuit}");
+
+    // Walk the circuit like a user of the tool: fast-forward stops at each
+    // barrier; measurements open dialogs we resolve explicitly.
+    let mut session = SteppableSimulation::new(circuit.clone());
+    let mut dialogs = 0;
+    println!("interactive walk:");
+    loop {
+        match session.fast_forward()? {
+            StepOutcome::Applied { op_index } => {
+                println!(
+                    "  barrier reached after op {op_index} — state has {} nodes",
+                    session.node_count()
+                );
+            }
+            StepOutcome::NeedsChoice(p) => {
+                dialogs += 1;
+                // Alternate the outcomes to show both correction paths.
+                let outcome = MeasurementOutcome::from(dialogs % 2 == 1);
+                println!(
+                    "  dialog on q{}: p0={:.3}, p1={:.3} → choosing {outcome}",
+                    p.qubit, p.p0, p.p1
+                );
+                session.choose(outcome)?;
+            }
+            StepOutcome::AtEnd => break,
+        }
+    }
+    println!("resolved {dialogs} measurement dialogs");
+
+    // The teleported qubit q0 must match RY(θ)|0⟩ regardless of the
+    // measurement outcomes: p(1) = sin²(θ/2).
+    let expected_p1 = (theta / 2.0).sin().powi(2);
+    let state = session.state();
+    let p1 = session.package_mut().prob_one(state, 0);
+    println!("\nteleported qubit: p(|1⟩) = {p1:.6}, expected sin²(θ/2) = {expected_p1:.6}");
+    assert!((p1 - expected_p1).abs() < 1e-9);
+
+    // Statistical cross-check with full reruns and random outcomes.
+    let mut matches = 0;
+    let runs = 200;
+    for seed in 0..runs {
+        let mut sim = DdSimulator::with_seed(circuit.clone(), seed);
+        sim.run()?;
+        let state = sim.state();
+        let p1 = sim.package_mut().prob_one(state, 0);
+        if (p1 - expected_p1).abs() < 1e-9 {
+            matches += 1;
+        }
+    }
+    println!("{matches}/{runs} random-outcome reruns teleported the state exactly");
+    assert_eq!(matches, runs, "teleportation works for every outcome branch");
+    Ok(())
+}

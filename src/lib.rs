@@ -1,0 +1,46 @@
+//! `qdd` — decision diagrams for quantum computing, with visualization.
+//!
+//! A from-scratch Rust reproduction of *Visualizing Decision Diagrams for
+//! Quantum Computing* (Wille, Burgholzer, Artner; DATE 2021) and the
+//! decision-diagram machinery it demonstrates. This facade crate re-exports
+//! the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`complex`] | `qdd-complex` | complex arithmetic + interning table |
+//! | [`core`] | `qdd-core` | the DD package: canonical vector/matrix DDs |
+//! | [`circuit`] | `qdd-circuit` | circuits, QASM/`.real` parsers, library |
+//! | [`sim`] | `qdd-sim` | DD simulation, interactive stepper, dense baseline |
+//! | [`verify`] | `qdd-verify` | equivalence checking (naive + advanced) |
+//! | [`viz`] | `qdd-viz` | styles, DOT/SVG/JSON/HTML visualization, sessions |
+//!
+//! # Quick start
+//!
+//! Simulate the paper's Bell circuit and render its diagram:
+//!
+//! ```
+//! use qdd::circuit::library;
+//! use qdd::sim::DdSimulator;
+//! use qdd::viz::{style::VizStyle, svg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sim = DdSimulator::with_seed(library::bell(), 42);
+//! sim.run()?;
+//! assert_eq!(sim.node_count(), 3); // Fig. 2(a): three nodes
+//! let picture = svg::vector_to_svg(sim.package(), sim.state(), &VizStyle::classic());
+//! assert!(picture.starts_with("<svg"));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for complete walk-throughs of the paper's simulation
+//! (Fig. 8) and verification (Fig. 9 / Example 12) scenarios, and the
+//! `qdd-bench` crate for the experiment-regeneration binaries indexed in
+//! `DESIGN.md`.
+
+pub use qdd_circuit as circuit;
+pub use qdd_complex as complex;
+pub use qdd_core as core;
+pub use qdd_sim as sim;
+pub use qdd_verify as verify;
+pub use qdd_viz as viz;

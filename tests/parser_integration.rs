@@ -1,0 +1,233 @@
+//! Parser round-trips through the full pipeline: QASM/`.real` sources are
+//! parsed, simulated, and verified against programmatically built circuits.
+
+use qdd::circuit::{library, qasm, real, QuantumCircuit};
+use qdd::sim::DdSimulator;
+use qdd::verify::{EquivalenceChecker, Strategy};
+
+#[test]
+fn qasm_export_reimport_is_equivalent() {
+    for circuit in [
+        library::bell(),
+        library::ghz(4),
+        library::qft(4, true),
+        library::w_state(3),
+        library::random_circuit(4, 8, 9),
+    ] {
+        let qasm_text = circuit.to_qasm();
+        let reparsed = qasm::parse(&qasm_text).unwrap_or_else(|e| {
+            panic!("{}: reparse failed: {e}\n{qasm_text}", circuit.name())
+        });
+        let mut checker = EquivalenceChecker::new();
+        let report = checker
+            .check(&circuit, &reparsed, Strategy::Proportional)
+            .unwrap();
+        assert!(
+            report.result.is_equivalent(),
+            "{}: {report}\n{qasm_text}",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn qasm_qft_from_text_matches_library() {
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        h q[2];
+        cp(pi/2) q[1], q[2];
+        cp(pi/4) q[0], q[2];
+        h q[1];
+        cp(pi/2) q[0], q[1];
+        h q[0];
+        swap q[0], q[2];
+    "#;
+    let parsed = qasm::parse(src).unwrap();
+    let built = library::qft(3, true);
+    let mut checker = EquivalenceChecker::new();
+    assert!(checker
+        .check(&parsed, &built, Strategy::Construction)
+        .unwrap()
+        .result
+        .is_equivalent());
+}
+
+#[test]
+fn qasm_gate_definitions_simulate_correctly() {
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        gate majority a, b, c { cx c, b; cx c, a; ccx a, b, c; }
+        qreg q[3];
+        x q[0];
+        x q[2];
+        majority q[0], q[1], q[2];
+    "#;
+    let parsed = qasm::parse(src).unwrap();
+    let mut sim = DdSimulator::with_seed(parsed, 1);
+    sim.run().unwrap();
+    // majority(1, 0, 1): cx c,b → b=1; cx c,a → a=0; ccx a,b,c → c stays 1.
+    let states = sim.package().nonzero_basis_states(sim.state());
+    assert_eq!(states, vec![0b110]);
+}
+
+#[test]
+fn qasm_teleportation_with_conditions_runs() {
+    let src = r#"
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        qreg q[3];
+        creg m1[1];
+        creg m2[1];
+        ry(1.1) q[2];
+        h q[1];
+        cx q[1], q[0];
+        cx q[2], q[1];
+        h q[2];
+        measure q[1] -> m1[0];
+        measure q[2] -> m2[0];
+        if (m1 == 1) x q[0];
+        if (m2 == 1) z q[0];
+    "#;
+    let parsed = qasm::parse(src).unwrap();
+    let expected_p1 = (1.1f64 / 2.0).sin().powi(2);
+    for seed in 0..20 {
+        let mut sim = DdSimulator::with_seed(parsed.clone(), seed);
+        sim.run().unwrap();
+        let state = sim.state();
+        let p1 = sim.package_mut().prob_one(state, 0);
+        assert!((p1 - expected_p1).abs() < 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn real_toffoli_network_matches_builder() {
+    let src = "\
+.version 2.0
+.numvars 3
+.variables a b c
+.begin
+t1 c
+t2 c b
+t3 a b c
+.end
+";
+    let parsed = real::parse(src).unwrap();
+    // Variables a,b,c map to qubits 2,1,0 (first variable = MSB).
+    let mut built = QuantumCircuit::new(3);
+    built.x(0);
+    built.cx(0, 1);
+    built.ccx(2, 1, 0);
+    let mut checker = EquivalenceChecker::new();
+    assert!(checker
+        .check(&parsed, &built, Strategy::Construction)
+        .unwrap()
+        .result
+        .is_equivalent());
+}
+
+#[test]
+fn real_negative_controls_and_fredkin_simulate() {
+    let src = "\
+.version 2.0
+.numvars 3
+.variables a b c
+.begin
+t2 -a c
+f3 a b c
+.end
+";
+    let parsed = real::parse(src).unwrap();
+    let mut sim = DdSimulator::with_seed(parsed, 1);
+    sim.run().unwrap();
+    // From |000⟩: t2 -a c fires (a = 0) → c = 1 → |001⟩.
+    // f3: control a = 0 → no swap. Result |001⟩.
+    let states = sim.package().nonzero_basis_states(sim.state());
+    assert_eq!(states, vec![0b001]);
+}
+
+#[test]
+fn real_reversible_circuit_is_self_inverse_when_repeated() {
+    // Toffoli-family gates are involutions; applying the circuit twice in
+    // reverse order yields the identity.
+    let src = "\
+.numvars 4
+.begin
+t1 x1
+t2 x1 x2
+t3 x1 x2 x3
+t4 x1 x2 x3 x4
+.end
+";
+    let parsed = real::parse(src).unwrap();
+    let inv = parsed.inverse().unwrap();
+    let mut doubled = QuantumCircuit::new(4);
+    doubled.extend(&parsed);
+    doubled.extend(&inv);
+    let identity = QuantumCircuit::new(4);
+    let mut checker = EquivalenceChecker::new();
+    assert!(checker
+        .check(&doubled, &identity, Strategy::OneToOne)
+        .unwrap()
+        .result
+        .is_equivalent());
+}
+
+#[test]
+fn parse_errors_are_reported_not_panicked() {
+    assert!(qasm::parse("OPENQASM 3.0; qreg q[1];").is_err());
+    assert!(qasm::parse("OPENQASM 2.0; qreg q[1]; cx q[0], q[0];").is_err());
+    assert!(real::parse(".numvars 2\n.begin\nt9 x1\n.end").is_err());
+}
+
+#[test]
+fn map_qubits_permutes_semantics() {
+    use qdd::verify::{EquivalenceChecker, Strategy};
+    // bell on (1,0) mapped through reversal == bell built on (0,1).
+    let bell = library::bell();
+    let reversed = bell.map_qubits(&[1, 0]).unwrap();
+    let mut direct = QuantumCircuit::new(2);
+    direct.h(0).cx(0, 1);
+    let mut checker = EquivalenceChecker::new();
+    assert!(checker
+        .check(&reversed, &direct, Strategy::Construction)
+        .unwrap()
+        .result
+        .is_equivalent());
+    // Identity permutation is a no-op; bad permutations are rejected.
+    let same = bell.map_qubits(&[0, 1]).unwrap();
+    let mut checker = EquivalenceChecker::new();
+    assert!(checker
+        .check(&same, &bell, Strategy::OneToOne)
+        .unwrap()
+        .result
+        .is_equivalent());
+    assert!(bell.map_qubits(&[0, 0]).is_err());
+    assert!(bell.map_qubits(&[0]).is_err());
+    assert!(bell.map_qubits(&[0, 2]).is_err());
+}
+
+#[test]
+fn simulator_accepts_custom_initial_state() {
+    use qdd::complex::Complex;
+    // Apply X to an initial |+⟩⊗|1⟩ state and check the result.
+    let mut qc = QuantumCircuit::new(2);
+    qc.x(0);
+    let mut sim = DdSimulator::with_seed(qc, 1);
+    let h = std::f64::consts::FRAC_1_SQRT_2;
+    sim.set_initial_state(&[
+        Complex::ZERO,
+        Complex::real(h),
+        Complex::ZERO,
+        Complex::real(h),
+    ])
+    .unwrap();
+    sim.run().unwrap();
+    let amps = sim.dense_state();
+    assert!((amps[0].re - h).abs() < 1e-12);
+    assert!((amps[2].re - h).abs() < 1e-12);
+    // Setting the state mid-run is refused.
+    assert!(sim.set_initial_state(&[Complex::ONE, Complex::ZERO]).is_err());
+}

@@ -1,0 +1,204 @@
+//! Cross-validation: the decision-diagram simulator against the dense
+//! state-vector baseline on identical circuits — the fundamental soundness
+//! check for the whole DD stack.
+
+use qdd::circuit::library;
+use qdd::sim::{DdSimulator, DenseSimulator};
+
+fn assert_states_match(circuit: &qdd::circuit::QuantumCircuit, tol: f64) {
+    let mut dd_sim = DdSimulator::with_seed(circuit.clone(), 1);
+    dd_sim.run().unwrap();
+    let dd_state = dd_sim.dense_state();
+    let dense = DenseSimulator::simulate(circuit, 1).unwrap();
+    for (i, (a, b)) in dd_state.iter().zip(dense.state().iter()).enumerate() {
+        assert!(
+            a.approx_eq(*b, tol),
+            "{}: amplitude {i} differs: {a} vs {b}",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn library_circuits_match_dense() {
+    for circuit in [
+        library::bell(),
+        library::ghz(6),
+        library::w_state(5),
+        library::qft(5, true),
+        library::qft(4, false),
+        library::bernstein_vazirani(5, 0b10110),
+        library::grover(4, 9),
+        library::phase_estimation(4, 0.3125),
+    ] {
+        assert_states_match(&circuit, 1e-9);
+    }
+}
+
+#[test]
+fn random_circuits_match_dense() {
+    for seed in 0..20 {
+        let circuit = library::random_circuit(5, 12, seed);
+        assert_states_match(&circuit, 1e-9);
+    }
+}
+
+#[test]
+fn w_state_amplitudes_are_uniform_one_hot() {
+    let n = 6;
+    let mut sim = DdSimulator::with_seed(library::w_state(n), 1);
+    sim.run().unwrap();
+    let amps = sim.dense_state();
+    let expected = 1.0 / (n as f64).sqrt();
+    for (i, a) in amps.iter().enumerate() {
+        if (i as u64).count_ones() == 1 {
+            assert!((a.abs() - expected).abs() < 1e-9, "one-hot |{i:06b}⟩");
+        } else {
+            assert!(a.abs() < 1e-9, "non-one-hot |{i:06b}⟩ must vanish");
+        }
+    }
+}
+
+#[test]
+fn cuccaro_adder_adds() {
+    // b ← a + b (mod 2^n) with carry-out, for several operand pairs.
+    let n = 3;
+    for (a_val, b_val) in [(0u64, 0u64), (1, 1), (3, 5), (7, 7), (5, 2), (6, 3)] {
+        let mut circuit = qdd::circuit::QuantumCircuit::new(2 * n + 2);
+        // Prepare inputs: a_i at qubit 1+2i, b_i at qubit 2+2i.
+        for i in 0..n {
+            if (a_val >> i) & 1 == 1 {
+                circuit.x(1 + 2 * i);
+            }
+            if (b_val >> i) & 1 == 1 {
+                circuit.x(2 + 2 * i);
+            }
+        }
+        circuit.extend(&library::cuccaro_adder(n));
+        let mut sim = DdSimulator::with_seed(circuit, 1);
+        sim.run().unwrap();
+        let states = sim.package().nonzero_basis_states(sim.state());
+        assert_eq!(states.len(), 1, "classical input stays classical");
+        let out = states[0];
+        let sum = a_val + b_val;
+        let b_out = (0..n).fold(0u64, |acc, i| acc | (((out >> (2 + 2 * i)) & 1) << i));
+        let carry = (out >> (2 * n + 1)) & 1;
+        let a_out = (0..n).fold(0u64, |acc, i| acc | (((out >> (1 + 2 * i)) & 1) << i));
+        assert_eq!(b_out, sum & ((1 << n) - 1), "{a_val}+{b_val} sum bits");
+        assert_eq!(carry, sum >> n, "{a_val}+{b_val} carry");
+        assert_eq!(a_out, a_val, "operand a restored");
+    }
+}
+
+#[test]
+fn phase_estimation_recovers_exact_phase() {
+    // θ = 3/8 is exactly representable with 3 counting bits.
+    let n = 3;
+    let theta = 3.0 / 8.0;
+    let mut sim = DdSimulator::with_seed(library::phase_estimation(n, theta), 1);
+    sim.run().unwrap();
+    // The counting register (qubits 1..=n) holds θ·2^n exactly.
+    let states = sim.package().nonzero_basis_states(sim.state());
+    assert_eq!(states.len(), 1, "exact phase collapses to one basis state");
+    let counting = (states[0] >> 1) & ((1 << n) - 1);
+    assert_eq!(counting, 3, "measured phase register must encode 3/8");
+}
+
+#[test]
+fn sampling_agrees_with_dense_distribution() {
+    let circuit = library::random_circuit(4, 8, 77);
+    let mut dd_sim = DdSimulator::with_seed(circuit.clone(), 5);
+    dd_sim.run().unwrap();
+    let probs: Vec<f64> = dd_sim.dense_state().iter().map(|a| a.norm_sqr()).collect();
+    let shots = 20_000u64;
+    let counts = dd_sim.sample(shots);
+    for (basis, p) in probs.iter().enumerate() {
+        let observed = *counts.get(&(basis as u64)).unwrap_or(&0) as f64 / shots as f64;
+        assert!(
+            (observed - p).abs() < 0.02,
+            "basis {basis}: observed {observed:.4} vs p {p:.4}"
+        );
+    }
+}
+
+#[test]
+fn deep_circuit_with_auto_gc_stays_correct() {
+    // Long alternating pattern: exercises reference counting + GC paths.
+    let n = 6;
+    let mut circuit = qdd::circuit::QuantumCircuit::new(n);
+    for layer in 0..50 {
+        for q in 0..n {
+            circuit.ry(0.1 * (layer * n + q) as f64, q);
+        }
+        circuit.cx(layer % n, (layer + 1) % n);
+    }
+    let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+    sim.run().unwrap();
+    sim.collect_garbage();
+    let dd_state = sim.dense_state();
+    let dense = DenseSimulator::simulate(&circuit, 1).unwrap();
+    for (a, b) in dd_state.iter().zip(dense.state().iter()) {
+        assert!(a.approx_eq(*b, 1e-8));
+    }
+    let norm: f64 = dd_state.iter().map(|a| a.norm_sqr()).sum();
+    assert!((norm - 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn deutsch_jozsa_decides_in_one_query() {
+    use qdd::circuit::library::{deutsch_jozsa, DjOracle};
+    let n = 5;
+    for (oracle, constant) in [
+        (DjOracle::Constant(false), true),
+        (DjOracle::Constant(true), true),
+        (DjOracle::Balanced(0b1), false),
+        (DjOracle::Balanced(0b10110), false),
+    ] {
+        let mut sim = DdSimulator::with_seed(deutsch_jozsa(n, oracle), 1);
+        sim.run().unwrap();
+        // Probability of the data register (qubits 1..=n) being all zero.
+        let p_zero: f64 = sim
+            .package()
+            .nonzero_basis_states(sim.state())
+            .iter()
+            .filter(|&&b| (b >> 1) & ((1 << n) - 1) == 0)
+            .map(|&b| sim.amplitude(b).norm_sqr())
+            .sum();
+        if constant {
+            assert!((p_zero - 1.0).abs() < 1e-9, "{oracle:?}: p={p_zero}");
+        } else {
+            assert!(p_zero < 1e-9, "{oracle:?}: p={p_zero}");
+        }
+    }
+}
+
+#[test]
+fn bit_flip_code_corrects_every_single_error() {
+    use qdd::circuit::library::bit_flip_code;
+    let theta = 1.234;
+    for error_on in [None, Some(0), Some(1), Some(2)] {
+        // Every seed: the syndrome is deterministic, but run a few anyway.
+        for seed in 0..3 {
+            let mut sim = DdSimulator::with_seed(bit_flip_code(theta, error_on), seed);
+            sim.run().unwrap();
+            // Decode: the logical qubit lives in q0..q2 as α|000⟩ + β|111⟩.
+            // After correction, q0 must carry the original RY(θ) marginals
+            // and the three code qubits must agree.
+            let state = sim.state();
+            let p1 = sim.package_mut().prob_one(state, 0);
+            let expected_p1 = (theta / 2.0).sin().powi(2);
+            assert!(
+                (p1 - expected_p1).abs() < 1e-9,
+                "{error_on:?} seed {seed}: p1 = {p1}, expected {expected_p1}"
+            );
+            // Code qubits are re-correlated: q0 == q1 == q2 in every branch.
+            for basis in sim.package().nonzero_basis_states(state) {
+                let q0 = basis & 1;
+                let q1 = (basis >> 1) & 1;
+                let q2 = (basis >> 2) & 1;
+                assert_eq!(q0, q1, "{error_on:?}: basis {basis:05b}");
+                assert_eq!(q0, q2, "{error_on:?}: basis {basis:05b}");
+            }
+        }
+    }
+}
