@@ -1,4 +1,8 @@
 //! Tokenizer for OpenQASM 2.0.
+//!
+//! Like the parser, this is an untrusted-input boundary: malformed source
+//! must yield [`CircuitError::Parse`], never a panic.
+#![warn(clippy::unwrap_used)]
 
 use crate::error::CircuitError;
 
@@ -206,6 +210,7 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, CircuitError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -160,6 +160,41 @@ mod tests {
     }
 
     #[test]
+    fn recursive_gate_definition_errors_instead_of_overflowing() {
+        let src = "OPENQASM 2.0; qreg q[1]; gate rec a { rec a; } rec q[0];";
+        let err = parse(src).unwrap_err();
+        assert!(err.to_string().contains("recursive"), "got: {err}");
+    }
+
+    #[test]
+    fn mutually_recursive_gates_error() {
+        let src = "OPENQASM 2.0; qreg q[1]; \
+                   gate pong a { ping a; } gate ping a { pong a; } ping q[0];";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn deeply_nested_expression_errors_instead_of_overflowing() {
+        let open = "(".repeat(20_000);
+        let close = ")".repeat(20_000);
+        let src = format!("OPENQASM 2.0; qreg q[1]; rz({open}pi{close}) q[0];");
+        assert!(parse(&src).is_err());
+        let minuses = "-".repeat(20_000);
+        let src = format!("OPENQASM 2.0; qreg q[1]; rz({minuses}1) q[0];");
+        assert!(parse(&src).is_err());
+    }
+
+    #[test]
+    fn oversized_registers_are_rejected() {
+        assert!(parse("OPENQASM 2.0; qreg q[1000000000];").is_err());
+        // Two registers that only jointly exceed the cap.
+        assert!(parse("OPENQASM 2.0; qreg a[100]; qreg b[100];").is_err());
+        assert!(parse("OPENQASM 2.0; qreg q[1]; creg c[1000000000];").is_err());
+        // At the cap is fine.
+        assert!(parse(&format!("OPENQASM 2.0; qreg q[{}];", qdd_core::MAX_QUBITS)).is_ok());
+    }
+
+    #[test]
     fn round_trip_through_to_qasm() {
         let mut qc = crate::QuantumCircuit::new(3);
         qc.add_creg("c", 3);

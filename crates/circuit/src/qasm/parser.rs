@@ -1,4 +1,10 @@
 //! Recursive-descent parser for the supported OpenQASM 2.0 subset.
+//!
+//! The parser is an untrusted-input boundary: malformed files must produce
+//! [`CircuitError::Parse`], never a panic, stack overflow, or unbounded
+//! allocation. Recursion (gate expansion, parameter expressions) and
+//! register sizes are therefore explicitly bounded.
+#![warn(clippy::unwrap_used)]
 
 use super::expr::Expr;
 use super::lexer::{tokenize, Token, TokenKind};
@@ -25,6 +31,7 @@ pub fn parse(src: &str) -> Result<QuantumCircuit, CircuitError> {
         cregs: Vec::new(),
         gate_defs: HashMap::new(),
         ops: Vec::new(),
+        expr_depth: 0,
     };
     parser.program()?;
     parser.into_circuit()
@@ -62,6 +69,20 @@ enum Arg {
     Reg(usize),
 }
 
+/// Deepest allowed nesting of user gate definitions during expansion. The
+/// qelib hierarchy is a handful of levels; anything deeper is almost
+/// certainly a (mutually) recursive definition, which would otherwise
+/// overflow the stack.
+const MAX_GATE_EXPANSION_DEPTH: usize = 64;
+
+/// Deepest allowed parameter-expression nesting (parentheses, unary signs,
+/// powers) — bounds the recursive-descent stack on adversarial input.
+const MAX_EXPR_DEPTH: usize = 256;
+
+/// Ceiling on declared classical bits; quantum registers are capped by
+/// [`qdd_core::MAX_QUBITS`].
+const MAX_CLASSICAL_BITS: usize = 4096;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -69,6 +90,7 @@ struct Parser {
     cregs: Vec<Reg>,
     gate_defs: HashMap<String, GateDef>,
     ops: Vec<Operation>,
+    expr_depth: usize,
 }
 
 impl Parser {
@@ -189,7 +211,18 @@ impl Parser {
         if regs.iter().any(|r| r.name == name) {
             return Err(CircuitError::parse(line, format!("register `{name}` redeclared")));
         }
-        let offset = regs.iter().map(|r| r.size).sum();
+        let offset: usize = regs.iter().map(|r| r.size).sum();
+        let cap = if quantum { qdd_core::MAX_QUBITS } else { MAX_CLASSICAL_BITS };
+        if size > cap || offset + size > cap {
+            return Err(CircuitError::parse(
+                line,
+                format!(
+                    "register `{name}` pushes the total {} count past the supported \
+                     maximum of {cap}",
+                    if quantum { "qubit" } else { "classical bit" },
+                ),
+            ));
+        }
         regs.push(Reg { name, offset, size });
         Ok(())
     }
@@ -425,7 +458,7 @@ impl Parser {
                     format!("gate `{name}` applied to duplicate qubits"),
                 ));
             }
-            self.apply_named(&name, line, &params, &qubits, condition)?;
+            self.apply_named(&name, line, &params, &qubits, condition, 0)?;
         }
         Ok(())
     }
@@ -479,7 +512,17 @@ impl Parser {
         params: &[f64],
         qubits: &[usize],
         condition: Option<Condition>,
+        depth: usize,
     ) -> Result<(), CircuitError> {
+        if depth > MAX_GATE_EXPANSION_DEPTH {
+            return Err(CircuitError::parse(
+                line,
+                format!(
+                    "gate `{name}` expands deeper than {MAX_GATE_EXPANSION_DEPTH} levels \
+                     (recursive gate definition?)"
+                ),
+            ));
+        }
         let arity_err = |want_p: usize, want_q: usize| {
             CircuitError::parse(
                 line,
@@ -809,7 +852,7 @@ impl Parser {
                                         })
                                     })
                                     .collect::<Result<_, _>>()?;
-                                self.apply_named(name, *line, &vals, &qs, condition)?;
+                                self.apply_named(name, *line, &vals, &qs, condition, depth + 1)?;
                             }
                         }
                     }
@@ -865,7 +908,18 @@ impl Parser {
     }
 
     fn parse_factor(&mut self) -> Result<Expr, CircuitError> {
-        match self.peek().kind.clone() {
+        // Every recursive expression path (parentheses, unary signs, powers,
+        // function calls) passes through here, so this single counter bounds
+        // the whole descent against stack-overflowing input.
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            self.expr_depth -= 1;
+            return Err(CircuitError::parse(
+                self.line(),
+                format!("parameter expression nested deeper than {MAX_EXPR_DEPTH} levels"),
+            ));
+        }
+        let result = match self.peek().kind.clone() {
             TokenKind::Minus => {
                 self.advance();
                 let inner = self.parse_factor()?;
@@ -885,7 +939,9 @@ impl Parser {
                     Ok(base)
                 }
             }
-        }
+        };
+        self.expr_depth -= 1;
+        result
     }
 
     fn parse_primary(&mut self) -> Result<Expr, CircuitError> {

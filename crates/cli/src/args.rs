@@ -11,7 +11,7 @@ pub struct Args {
 /// Flags that take a value (everything else is boolean).
 const VALUE_FLAGS: &[&str] = &[
     "--seed", "--shots", "--style", "--svg", "--dot", "--html", "--strategy",
-    "--stimuli", "-o", "--threshold",
+    "--stimuli", "-o", "--threshold", "--node-limit", "--timeout-ms",
 ];
 
 impl Args {
@@ -71,6 +71,32 @@ impl Args {
                 .map_err(|_| format!("option `{flag}`: cannot parse `{text}`")),
         }
     }
+}
+
+/// Builds package [`Limits`](qdd_core::Limits) from the shared
+/// `--node-limit` / `--timeout-ms` flags.
+///
+/// # Errors
+///
+/// Reports unparsable or zero values.
+pub fn parse_limits(args: &Args) -> Result<qdd_core::Limits, String> {
+    let mut limits = qdd_core::Limits::default();
+    if let Some(text) = args.value("--node-limit") {
+        let n: usize = text
+            .parse()
+            .map_err(|_| format!("option `--node-limit`: cannot parse `{text}`"))?;
+        if n == 0 {
+            return Err("option `--node-limit`: must be at least 1".to_string());
+        }
+        limits.max_nodes = Some(n);
+    }
+    if let Some(text) = args.value("--timeout-ms") {
+        let ms: u64 = text
+            .parse()
+            .map_err(|_| format!("option `--timeout-ms`: cannot parse `{text}`"))?;
+        limits.deadline = Some(std::time::Duration::from_millis(ms));
+    }
+    Ok(limits)
 }
 
 /// Resolves a `--style` name.

@@ -4,3 +4,41 @@ pub mod circuit;
 pub mod render;
 pub mod simulate;
 pub mod verify;
+
+/// A subcommand failure, classified for the process exit code: bad input
+/// and ordinary failures exit 1, resource exhaustion (budget or deadline,
+/// [`qdd_core::DdError::is_resource`]) exits 3 so scripts can distinguish
+/// "this circuit is wrong" from "this circuit is too big for the budget".
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad input, I/O failure, non-equivalence — exit code 1.
+    Input(String),
+    /// A configured resource budget or deadline ran out — exit code 3.
+    Resource(String),
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError::Input(message)
+    }
+}
+
+impl CmdError {
+    /// Classifies a simulator error by its resource-ness.
+    pub fn from_sim(e: &qdd_sim::SimError) -> Self {
+        match e {
+            qdd_sim::SimError::Dd(d) if d.is_resource() => CmdError::Resource(e.to_string()),
+            _ => CmdError::Input(e.to_string()),
+        }
+    }
+
+    /// Classifies a verification error by its resource-ness.
+    pub fn from_verify(e: &qdd_verify::VerifyError) -> Self {
+        match e {
+            qdd_verify::VerifyError::Dd(d) if d.is_resource() => {
+                CmdError::Resource(e.to_string())
+            }
+            _ => CmdError::Input(e.to_string()),
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! `qdd simulate` — run a circuit, print the resulting state, sample it,
 //! and optionally export the diagram.
 
-use crate::args::{parse_style, Args};
+use crate::args::{parse_limits, parse_style, Args};
+use crate::commands::CmdError;
 use crate::load::load_circuit;
 
 pub const HELP: &str = "\
@@ -16,25 +17,35 @@ OPTIONS:
   --shots N         sample N basis states from the final state (default 0)
   --state           print the amplitude table of the final state
   --threshold P     hide amplitudes below probability P (default 1e-9)
+  --node-limit N    cap live DD nodes; under pressure the run GCs, then
+                    degrades to dense simulation (≤ 24 qubits), then fails
+  --timeout-ms N    wall-clock budget for the run
   --svg PATH        write the final diagram as SVG
   --dot PATH        write the final diagram as Graphviz DOT
   --html PATH       write a step-by-step HTML explorer of the whole run
-  --style STYLE     classic | colored | modern  (default classic)";
+  --style STYLE     classic | colored | modern  (default classic)
+
+EXIT STATUS: 0 on success, 1 on bad input, 3 when a resource budget
+(--node-limit, --timeout-ms) is exhausted.";
 
 const FLAGS: &[&str] = &[
-    "--seed", "--shots", "--state", "--threshold", "--svg", "--dot", "--html", "--style",
+    "--seed", "--shots", "--state", "--threshold", "--node-limit", "--timeout-ms",
+    "--svg", "--dot", "--html", "--style",
 ];
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CmdError> {
     let args = Args::parse(argv, FLAGS)?;
     let [path] = args.positional.as_slice() else {
-        return Err(format!("expected exactly one circuit file\n\n{HELP}"));
+        return Err(CmdError::Input(format!(
+            "expected exactly one circuit file\n\n{HELP}"
+        )));
     };
     let circuit = load_circuit(path)?;
     let seed: u64 = args.number("--seed", 1)?;
     let shots: u64 = args.number("--shots", 0)?;
     let threshold: f64 = args.number("--threshold", 1e-9)?;
     let style = parse_style(args.value("--style"))?;
+    let limits = parse_limits(&args)?;
 
     println!(
         "{}: {} qubits, {} operations, depth {}",
@@ -71,13 +82,32 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         println!("wrote {} frames to {html_path}", explorer.frames().len());
     }
 
-    let mut sim = qdd_sim::DdSimulator::with_seed(circuit.clone(), seed);
-    sim.run().map_err(|e| e.to_string())?;
-    println!(
-        "final diagram: {} nodes (peak {} during the run)",
-        sim.node_count(),
-        sim.stats().peak_nodes
-    );
+    let config = qdd_core::PackageConfig {
+        limits,
+        ..qdd_core::PackageConfig::default()
+    };
+    let mut sim = qdd_sim::DdSimulator::with_config(circuit.clone(), seed, config);
+    sim.run().map_err(|e| CmdError::from_sim(&e))?;
+    if sim.degraded_to_dense() {
+        println!(
+            "node limit hit: degraded to dense simulation after {} operations \
+             ({} pressure GCs)",
+            sim.stats().applied_ops,
+            sim.stats().gc_pressure_runs
+        );
+    } else {
+        println!(
+            "final diagram: {} nodes (peak {} during the run)",
+            sim.node_count(),
+            sim.stats().peak_nodes
+        );
+    }
+    if sim.stats().gc_pressure_runs > 0 && !sim.degraded_to_dense() {
+        println!(
+            "budget pressure: {} forced garbage collections",
+            sim.stats().gc_pressure_runs
+        );
+    }
     if !sim.classical_bits().is_empty() {
         let bits: String = sim
             .classical_bits()
@@ -89,10 +119,24 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 
     if args.has("--state") {
-        print!(
-            "{}",
-            qdd_viz::text::state_table(sim.package(), sim.state(), circuit.num_qubits(), threshold)
-        );
+        if sim.degraded_to_dense() {
+            let n = circuit.num_qubits();
+            for (basis, amp) in sim.dense_state().iter().enumerate() {
+                if amp.norm_sqr() >= threshold {
+                    println!("  |{basis:0n$b}⟩ : {:+.6}{:+.6}i", amp.re, amp.im);
+                }
+            }
+        } else {
+            print!(
+                "{}",
+                qdd_viz::text::state_table(
+                    sim.package(),
+                    sim.state(),
+                    circuit.num_qubits(),
+                    threshold
+                )
+            );
+        }
     }
 
     if shots > 0 {
@@ -109,6 +153,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
     }
 
+    if sim.degraded_to_dense() && (args.value("--svg").is_some() || args.value("--dot").is_some()) {
+        println!("note: diagram exports show the last in-budget DD snapshot");
+    }
     if let Some(svg_path) = args.value("--svg") {
         let svg = qdd_viz::svg::vector_to_svg(sim.package(), sim.state(), &style);
         std::fs::write(svg_path, svg).map_err(|e| format!("writing `{svg_path}`: {e}"))?;

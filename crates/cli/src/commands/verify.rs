@@ -1,6 +1,7 @@
 //! `qdd verify` — equivalence checking of two circuit files.
 
-use crate::args::{parse_strategy, Args};
+use crate::args::{parse_limits, parse_strategy, Args};
+use crate::commands::CmdError;
 use crate::load::load_circuit;
 use qdd_verify::{Equivalence, EquivalenceChecker};
 
@@ -12,24 +13,30 @@ diagrams (both must be measurement-free and act on the same number of
 qubits, like the paper's tool).
 
 OPTIONS:
-  --strategy S   construction | one-to-one | proportional |
-                 barrier-guided | lookahead   (default proportional)
-  --stimuli N    additionally run N random basis states through both
-                 circuits and compare the outputs (default 0)
+  --strategy S     construction | one-to-one | proportional |
+                   barrier-guided | lookahead   (default proportional)
+  --stimuli N      additionally run N random basis states through both
+                   circuits and compare the outputs (default 0)
+  --node-limit N   cap live DD nodes during the check
+  --timeout-ms N   wall-clock budget for the check
 
-EXIT STATUS: 0 when equivalent (incl. up to global phase), 1 otherwise.";
+EXIT STATUS: 0 when equivalent (incl. up to global phase), 1 otherwise,
+3 when a resource budget (--node-limit, --timeout-ms) is exhausted.";
 
-const FLAGS: &[&str] = &["--strategy", "--stimuli"];
+const FLAGS: &[&str] = &["--strategy", "--stimuli", "--node-limit", "--timeout-ms"];
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CmdError> {
     let args = Args::parse(argv, FLAGS)?;
     let [left_path, right_path] = args.positional.as_slice() else {
-        return Err(format!("expected exactly two circuit files\n\n{HELP}"));
+        return Err(CmdError::Input(format!(
+            "expected exactly two circuit files\n\n{HELP}"
+        )));
     };
     let left = load_circuit(left_path)?;
     let right = load_circuit(right_path)?;
     let strategy = parse_strategy(args.value("--strategy"))?;
     let stimuli: usize = args.number("--stimuli", 0)?;
+    let limits = parse_limits(&args)?;
 
     println!(
         "left:  {} ({} qubits, {} gates)",
@@ -44,10 +51,17 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         right.gate_count()
     );
 
-    let mut checker = EquivalenceChecker::new();
+    let mut checker = if limits.is_unlimited() {
+        EquivalenceChecker::new()
+    } else {
+        EquivalenceChecker::with_config(qdd_core::PackageConfig {
+            limits,
+            ..qdd_core::PackageConfig::default()
+        })
+    };
     let report = checker
         .check(&left, &right, strategy)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CmdError::from_verify(&e))?;
     println!("{report}");
     if let Some(cx) = report.counterexample {
         println!("counterexample: entry ({}, {}) deviates from the identity pattern", cx.row, cx.col);
@@ -68,7 +82,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 
     match report.result {
-        Equivalence::NotEquivalent => Err("circuits are NOT equivalent".to_string()),
+        Equivalence::NotEquivalent => {
+            Err(CmdError::Input("circuits are NOT equivalent".to_string()))
+        }
         _ => Ok(()),
     }
 }

@@ -29,6 +29,10 @@ USAGE:
 
 Run `qdd help <command>` for per-command options.";
 
+/// Exit code for resource exhaustion (node budget or deadline), distinct
+/// from 1 (bad input / failure) so scripts can retry with a larger budget.
+const EXIT_RESOURCE: u8 = 3;
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -36,11 +40,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &argv[1..];
-    let result = match command.as_str() {
+    let result: Result<(), commands::CmdError> = match command.as_str() {
         "simulate" => commands::simulate::run(rest),
         "verify" => commands::verify::run(rest),
-        "render" => commands::render::run(rest),
-        "circuit" => commands::circuit::run(rest),
+        "render" => commands::render::run(rest).map_err(Into::into),
+        "circuit" => commands::circuit::run(rest).map_err(Into::into),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("simulate") => println!("{}", commands::simulate::HELP),
@@ -51,13 +55,19 @@ fn main() -> ExitCode {
             }
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(commands::CmdError::Input(format!(
+            "unknown command `{other}`\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(commands::CmdError::Input(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
+        }
+        Err(commands::CmdError::Resource(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(EXIT_RESOURCE)
         }
     }
 }

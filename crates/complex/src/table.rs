@@ -52,6 +52,9 @@ pub struct ComplexTableStats {
     pub lookups: u64,
     /// Lookups answered by an existing entry.
     pub hits: u64,
+    /// Approximate heap footprint of the table (value storage plus bucket
+    /// index), for resource diagnostics.
+    pub approx_bytes: usize,
 }
 
 /// An interning table for complex numbers with tolerance-bucketed lookup.
@@ -130,12 +133,22 @@ impl ComplexTable {
         self.values.len() <= 2
     }
 
-    /// Current statistics snapshot.
+    /// Current statistics snapshot. The byte estimate walks the bucket
+    /// index, so this is O(entries) — call it for diagnostics, not in hot
+    /// loops.
     pub fn stats(&self) -> ComplexTableStats {
+        let bucket_bytes: usize = self
+            .buckets
+            .values()
+            .map(|b| b.capacity() * std::mem::size_of::<u32>())
+            .sum::<usize>()
+            + self.buckets.len()
+                * std::mem::size_of::<((i64, i64), Vec<u32>)>();
         ComplexTableStats {
             entries: self.values.len(),
             lookups: self.lookups,
             hits: self.hits,
+            approx_bytes: self.values.capacity() * std::mem::size_of::<Complex>() + bucket_bytes,
         }
     }
 
@@ -359,6 +372,10 @@ mod tests {
         assert_eq!(s.entries, 3);
         assert_eq!(s.lookups, 2);
         assert_eq!(s.hits, 1);
+        // Bytes: at least the value storage, and growing with entries.
+        assert!(s.approx_bytes >= 3 * std::mem::size_of::<Complex>());
+        t.lookup(Complex::new(0.1, 0.9));
+        assert!(t.stats().approx_bytes > s.approx_bytes || t.stats().entries == s.entries);
     }
 
     #[test]

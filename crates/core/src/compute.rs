@@ -9,20 +9,28 @@ use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
 use qdd_complex::{ComplexIdx, FxHashMap};
 use std::hash::Hash;
 
-/// A single memoization map with hit statistics.
+/// A single memoization map with hit statistics and an optional capacity.
+///
+/// A full cache evicts by clearing: entries carry no recency metadata, and
+/// dropping the whole map on pressure (the classic DD-package strategy) keeps
+/// inserts O(1) with zero overhead while unbounded.
 #[derive(Clone, Debug)]
 pub(crate) struct Cache<K, V> {
     map: FxHashMap<K, V>,
+    cap: usize,
     lookups: u64,
     hits: u64,
+    evictions: u64,
 }
 
 impl<K: Eq + Hash, V: Copy> Cache<K, V> {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn with_cap(cap: usize) -> Self {
         Cache {
             map: FxHashMap::default(),
+            cap,
             lookups: 0,
             hits: 0,
+            evictions: 0,
         }
     }
 
@@ -36,6 +44,10 @@ impl<K: Eq + Hash, V: Copy> Cache<K, V> {
     }
 
     pub(crate) fn insert(&mut self, key: K, value: V) {
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            self.map.clear();
+            self.evictions += 1;
+        }
         self.map.insert(key, value);
     }
 
@@ -53,6 +65,10 @@ impl<K: Eq + Hash, V: Copy> Cache<K, V> {
 
     pub(crate) fn hits(&self) -> u64 {
         self.hits
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -79,18 +95,33 @@ pub(crate) struct ComputeTables {
     pub prob_one: Cache<(VNodeId, Qubit), f64>,
 }
 
+/// Number of caches in [`ComputeTables`]; a total-entry budget is split
+/// evenly across them.
+const CACHE_COUNT: usize = 9;
+
+/// Floor on the per-cache capacity when a total budget is configured; below
+/// this a cache thrashes (clears on nearly every insert) without saving
+/// meaningful memory.
+const MIN_CACHE_CAP: usize = 16;
+
 impl ComputeTables {
-    pub(crate) fn new() -> Self {
+    /// Tables whose combined size stays at or under `max_total_entries`
+    /// (each cache gets an even share, floored at [`MIN_CACHE_CAP`]).
+    pub(crate) fn bounded(max_total_entries: Option<usize>) -> Self {
+        let cap = match max_total_entries {
+            Some(total) => (total / CACHE_COUNT).max(MIN_CACHE_CAP),
+            None => usize::MAX,
+        };
         ComputeTables {
-            add_vec: Cache::new(),
-            add_mat: Cache::new(),
-            mat_vec: Cache::new(),
-            mat_mat: Cache::new(),
-            kron_vec: Cache::new(),
-            kron_mat: Cache::new(),
-            adjoint: Cache::new(),
-            inner: Cache::new(),
-            prob_one: Cache::new(),
+            add_vec: Cache::with_cap(cap),
+            add_mat: Cache::with_cap(cap),
+            mat_vec: Cache::with_cap(cap),
+            mat_mat: Cache::with_cap(cap),
+            kron_vec: Cache::with_cap(cap),
+            kron_mat: Cache::with_cap(cap),
+            adjoint: Cache::with_cap(cap),
+            inner: Cache::with_cap(cap),
+            prob_one: Cache::with_cap(cap),
         }
     }
 
@@ -143,6 +174,19 @@ impl ComputeTables {
             + self.inner.len()
             + self.prob_one.len()
     }
+
+    /// Capacity-pressure clears across all caches since construction.
+    pub(crate) fn total_evictions(&self) -> u64 {
+        self.add_vec.evictions()
+            + self.add_mat.evictions()
+            + self.mat_vec.evictions()
+            + self.mat_mat.evictions()
+            + self.kron_vec.evictions()
+            + self.kron_mat.evictions()
+            + self.adjoint.evictions()
+            + self.inner.evictions()
+            + self.prob_one.evictions()
+    }
 }
 
 #[cfg(test)]
@@ -151,7 +195,7 @@ mod tests {
 
     #[test]
     fn cache_counts_hits_and_misses() {
-        let mut c: Cache<u32, u32> = Cache::new();
+        let mut c: Cache<u32, u32> = Cache::with_cap(usize::MAX);
         assert_eq!(c.get(&1), None);
         c.insert(1, 10);
         assert_eq!(c.get(&1), Some(10));
@@ -163,8 +207,44 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cache_evicts_by_clearing() {
+        let mut c: Cache<u32, u32> = Cache::with_cap(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.evictions(), 0);
+        // Overwriting an existing key at capacity is not an eviction.
+        c.insert(2, 21);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.len(), 2);
+        // A genuinely new key at capacity clears the cache first.
+        c.insert(3, 30);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&3), Some(30));
+    }
+
+    #[test]
+    fn bounded_tables_split_budget_with_floor() {
+        use qdd_complex::C_ZERO;
+        let t = ComputeTables::bounded(Some(9));
+        // 9 entries / 9 caches = 1, floored at MIN_CACHE_CAP.
+        let mut add_vec = t.add_vec;
+        for i in 0..MIN_CACHE_CAP {
+            add_vec.insert((VNodeId::from_index(i), VNodeId::from_index(i), C_ZERO), VecEdge::ZERO);
+        }
+        assert_eq!(add_vec.len(), MIN_CACHE_CAP);
+        assert_eq!(add_vec.evictions(), 0);
+        add_vec.insert(
+            (VNodeId::from_index(99), VNodeId::from_index(99), C_ZERO),
+            VecEdge::ZERO,
+        );
+        assert_eq!(add_vec.evictions(), 1);
+    }
+
+    #[test]
     fn compute_tables_clear_all() {
-        let mut t = ComputeTables::new();
+        let mut t = ComputeTables::bounded(None);
         t.mat_vec
             .insert((MNodeId::from_index(0), VNodeId::from_index(0)), VecEdge::ZERO);
         assert_eq!(t.total_entries(), 1);

@@ -3,6 +3,28 @@
 use std::error::Error;
 use std::fmt;
 
+/// Which budget a [`DdError::ResourceExhausted`] error refers to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResourceKind {
+    /// Live decision-diagram nodes ([`Limits::max_nodes`](crate::Limits::max_nodes)).
+    Nodes,
+    /// Interned complex values ([`Limits::max_complex_entries`](crate::Limits::max_complex_entries)).
+    ComplexEntries,
+    /// Operation recursion depth ([`Limits::recursion_depth`](crate::Limits::recursion_depth)).
+    RecursionDepth,
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResourceKind::Nodes => "node budget",
+            ResourceKind::ComplexEntries => "complex-table budget",
+            ResourceKind::RecursionDepth => "recursion depth limit",
+        })
+    }
+}
+
 /// Errors returned by the public, user-input-driven package API.
 ///
 /// Internal invariant violations (malformed diagrams produced by the package
@@ -55,6 +77,33 @@ pub enum DdError {
         /// The largest register `to_dense_*` accepts.
         max: usize,
     },
+    /// A configured resource budget ([`Limits`](crate::Limits)) was exhausted
+    /// even after garbage collection under pressure.
+    ResourceExhausted {
+        /// The budget that ran out.
+        kind: ResourceKind,
+        /// The configured limit.
+        limit: usize,
+        /// Usage observed when the limit was hit (≥ `limit`).
+        used: usize,
+    },
+    /// The armed wall-clock deadline expired mid-operation.
+    DeadlineExceeded {
+        /// Milliseconds past the deadline when the overrun was noticed.
+        excess_ms: u64,
+    },
+}
+
+impl DdError {
+    /// True for errors caused by a configured resource budget or deadline
+    /// (as opposed to invalid input). Drivers use this to pick exit codes
+    /// and decide whether degradation (GC, dense fallback) may help.
+    pub fn is_resource(&self) -> bool {
+        matches!(
+            self,
+            DdError::ResourceExhausted { .. } | DdError::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for DdError {
@@ -87,6 +136,12 @@ impl fmt::Display for DdError {
             DdError::TooLargeForDense { num_qubits, max } => {
                 write!(f, "dense export of {num_qubits} qubits exceeds the {max}-qubit limit")
             }
+            DdError::ResourceExhausted { kind, limit, used } => {
+                write!(f, "{kind} exhausted: {used} used, limit {limit}")
+            }
+            DdError::DeadlineExceeded { excess_ms } => {
+                write!(f, "deadline exceeded by {excess_ms} ms")
+            }
         }
     }
 }
@@ -108,6 +163,22 @@ mod tests {
             "qubit index 5 out of range for 3-qubit register"
         );
         assert!(DdError::ZeroVector.to_string().contains("zero norm"));
+    }
+
+    #[test]
+    fn resource_errors_display_and_classify() {
+        let e = DdError::ResourceExhausted {
+            kind: ResourceKind::Nodes,
+            limit: 10_000,
+            used: 10_001,
+        };
+        assert_eq!(e.to_string(), "node budget exhausted: 10001 used, limit 10000");
+        assert!(e.is_resource());
+        let d = DdError::DeadlineExceeded { excess_ms: 7 };
+        assert_eq!(d.to_string(), "deadline exceeded by 7 ms");
+        assert!(d.is_resource());
+        assert!(!DdError::ZeroVector.is_resource());
+        assert!(!DdError::NotUnitary.is_resource());
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod compute;
 mod error;
 mod export;
 pub mod gates;
+mod limits;
 mod measure;
 mod node;
 mod normalize;
@@ -58,8 +59,9 @@ mod package;
 mod serialize;
 mod types;
 
-pub use error::DdError;
+pub use error::{DdError, ResourceKind};
 pub use gates::{Control, GateMatrix, Polarity};
+pub use limits::{Limits, DEFAULT_AUTO_GC_THRESHOLD};
 pub use measure::MeasurementOutcome;
 pub use node::{MNode, VNode};
 pub use observable::{ParsePauliError, Pauli, PauliString};

@@ -1,0 +1,228 @@
+//! Resource limits and the governor that enforces them.
+//!
+//! A worst-case (non-compact) quantum state has an exponentially large
+//! decision diagram; driven interactively or by untrusted circuit files, the
+//! package must fail *gracefully* — bounded memory, bounded time, structured
+//! errors — instead of exhausting the host. [`Limits`] declares the budgets;
+//! the package enforces them at three chokepoints:
+//!
+//! 1. **Node allocation** (`try_make_vec_node` / `try_make_mat_node`): a new
+//!    unique-table entry is refused once the live-node estimate reaches
+//!    [`Limits::max_nodes`], and complex-weight interning growth is checked
+//!    against [`Limits::max_complex_entries`].
+//! 2. **Recursive operation entry** (`add`/`multiply`/`kron`/`inner`): each
+//!    recursion level checks [`Limits::recursion_depth`] and, periodically,
+//!    the armed [`Limits::deadline`].
+//! 3. **Compute-table insert**: each cache is bounded by its share of
+//!    [`Limits::max_compute_entries`] and evicts (clears) on pressure rather
+//!    than growing without bound.
+//!
+//! All limits default to *unlimited*; a default-configured package behaves
+//! byte-identically to one without the governor.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{DdError, ResourceKind};
+
+/// Live-node estimate beyond which long-running drivers (simulator,
+/// equivalence checker) garbage-collect between operations when no explicit
+/// threshold is configured.
+pub const DEFAULT_AUTO_GC_THRESHOLD: usize = 2_000_000;
+
+/// Resource budgets of a package. All optional; `None` means unlimited.
+///
+/// Construct with struct-update syntax:
+///
+/// ```
+/// use qdd_core::Limits;
+/// let limits = Limits { max_nodes: Some(10_000), ..Limits::default() };
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Limits {
+    /// Ceiling on live decision-diagram nodes (vector + matrix). Exceeding
+    /// it makes node construction return
+    /// [`DdError::ResourceExhausted`] with [`ResourceKind::Nodes`].
+    pub max_nodes: Option<usize>,
+    /// Ceiling on distinct interned complex values.
+    pub max_complex_entries: Option<usize>,
+    /// Ceiling on total memoized operation results. Unlike the other limits
+    /// this one degrades silently: caches evict (clear) instead of erroring,
+    /// counted in `PackageStats::compute_evictions`.
+    pub max_compute_entries: Option<usize>,
+    /// Wall-clock budget for governed work. The clock starts when a driver
+    /// arms it (`DdPackage::arm_deadline`); once elapsed, governed
+    /// operations return [`DdError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Ceiling on operation recursion depth (≈ qubit count for DD ops;
+    /// mainly a guard against pathological inputs).
+    pub recursion_depth: Option<usize>,
+    /// Live-node estimate at which long-running drivers auto-GC between
+    /// operations (previously a hardcoded constant in the simulator).
+    pub auto_gc_threshold: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_nodes: None,
+            max_complex_entries: None,
+            max_compute_entries: None,
+            deadline: None,
+            recursion_depth: None,
+            auto_gc_threshold: DEFAULT_AUTO_GC_THRESHOLD,
+        }
+    }
+}
+
+impl Limits {
+    /// True when no limit is set (the default): the governor is inert and
+    /// every fast path stays on its pre-governor behavior.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_nodes.is_none()
+            && self.max_complex_entries.is_none()
+            && self.max_compute_entries.is_none()
+            && self.deadline.is_none()
+            && self.recursion_depth.is_none()
+    }
+}
+
+/// How often (in governed recursion entries) the armed deadline is compared
+/// against the clock. Checking every entry would put an `Instant::now()` in
+/// the hot recursion; every 256th keeps overhead negligible while bounding
+/// overshoot to microseconds.
+const DEADLINE_CHECK_INTERVAL: u32 = 256;
+
+/// Mutable governor state owned by the package: the armed deadline and the
+/// pressure counters surfaced through `PackageStats`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Governor {
+    /// Absolute deadline, armed by a driver from [`Limits::deadline`].
+    deadline_at: Option<Instant>,
+    /// Governed-entry counter used to pace deadline checks.
+    tick: u32,
+    /// Garbage collections triggered by budget pressure (as opposed to the
+    /// routine auto-GC cadence).
+    pub(crate) gc_pressure_runs: u64,
+    /// High-water mark of the live-node estimate.
+    pub(crate) peak_live_nodes: usize,
+}
+
+impl Governor {
+    /// Arms the wall-clock deadline `budget` from now.
+    pub(crate) fn arm(&mut self, budget: Duration) {
+        self.deadline_at = Some(Instant::now() + budget);
+        self.tick = 0;
+    }
+
+    /// Disarms any armed deadline.
+    pub(crate) fn disarm(&mut self) {
+        self.deadline_at = None;
+    }
+
+    pub(crate) fn armed(&self) -> bool {
+        self.deadline_at.is_some()
+    }
+
+    /// Per-recursion-entry check: recursion depth always, deadline every
+    /// [`DEADLINE_CHECK_INTERVAL`] entries.
+    #[inline]
+    pub(crate) fn check(&mut self, depth: usize, limits: &Limits) -> Result<(), DdError> {
+        if let Some(max) = limits.recursion_depth {
+            if depth > max {
+                return Err(DdError::ResourceExhausted {
+                    kind: ResourceKind::RecursionDepth,
+                    limit: max,
+                    used: depth,
+                });
+            }
+        }
+        if self.deadline_at.is_some() {
+            self.tick = self.tick.wrapping_add(1);
+            if self.tick.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+                self.check_deadline_now()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Immediate (un-paced) deadline check, for per-operation driver use.
+    #[inline]
+    pub(crate) fn check_deadline_now(&self) -> Result<(), DdError> {
+        if let Some(at) = self.deadline_at {
+            let now = Instant::now();
+            if now >= at {
+                return Err(DdError::DeadlineExceeded {
+                    excess_ms: now.duration_since(at).as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let l = Limits::default();
+        assert!(l.is_unlimited());
+        assert_eq!(l.auto_gc_threshold, DEFAULT_AUTO_GC_THRESHOLD);
+    }
+
+    #[test]
+    fn any_set_limit_is_not_unlimited() {
+        for l in [
+            Limits { max_nodes: Some(1), ..Limits::default() },
+            Limits { max_complex_entries: Some(1), ..Limits::default() },
+            Limits { max_compute_entries: Some(1), ..Limits::default() },
+            Limits { deadline: Some(Duration::from_millis(1)), ..Limits::default() },
+            Limits { recursion_depth: Some(1), ..Limits::default() },
+        ] {
+            assert!(!l.is_unlimited());
+        }
+        // The GC threshold alone is a tuning knob, not a budget.
+        let tuned = Limits { auto_gc_threshold: 10, ..Limits::default() };
+        assert!(tuned.is_unlimited());
+    }
+
+    #[test]
+    fn governor_depth_limit_fires() {
+        let mut g = Governor::default();
+        let limits = Limits { recursion_depth: Some(4), ..Limits::default() };
+        assert!(g.check(4, &limits).is_ok());
+        assert!(matches!(
+            g.check(5, &limits),
+            Err(DdError::ResourceExhausted { kind: ResourceKind::RecursionDepth, limit: 4, used: 5 })
+        ));
+    }
+
+    #[test]
+    fn governor_deadline_fires_after_arming() {
+        let mut g = Governor::default();
+        assert!(g.check_deadline_now().is_ok(), "unarmed deadline never fires");
+        g.arm(Duration::ZERO);
+        assert!(matches!(
+            g.check_deadline_now(),
+            Err(DdError::DeadlineExceeded { .. })
+        ));
+        g.disarm();
+        assert!(g.check_deadline_now().is_ok());
+    }
+
+    #[test]
+    fn paced_check_eventually_sees_deadline() {
+        let mut g = Governor::default();
+        let limits = Limits { deadline: Some(Duration::ZERO), ..Limits::default() };
+        g.arm(Duration::ZERO);
+        let mut fired = false;
+        for _ in 0..2 * DEADLINE_CHECK_INTERVAL {
+            if g.check(0, &limits).is_err() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "paced deadline check must fire within one interval");
+    }
+}

@@ -1,5 +1,6 @@
 //! Pointwise addition of vector and matrix decision diagrams.
 
+use crate::error::DdError;
 use crate::package::DdPackage;
 use crate::types::{MatEdge, VecEdge};
 
@@ -12,21 +13,45 @@ impl DdPackage {
     ///
     /// # Panics
     ///
-    /// Panics if the operands have different qubit counts.
+    /// Panics if the operands have different qubit counts, or when a
+    /// configured resource budget runs out mid-operation (use
+    /// [`Self::try_add_vec`] under [`Limits`](crate::Limits)).
     pub fn add_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
+        self.try_add_vec(a, b)
+            .unwrap_or_else(|e| panic!("ungoverned add_vec failed: {e}"))
+    }
+
+    /// Governed form of [`Self::add_vec`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out; the partial result is dropped (any
+    /// nodes it created are unreferenced and reclaimed by the next GC).
+    pub fn try_add_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        self.add_vec_go(a, b, 0)
+    }
+
+    pub(crate) fn add_vec_go(
+        &mut self,
+        a: VecEdge,
+        b: VecEdge,
+        depth: usize,
+    ) -> Result<VecEdge, DdError> {
+        self.governor_check(depth)?;
         if a.is_zero() {
-            return b;
+            return Ok(b);
         }
         if b.is_zero() {
-            return a;
+            return Ok(a);
         }
         if a.node == b.node {
             let w = self.ctable.add(a.weight, b.weight);
-            return if w.is_zero() {
+            return Ok(if w.is_zero() {
                 VecEdge::ZERO
             } else {
                 VecEdge::new(a.node, w)
-            };
+            });
         }
         assert!(
             !a.is_terminal() && !b.is_terminal(),
@@ -43,7 +68,7 @@ impl DdPackage {
         let key = (x.node, y.node, beta);
         if self.config.compute_tables {
             if let Some(r) = self.caches.add_vec.get(&key) {
-                return self.scale_vec(r, alpha);
+                return Ok(self.scale_vec(r, alpha));
             }
         }
         let xn = self.vnode(x.node);
@@ -55,34 +80,57 @@ impl DdPackage {
         let mut rc = [VecEdge::ZERO; 2];
         for i in 0..2 {
             let ye = self.scale_vec(yc[i], beta);
-            rc[i] = self.add_vec(xc[i], ye);
+            rc[i] = self.add_vec_go(xc[i], ye, depth + 1)?;
         }
-        let r = self.make_vec_node(var, rc);
+        let r = self.try_make_vec_node(var, rc)?;
         if self.config.compute_tables {
             self.caches.add_vec.insert(key, r);
         }
-        self.scale_vec(r, alpha)
+        Ok(self.scale_vec(r, alpha))
     }
 
     /// Adds two matrix DDs.
     ///
     /// # Panics
     ///
-    /// Panics if the operands have different qubit counts.
+    /// Panics if the operands have different qubit counts, or when a
+    /// configured resource budget runs out mid-operation (use
+    /// [`Self::try_add_mat`] under [`Limits`](crate::Limits)).
     pub fn add_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
+        self.try_add_mat(a, b)
+            .unwrap_or_else(|e| panic!("ungoverned add_mat failed: {e}"))
+    }
+
+    /// Governed form of [`Self::add_mat`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out.
+    pub fn try_add_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        self.add_mat_go(a, b, 0)
+    }
+
+    pub(crate) fn add_mat_go(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+        depth: usize,
+    ) -> Result<MatEdge, DdError> {
+        self.governor_check(depth)?;
         if a.is_zero() {
-            return b;
+            return Ok(b);
         }
         if b.is_zero() {
-            return a;
+            return Ok(a);
         }
         if a.node == b.node {
             let w = self.ctable.add(a.weight, b.weight);
-            return if w.is_zero() {
+            return Ok(if w.is_zero() {
                 MatEdge::ZERO
             } else {
                 MatEdge::new(a.node, w)
-            };
+            });
         }
         assert!(
             !a.is_terminal() && !b.is_terminal(),
@@ -98,7 +146,7 @@ impl DdPackage {
         let key = (x.node, y.node, beta);
         if self.config.compute_tables {
             if let Some(r) = self.caches.add_mat.get(&key) {
-                return self.scale_mat(r, alpha);
+                return Ok(self.scale_mat(r, alpha));
             }
         }
         let xn = self.mnode(x.node);
@@ -110,13 +158,13 @@ impl DdPackage {
         let mut rc = [MatEdge::ZERO; 4];
         for i in 0..4 {
             let ye = self.scale_mat(yc[i], beta);
-            rc[i] = self.add_mat(xc[i], ye);
+            rc[i] = self.add_mat_go(xc[i], ye, depth + 1)?;
         }
-        let r = self.make_mat_node(var, rc);
+        let r = self.try_make_mat_node(var, rc)?;
         if self.config.compute_tables {
             self.caches.add_mat.insert(key, r);
         }
-        self.scale_mat(r, alpha)
+        Ok(self.scale_mat(r, alpha))
     }
 }
 

@@ -1,5 +1,6 @@
 //! Scalar-valued diagram operations: inner products, norms, fidelity, trace.
 
+use crate::error::DdError;
 use crate::package::DdPackage;
 use crate::types::{MatEdge, VecEdge, VNodeId};
 use qdd_complex::{Complex, ComplexIdx, C_ONE};
@@ -9,19 +10,34 @@ impl DdPackage {
     ///
     /// # Panics
     ///
-    /// Panics if the operands span different qubit counts.
+    /// Panics if the operands span different qubit counts, or when a
+    /// configured resource budget runs out mid-operation (use
+    /// [`Self::try_inner_product`] under [`Limits`](crate::Limits)).
     pub fn inner_product(&mut self, a: VecEdge, b: VecEdge) -> Complex {
-        if a.is_zero() || b.is_zero() {
-            return Complex::ZERO;
-        }
-        let factor = self.complex_value(a.weight).conj() * self.complex_value(b.weight);
-        let unit = self.inner_unit(a.node, b.node);
-        factor * self.complex_value(unit)
+        self.try_inner_product(a, b)
+            .unwrap_or_else(|e| panic!("ungoverned inner_product failed: {e}"))
     }
 
-    fn inner_unit(&mut self, an: VNodeId, bn: VNodeId) -> ComplexIdx {
+    /// Governed form of [`Self::inner_product`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out. Inner products allocate no DD nodes,
+    /// so only the depth and deadline budgets apply.
+    pub fn try_inner_product(&mut self, a: VecEdge, b: VecEdge) -> Result<Complex, DdError> {
+        if a.is_zero() || b.is_zero() {
+            return Ok(Complex::ZERO);
+        }
+        let factor = self.complex_value(a.weight).conj() * self.complex_value(b.weight);
+        let unit = self.inner_unit(a.node, b.node, 0)?;
+        Ok(factor * self.complex_value(unit))
+    }
+
+    fn inner_unit(&mut self, an: VNodeId, bn: VNodeId, depth: usize) -> Result<ComplexIdx, DdError> {
+        self.governor_check(depth)?;
         if an.is_terminal() && bn.is_terminal() {
-            return C_ONE;
+            return Ok(C_ONE);
         }
         assert!(
             !an.is_terminal() && !bn.is_terminal(),
@@ -30,7 +46,7 @@ impl DdPackage {
         let key = (an, bn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.inner.get(&key) {
-                return r;
+                return Ok(r);
             }
         }
         let anode = self.vnode(an);
@@ -43,7 +59,7 @@ impl DdPackage {
             if ac[i].is_zero() || bc[i].is_zero() {
                 continue;
             }
-            let sub = self.inner_unit(ac[i].node, bc[i].node);
+            let sub = self.inner_unit(ac[i].node, bc[i].node, depth + 1)?;
             sum += self.complex_value(ac[i].weight).conj()
                 * self.complex_value(bc[i].weight)
                 * self.complex_value(sub);
@@ -52,7 +68,7 @@ impl DdPackage {
         if self.config.compute_tables {
             self.caches.inner.insert(key, r);
         }
-        r
+        Ok(r)
     }
 
     /// The Euclidean norm `‖a‖ = √⟨a|a⟩`.

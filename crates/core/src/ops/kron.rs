@@ -5,6 +5,7 @@
 //! variable labels up — exactly the construction the paper illustrates for
 //! `H ⊗ I₂`.
 
+use crate::error::DdError;
 use crate::package::DdPackage;
 use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
 use qdd_complex::C_ONE;
@@ -12,24 +13,50 @@ use qdd_complex::C_ONE;
 impl DdPackage {
     /// Tensor product of two states: `|a⟩ ⊗ |b⟩` with `a` as the
     /// more-significant register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured resource budget runs out mid-operation (use
+    /// [`Self::try_kron_vec`] under [`Limits`](crate::Limits)).
     pub fn kron_vec(&mut self, a: VecEdge, b: VecEdge) -> VecEdge {
-        if a.is_zero() || b.is_zero() {
-            return VecEdge::ZERO;
-        }
-        let alpha = self.ctable.mul(a.weight, b.weight);
-        let r = self.kron_vec_unit(a.node, b.node);
-        self.scale_vec(r, alpha)
+        self.try_kron_vec(a, b)
+            .unwrap_or_else(|e| panic!("ungoverned kron_vec failed: {e}"))
     }
 
-    fn kron_vec_unit(&mut self, an: VNodeId, bn: VNodeId) -> VecEdge {
+    /// Governed form of [`Self::kron_vec`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out.
+    pub fn try_kron_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        self.kron_vec_go(a, b, 0)
+    }
+
+    pub(crate) fn kron_vec_go(
+        &mut self,
+        a: VecEdge,
+        b: VecEdge,
+        depth: usize,
+    ) -> Result<VecEdge, DdError> {
+        if a.is_zero() || b.is_zero() {
+            return Ok(VecEdge::ZERO);
+        }
+        let alpha = self.ctable.mul(a.weight, b.weight);
+        let r = self.kron_vec_unit(a.node, b.node, depth)?;
+        Ok(self.scale_vec(r, alpha))
+    }
+
+    fn kron_vec_unit(&mut self, an: VNodeId, bn: VNodeId, depth: usize) -> Result<VecEdge, DdError> {
+        self.governor_check(depth)?;
         if an.is_terminal() {
             // Terminal replacement: the unit edge into b's root.
-            return VecEdge::new(bn, C_ONE);
+            return Ok(VecEdge::new(bn, C_ONE));
         }
         let key = (an, bn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.kron_vec.get(&key) {
-                return r;
+                return Ok(r);
             }
         }
         let shift: Qubit = if bn.is_terminal() {
@@ -43,34 +70,60 @@ impl DdPackage {
         let b_unit = VecEdge::new(bn, C_ONE);
         let mut rc = [VecEdge::ZERO; 2];
         for (i, slot) in rc.iter_mut().enumerate() {
-            *slot = self.kron_vec(ac[i], b_unit);
+            *slot = self.kron_vec_go(ac[i], b_unit, depth + 1)?;
         }
-        let r = self.make_vec_node(var, rc);
+        let r = self.try_make_vec_node(var, rc)?;
         if self.config.compute_tables {
             self.caches.kron_vec.insert(key, r);
         }
-        r
+        Ok(r)
     }
 
     /// Tensor product of two operators: `A ⊗ B` with `A` acting on the
     /// more-significant qubits (the paper's `H ⊗ I₂`, Fig. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured resource budget runs out mid-operation (use
+    /// [`Self::try_kron_mat`] under [`Limits`](crate::Limits)).
     pub fn kron_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
-        if a.is_zero() || b.is_zero() {
-            return MatEdge::ZERO;
-        }
-        let alpha = self.ctable.mul(a.weight, b.weight);
-        let r = self.kron_mat_unit(a.node, b.node);
-        self.scale_mat(r, alpha)
+        self.try_kron_mat(a, b)
+            .unwrap_or_else(|e| panic!("ungoverned kron_mat failed: {e}"))
     }
 
-    fn kron_mat_unit(&mut self, an: MNodeId, bn: MNodeId) -> MatEdge {
+    /// Governed form of [`Self::kron_mat`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out.
+    pub fn try_kron_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        self.kron_mat_go(a, b, 0)
+    }
+
+    pub(crate) fn kron_mat_go(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+        depth: usize,
+    ) -> Result<MatEdge, DdError> {
+        if a.is_zero() || b.is_zero() {
+            return Ok(MatEdge::ZERO);
+        }
+        let alpha = self.ctable.mul(a.weight, b.weight);
+        let r = self.kron_mat_unit(a.node, b.node, depth)?;
+        Ok(self.scale_mat(r, alpha))
+    }
+
+    fn kron_mat_unit(&mut self, an: MNodeId, bn: MNodeId, depth: usize) -> Result<MatEdge, DdError> {
+        self.governor_check(depth)?;
         if an.is_terminal() {
-            return MatEdge::new(bn, C_ONE);
+            return Ok(MatEdge::new(bn, C_ONE));
         }
         let key = (an, bn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.kron_mat.get(&key) {
-                return r;
+                return Ok(r);
             }
         }
         let shift: Qubit = if bn.is_terminal() {
@@ -84,13 +137,13 @@ impl DdPackage {
         let b_unit = MatEdge::new(bn, C_ONE);
         let mut rc = [MatEdge::ZERO; 4];
         for (i, slot) in rc.iter_mut().enumerate() {
-            *slot = self.kron_mat(ac[i], b_unit);
+            *slot = self.kron_mat_go(ac[i], b_unit, depth + 1)?;
         }
-        let r = self.make_mat_node(var, rc);
+        let r = self.try_make_mat_node(var, rc)?;
         if self.config.compute_tables {
             self.caches.kron_mat.insert(key, r);
         }
-        r
+        Ok(r)
     }
 }
 

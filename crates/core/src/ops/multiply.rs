@@ -14,19 +14,42 @@ impl DdPackage {
     ///
     /// # Panics
     ///
-    /// Panics if the operands span different qubit counts.
+    /// Panics if the operands span different qubit counts, or when a
+    /// configured resource budget runs out mid-operation (use
+    /// [`Self::try_mat_vec`] under [`Limits`](crate::Limits)).
     pub fn mat_vec(&mut self, m: MatEdge, v: VecEdge) -> VecEdge {
-        if m.is_zero() || v.is_zero() {
-            return VecEdge::ZERO;
-        }
-        let alpha = self.ctable.mul(m.weight, v.weight);
-        let r = self.mat_vec_unit(m.node, v.node);
-        self.scale_vec(r, alpha)
+        self.try_mat_vec(m, v)
+            .unwrap_or_else(|e| panic!("ungoverned mat_vec failed: {e}"))
     }
 
-    fn mat_vec_unit(&mut self, mn: MNodeId, vn: VNodeId) -> VecEdge {
+    /// Governed form of [`Self::mat_vec`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out.
+    pub fn try_mat_vec(&mut self, m: MatEdge, v: VecEdge) -> Result<VecEdge, DdError> {
+        self.mat_vec_go(m, v, 0)
+    }
+
+    pub(crate) fn mat_vec_go(
+        &mut self,
+        m: MatEdge,
+        v: VecEdge,
+        depth: usize,
+    ) -> Result<VecEdge, DdError> {
+        if m.is_zero() || v.is_zero() {
+            return Ok(VecEdge::ZERO);
+        }
+        let alpha = self.ctable.mul(m.weight, v.weight);
+        let r = self.mat_vec_unit(m.node, v.node, depth)?;
+        Ok(self.scale_vec(r, alpha))
+    }
+
+    fn mat_vec_unit(&mut self, mn: MNodeId, vn: VNodeId, depth: usize) -> Result<VecEdge, DdError> {
+        self.governor_check(depth)?;
         if mn.is_terminal() && vn.is_terminal() {
-            return VecEdge::ONE;
+            return Ok(VecEdge::ONE);
         }
         assert!(
             !mn.is_terminal() && !vn.is_terminal(),
@@ -35,7 +58,7 @@ impl DdPackage {
         let key = (mn, vn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.mat_vec.get(&key) {
-                return r;
+                return Ok(r);
             }
         }
         let mnode = self.mnode(mn);
@@ -46,15 +69,15 @@ impl DdPackage {
         let vc = vnode.children;
         let mut rc = [VecEdge::ZERO; 2];
         for (i, slot) in rc.iter_mut().enumerate() {
-            let p0 = self.mat_vec(mc[2 * i], vc[0]);
-            let p1 = self.mat_vec(mc[2 * i + 1], vc[1]);
-            *slot = self.add_vec(p0, p1);
+            let p0 = self.mat_vec_go(mc[2 * i], vc[0], depth + 1)?;
+            let p1 = self.mat_vec_go(mc[2 * i + 1], vc[1], depth + 1)?;
+            *slot = self.add_vec_go(p0, p1, depth + 1)?;
         }
-        let r = self.make_vec_node(var, rc);
+        let r = self.try_make_vec_node(var, rc)?;
         if self.config.compute_tables {
             self.caches.mat_vec.insert(key, r);
         }
-        r
+        Ok(r)
     }
 
     /// Multiplies two operator DDs: `A · B` (apply `B` first).
@@ -64,19 +87,42 @@ impl DdPackage {
     ///
     /// # Panics
     ///
-    /// Panics if the operands span different qubit counts.
+    /// Panics if the operands span different qubit counts, or when a
+    /// configured resource budget runs out mid-operation (use
+    /// [`Self::try_mat_mat`] under [`Limits`](crate::Limits)).
     pub fn mat_mat(&mut self, a: MatEdge, b: MatEdge) -> MatEdge {
-        if a.is_zero() || b.is_zero() {
-            return MatEdge::ZERO;
-        }
-        let alpha = self.ctable.mul(a.weight, b.weight);
-        let r = self.mat_mat_unit(a.node, b.node);
-        self.scale_mat(r, alpha)
+        self.try_mat_mat(a, b)
+            .unwrap_or_else(|e| panic!("ungoverned mat_mat failed: {e}"))
     }
 
-    fn mat_mat_unit(&mut self, an: MNodeId, bn: MNodeId) -> MatEdge {
+    /// Governed form of [`Self::mat_mat`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out.
+    pub fn try_mat_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        self.mat_mat_go(a, b, 0)
+    }
+
+    pub(crate) fn mat_mat_go(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+        depth: usize,
+    ) -> Result<MatEdge, DdError> {
+        if a.is_zero() || b.is_zero() {
+            return Ok(MatEdge::ZERO);
+        }
+        let alpha = self.ctable.mul(a.weight, b.weight);
+        let r = self.mat_mat_unit(a.node, b.node, depth)?;
+        Ok(self.scale_mat(r, alpha))
+    }
+
+    fn mat_mat_unit(&mut self, an: MNodeId, bn: MNodeId, depth: usize) -> Result<MatEdge, DdError> {
+        self.governor_check(depth)?;
         if an.is_terminal() && bn.is_terminal() {
-            return MatEdge::ONE;
+            return Ok(MatEdge::ONE);
         }
         assert!(
             !an.is_terminal() && !bn.is_terminal(),
@@ -85,7 +131,7 @@ impl DdPackage {
         let key = (an, bn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.mat_mat.get(&key) {
-                return r;
+                return Ok(r);
             }
         }
         let anode = self.mnode(an);
@@ -98,16 +144,16 @@ impl DdPackage {
         for i in 0..2 {
             for j in 0..2 {
                 // (A·B)_{ij} = Σ_k A_{ik} · B_{kj}
-                let p0 = self.mat_mat(ac[2 * i], bc[j]);
-                let p1 = self.mat_mat(ac[2 * i + 1], bc[2 + j]);
-                rc[2 * i + j] = self.add_mat(p0, p1);
+                let p0 = self.mat_mat_go(ac[2 * i], bc[j], depth + 1)?;
+                let p1 = self.mat_mat_go(ac[2 * i + 1], bc[2 + j], depth + 1)?;
+                rc[2 * i + j] = self.add_mat_go(p0, p1, depth + 1)?;
             }
         }
-        let r = self.make_mat_node(var, rc);
+        let r = self.try_make_mat_node(var, rc)?;
         if self.config.compute_tables {
             self.caches.mat_mat.insert(key, r);
         }
-        r
+        Ok(r)
     }
 
     /// Convenience: builds the gate DD and applies it to `state` in one
@@ -115,8 +161,9 @@ impl DdPackage {
     ///
     /// # Errors
     ///
-    /// Propagates the validation errors of [`DdPackage::gate_dd`]; the
-    /// register size is taken from the state itself.
+    /// Propagates the validation errors of [`DdPackage::gate_dd`] (the
+    /// register size is taken from the state itself) and the governor
+    /// errors of [`Self::try_mat_vec`].
     pub fn apply_gate(
         &mut self,
         state: VecEdge,
@@ -134,7 +181,7 @@ impl DdPackage {
             }
         };
         let g = self.gate_dd(u, controls, target, n)?;
-        Ok(self.mat_vec(g, state))
+        self.try_mat_vec(g, state)
     }
 }
 

@@ -49,6 +49,34 @@ impl DenseSimulator {
         })
     }
 
+    /// Creates a simulator mid-circuit from an exported amplitude vector and
+    /// classical-bit snapshot — the hand-off point of the DD simulator's
+    /// dense degradation fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooLarge`] beyond [`MAX_DENSE_QUBITS`] or when `state`
+    /// is not `2ⁿ` amplitudes long.
+    pub fn from_parts(
+        n: usize,
+        state: Vec<Complex>,
+        classical: Vec<bool>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        if n == 0 || n > MAX_DENSE_QUBITS || state.len() != 1 << n {
+            return Err(SimError::TooLarge {
+                num_qubits: n,
+                max: MAX_DENSE_QUBITS,
+            });
+        }
+        Ok(DenseSimulator {
+            n,
+            state,
+            classical,
+            rng: SmallRng::seed_from_u64(seed),
+        })
+    }
+
     /// The current amplitudes.
     pub fn state(&self) -> &[Complex] {
         &self.state

@@ -1,26 +1,33 @@
 //! Batch decision-diagram simulation.
 
 use crate::creg_value;
+use crate::dense::{DenseSimulator, MAX_DENSE_QUBITS};
 use crate::error::SimError;
 use qdd_circuit::{Operation, QuantumCircuit};
 use qdd_complex::{Complex, FxHashMap};
-use qdd_core::{DdPackage, MeasurementOutcome, PackageConfig, VecEdge};
+use qdd_core::{DdError, DdPackage, MeasurementOutcome, PackageConfig, VecEdge};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
-/// Live-node estimate beyond which the simulator garbage-collects between
-/// operations. The current state is always protected by its root reference.
-const AUTO_GC_THRESHOLD: usize = 2_000_000;
+use rand::{Rng, SeedableRng};
 
 /// Per-run statistics of a [`DdSimulator`].
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
-    /// Node count of the state DD after each applied operation.
+    /// Node count of the state DD after each applied operation (not updated
+    /// after a dense fallback).
     pub nodes_per_step: Vec<usize>,
     /// Peak node count over the run.
     pub peak_nodes: usize,
     /// Number of operations applied.
     pub applied_ops: usize,
+    /// Garbage collections forced by node-budget pressure.
+    pub gc_pressure_runs: u64,
+    /// Compute-table clears forced by the configured cache capacity.
+    pub compute_evictions: u64,
+    /// High-water mark of the package's live-node estimate.
+    pub peak_live_nodes: usize,
+    /// Whether the run degraded to dense state-vector simulation after the
+    /// node budget stayed exhausted through a pressure GC.
+    pub dense_fallback: bool,
 }
 
 /// Simulates a [`QuantumCircuit`] by consecutive matrix–vector products on
@@ -31,6 +38,19 @@ pub struct SimStats {
 ///
 /// For interactive navigation (step back, choice dialogs) use
 /// [`SteppableSimulation`](crate::SteppableSimulation) instead.
+///
+/// # Resource governance
+///
+/// The simulator honors the [`Limits`](qdd_core::Limits) of its package
+/// configuration and degrades gracefully under pressure:
+///
+/// 1. When an operation exhausts the node budget, the simulator
+///    garbage-collects under pressure and retries once.
+/// 2. If the budget is still exhausted and the register is small enough
+///    (≤ [`MAX_DENSE_QUBITS`]), the state is exported and the run continues
+///    on a [`DenseSimulator`] (recorded in [`SimStats::dense_fallback`]).
+/// 3. Otherwise the error is returned. Deadline overruns are returned
+///    immediately — more memory strategies cannot buy back time.
 #[derive(Debug)]
 pub struct DdSimulator {
     dd: DdPackage,
@@ -40,6 +60,11 @@ pub struct DdSimulator {
     cursor: usize,
     rng: SmallRng,
     stats: SimStats,
+    /// Dense continuation after degradation; `state` stays frozen at the
+    /// (budget-sized) DD snapshot taken at the hand-off.
+    dense: Option<DenseSimulator>,
+    /// Gates the dense rung of the degradation ladder.
+    dense_fallback_enabled: bool,
 }
 
 impl DdSimulator {
@@ -72,7 +97,22 @@ impl DdSimulator {
             cursor: 0,
             rng: SmallRng::seed_from_u64(seed),
             stats: SimStats::default(),
+            dense: None,
+            dense_fallback_enabled: true,
         }
+    }
+
+    /// Enables or disables the dense rung of the degradation ladder
+    /// (enabled by default). With it off, a node budget that stays
+    /// exhausted after a pressure GC is a hard
+    /// [`DdError::ResourceExhausted`].
+    pub fn set_dense_fallback(&mut self, enabled: bool) {
+        self.dense_fallback_enabled = enabled;
+    }
+
+    /// Whether the run has degraded to dense simulation.
+    pub fn degraded_to_dense(&self) -> bool {
+        self.dense.is_some()
     }
 
     /// Replaces the initial state with `amplitudes` (length `2ⁿ`),
@@ -134,16 +174,25 @@ impl DdSimulator {
         &self.stats
     }
 
-    /// Runs the remainder of the circuit to completion.
+    /// Runs the remainder of the circuit to completion, arming the
+    /// configured wall-clock deadline (if any) for the duration.
     ///
     /// # Errors
     ///
-    /// Propagates [`SimError`] from invalid operations.
+    /// Propagates [`SimError`] from invalid operations and
+    /// [`DdError::DeadlineExceeded`] / [`DdError::ResourceExhausted`] from
+    /// the resource governor.
     pub fn run(&mut self) -> Result<VecEdge, SimError> {
+        self.dd.arm_deadline();
+        let mut outcome = Ok(());
         while self.cursor < self.circuit.len() {
-            self.step()?;
+            if let Err(e) = self.step() {
+                outcome = Err(e);
+                break;
+            }
         }
-        Ok(self.state)
+        self.dd.disarm_deadline();
+        outcome.map(|()| self.state)
     }
 
     /// Applies the next operation; returns `false` when the circuit is
@@ -156,17 +205,73 @@ impl DdSimulator {
         if self.cursor >= self.circuit.len() {
             return Ok(false);
         }
+        // Per-operation deadline check: cheap, and catches circuits whose
+        // individual operations are too small to trip the in-recursion
+        // pacing.
+        self.dd.check_deadline()?;
         let op = self.circuit.ops()[self.cursor].clone();
         self.cursor += 1;
-        self.apply_operation(&op)?;
-        if self.dd.live_node_estimate() > AUTO_GC_THRESHOLD {
-            self.dd.garbage_collect();
+        if self.dense.is_some() {
+            self.apply_dense(&op)?;
+        } else {
+            self.apply_governed(&op)?;
         }
-        let nodes = self.dd.vec_node_count(self.state);
-        self.stats.nodes_per_step.push(nodes);
-        self.stats.peak_nodes = self.stats.peak_nodes.max(nodes);
+        if self.dense.is_none() {
+            if self.dd.live_node_estimate() > self.dd.limits().auto_gc_threshold {
+                self.dd.garbage_collect();
+            }
+            let nodes = self.dd.vec_node_count(self.state);
+            self.stats.nodes_per_step.push(nodes);
+            self.stats.peak_nodes = self.stats.peak_nodes.max(nodes);
+        }
         self.stats.applied_ops += 1;
+        self.stats.gc_pressure_runs = self.dd.gc_pressure_runs();
+        self.stats.compute_evictions = self.dd.compute_evictions();
+        self.stats.peak_live_nodes = self.dd.peak_live_nodes();
         Ok(true)
+    }
+
+    /// One operation through the degradation ladder: apply, and on node
+    /// exhaustion GC-under-pressure + retry, then fall back to dense.
+    fn apply_governed(&mut self, op: &Operation) -> Result<(), SimError> {
+        match self.apply_operation(op) {
+            Err(SimError::Dd(DdError::ResourceExhausted { .. })) => {}
+            other => return other,
+        }
+        // Rung 1: reclaim dead nodes (the failed attempt's partial results
+        // are unreferenced) and retry once.
+        self.dd.gc_under_pressure();
+        let err = match self.apply_operation(op) {
+            Err(SimError::Dd(e @ DdError::ResourceExhausted { .. })) => e,
+            other => return other,
+        };
+        // Rung 2: continue densely when the register permits it.
+        let n = self.circuit.num_qubits();
+        if !self.dense_fallback_enabled || n > MAX_DENSE_QUBITS {
+            return Err(SimError::Dd(err));
+        }
+        let amps = self.dd.to_dense_vector(self.state, n);
+        let seed = self.rng.gen::<u64>();
+        let mut dense = DenseSimulator::from_parts(n, amps, self.classical.clone(), seed)?;
+        dense.apply_operation(&self.circuit, op)?;
+        self.dense = Some(dense);
+        self.stats.dense_fallback = true;
+        self.sync_dense_classical();
+        Ok(())
+    }
+
+    fn apply_dense(&mut self, op: &Operation) -> Result<(), SimError> {
+        let dense = self.dense.as_mut().expect("dense mode");
+        dense.apply_operation(&self.circuit, op)?;
+        self.sync_dense_classical();
+        Ok(())
+    }
+
+    fn sync_dense_classical(&mut self) {
+        if let Some(dense) = &self.dense {
+            self.classical.clear();
+            self.classical.extend_from_slice(dense.classical_bits());
+        }
     }
 
     fn set_state(&mut self, new_state: VecEdge) {
@@ -243,20 +348,42 @@ impl DdSimulator {
                 num_bits: self.classical.len(),
             });
         }
-        let new_state = self.dd.collapse(self.state, qubit, outcome)?;
+        if let Some(dense) = self.dense.as_mut() {
+            let want = outcome.as_bool();
+            let p = if want {
+                dense.prob_one(qubit)
+            } else {
+                1.0 - dense.prob_one(qubit)
+            };
+            if p <= 1e-12 {
+                return Err(SimError::Dd(DdError::ImpossibleOutcome {
+                    qubit,
+                    outcome: want,
+                }));
+            }
+            dense.collapse(qubit, want);
+        } else {
+            let new_state = self.dd.collapse(self.state, qubit, outcome)?;
+            self.set_state(new_state);
+        }
         self.classical[bit] = outcome.as_bool();
-        self.set_state(new_state);
         Ok(())
     }
 
     /// Samples `shots` basis states from the **current** state
     /// (non-destructively, paper ref \[16\]).
     pub fn sample(&mut self, shots: u64) -> FxHashMap<u64, u64> {
+        if let Some(dense) = self.dense.as_mut() {
+            return dense.sample(shots);
+        }
         self.dd.sample(self.state, shots, &mut self.rng)
     }
 
     /// The amplitude of one basis state of the current state.
     pub fn amplitude(&self, basis: u64) -> Complex {
+        if let Some(dense) = &self.dense {
+            return dense.state()[basis as usize];
+        }
         self.dd.amplitude(self.state, basis)
     }
 
@@ -266,6 +393,9 @@ impl DdSimulator {
     ///
     /// Panics for registers above 24 qubits.
     pub fn dense_state(&self) -> Vec<Complex> {
+        if let Some(dense) = &self.dense {
+            return dense.state().to_vec();
+        }
         self.dd.to_dense_vector(self.state, self.circuit.num_qubits())
     }
 
@@ -480,6 +610,105 @@ mod tests {
         );
         let p = sim.amplitude((1 << n) - 1).norm_sqr();
         assert!(p > 0.99, "P(marked) = {p}");
+    }
+
+    /// A circuit whose state has no product structure: node counts grow
+    /// exponentially with the register, which is exactly what the node
+    /// budget exists to catch.
+    fn entangling_workload(n: usize, layers: usize) -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(n);
+        for layer in 0..layers {
+            for q in 0..n {
+                qc.ry(0.37 + 0.11 * (layer * n + q) as f64, q);
+            }
+            for q in 0..n - 1 {
+                qc.cx(q, q + 1);
+            }
+        }
+        qc
+    }
+
+    fn limited_sim(qc: QuantumCircuit, max_nodes: usize) -> DdSimulator {
+        let config = PackageConfig {
+            limits: qdd_core::Limits {
+                max_nodes: Some(max_nodes),
+                ..qdd_core::Limits::default()
+            },
+            ..PackageConfig::default()
+        };
+        DdSimulator::with_config(qc, 1, config)
+    }
+
+    #[test]
+    fn node_budget_without_fallback_is_a_hard_error() {
+        let mut sim = limited_sim(entangling_workload(8, 3), 24);
+        sim.set_dense_fallback(false);
+        let err = sim.run().unwrap_err();
+        match err {
+            SimError::Dd(DdError::ResourceExhausted { limit, used, .. }) => {
+                assert_eq!(limit, 24);
+                assert!(used >= limit);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        assert!(
+            sim.stats().gc_pressure_runs > 0,
+            "pressure GC must have been attempted before giving up"
+        );
+        assert!(!sim.degraded_to_dense());
+    }
+
+    #[test]
+    fn node_budget_degrades_to_dense_and_matches_unlimited_run() {
+        let qc = entangling_workload(8, 3);
+        let mut reference = DdSimulator::with_seed(qc.clone(), 1);
+        reference.run().unwrap();
+        let expected = reference.dense_state();
+
+        let mut sim = limited_sim(qc, 24);
+        sim.run().unwrap();
+        assert!(sim.degraded_to_dense());
+        assert!(sim.stats().dense_fallback);
+        assert!(sim.stats().gc_pressure_runs > 0);
+        let got = sim.dense_state();
+        for (a, b) in expected.iter().zip(got.iter()) {
+            assert!(a.approx_eq(*b, 1e-9), "dense fallback diverged: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn dense_mode_serves_sampling_and_measurement() {
+        let mut qc = entangling_workload(6, 3);
+        qc.add_creg("c", 1);
+        let mut sim = limited_sim(qc, 16);
+        sim.run().unwrap();
+        assert!(sim.degraded_to_dense());
+        let counts = sim.sample(64);
+        assert_eq!(counts.values().sum::<u64>(), 64);
+        sim.measure_with_outcome(0, 0, MeasurementOutcome::Zero)
+            .unwrap();
+        let p1: f64 = sim
+            .dense_state()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & 1 != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum();
+        assert!(p1 < 1e-12, "collapse onto |0⟩ must zero the |1⟩ branch");
+    }
+
+    #[test]
+    fn deadline_zero_fires_immediately() {
+        let config = PackageConfig {
+            limits: qdd_core::Limits {
+                deadline: Some(std::time::Duration::ZERO),
+                ..qdd_core::Limits::default()
+            },
+            ..PackageConfig::default()
+        };
+        let mut sim = DdSimulator::with_config(library::qft(6, true), 1, config);
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::Dd(DdError::DeadlineExceeded { .. })));
     }
 
     #[test]

@@ -3,10 +3,12 @@
 use crate::error::VerifyError;
 use crate::result::{Counterexample, Equivalence, EquivalenceReport, Strategy};
 use qdd_circuit::{GateApplication, Operation, QuantumCircuit};
-use qdd_core::{DdPackage, MatEdge};
+use qdd_core::{DdPackage, Limits, MatEdge, PackageConfig};
 
-/// Node-arena size that triggers an intermediate garbage collection.
-const GC_THRESHOLD: usize = 500_000;
+/// Default live-node estimate that triggers an intermediate garbage
+/// collection between gate applications. Checking builds operator (4-ary)
+/// diagrams, so this sits well below the simulator's default threshold.
+const DEFAULT_GC_THRESHOLD: usize = 500_000;
 
 /// One primitive step of a flattened circuit.
 #[derive(Clone, Debug)]
@@ -19,16 +21,40 @@ enum Flat {
 ///
 /// A checker owns its [`DdPackage`]; reusing one checker across many checks
 /// shares gate diagrams and cache entries.
-#[derive(Debug, Default)]
+///
+/// The package's [`Limits`] apply to every check: node/complex budgets are
+/// enforced during gate application, and a configured deadline is armed for
+/// the duration of [`Self::check`]. Resource overruns surface as
+/// [`VerifyError::Dd`].
+#[derive(Debug)]
 pub struct EquivalenceChecker {
     dd: DdPackage,
 }
 
+impl Default for EquivalenceChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EquivalenceChecker {
-    /// Creates a checker with a fresh package.
+    /// Creates a checker with a fresh, unlimited package (auto-GC at
+    /// [`DEFAULT_GC_THRESHOLD`] live nodes).
     pub fn new() -> Self {
+        Self::with_config(PackageConfig {
+            limits: Limits {
+                auto_gc_threshold: DEFAULT_GC_THRESHOLD,
+                ..Limits::default()
+            },
+            ..PackageConfig::default()
+        })
+    }
+
+    /// Creates a checker over an explicit package configuration — the hook
+    /// for resource-governed verification.
+    pub fn with_config(config: PackageConfig) -> Self {
         EquivalenceChecker {
-            dd: DdPackage::new(),
+            dd: DdPackage::with_config(config),
         }
     }
 
@@ -60,10 +86,13 @@ impl EquivalenceChecker {
         let n = left.num_qubits();
         let lflat = flatten(left, 0)?;
         let rflat = flatten(right, 1)?;
-        match strategy {
+        self.dd.arm_deadline();
+        let out = match strategy {
             Strategy::Construction => self.check_construction(&lflat, &rflat, n),
             _ => self.check_alternating(&lflat, &rflat, n, strategy),
-        }
+        };
+        self.dd.disarm_deadline();
+        out
     }
 
     /// Builds the full system matrix of a flattened circuit, recording node
@@ -78,7 +107,7 @@ impl EquivalenceChecker {
         for step in flat {
             let Flat::Gate(g) = step else { continue };
             let gate = self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
-            u = self.dd.mat_mat(gate, u);
+            u = self.dd.try_mat_mat(gate, u)?;
             trace.push(self.dd.mat_node_count(u));
             self.maybe_gc(&mut [u]);
         }
@@ -118,7 +147,7 @@ impl EquivalenceChecker {
             }
         } else {
             let u2d = self.dd.adjoint_mat(u2);
-            let m = self.dd.mat_mat(u2d, u1);
+            let m = self.dd.try_mat_mat(u2d, u1)?;
             match self.find_magnitude_deviation(m, n) {
                 Some(cx) => {
                     counterexample = Some(cx);
@@ -173,7 +202,7 @@ impl EquivalenceChecker {
             () => {{
                 let g = lgates[i];
                 let gate = self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
-                m = self.dd.mat_mat(gate, m);
+                m = self.dd.try_mat_mat(gate, m)?;
                 i += 1;
                 trace.push(self.dd.mat_node_count(m));
                 self.maybe_gc(&mut [m]);
@@ -188,7 +217,7 @@ impl EquivalenceChecker {
                 if let Some(Flat::Gate(g)) = rflat.get(r_cursor) {
                     let inv = g.gate.inverse();
                     let gate = self.dd.gate_dd(inv.matrix(), &g.controls, g.target, n)?;
-                    m = self.dd.mat_mat(m, gate);
+                    m = self.dd.try_mat_mat(m, gate)?;
                     j += 1;
                     r_cursor += 1;
                     trace.push(self.dd.mat_node_count(m));
@@ -246,7 +275,7 @@ impl EquivalenceChecker {
                     let lgate =
                         self.dd
                             .gate_dd(lg.gate.matrix(), &lg.controls, lg.target, n)?;
-                    let cand_left = self.dd.mat_mat(lgate, m);
+                    let cand_left = self.dd.try_mat_mat(lgate, m)?;
                     let left_nodes = self.dd.mat_node_count(cand_left);
 
                     let mut peek = r_cursor;
@@ -257,7 +286,7 @@ impl EquivalenceChecker {
                         let inv = g.gate.inverse();
                         let gate =
                             self.dd.gate_dd(inv.matrix(), &g.controls, g.target, n)?;
-                        let c = self.dd.mat_mat(m, gate);
+                        let c = self.dd.try_mat_mat(m, gate)?;
                         let nodes = self.dd.mat_node_count(c);
                         (Some((c, peek)), nodes)
                     } else {
@@ -317,7 +346,7 @@ impl EquivalenceChecker {
     }
 
     fn maybe_gc(&mut self, roots: &mut [MatEdge]) {
-        if self.dd.live_node_estimate() < GC_THRESHOLD {
+        if self.dd.live_node_estimate() < self.dd.limits().auto_gc_threshold {
             return;
         }
         for r in roots.iter() {
@@ -557,6 +586,46 @@ mod tests {
         let report = checker.check(&qft, &qft, Strategy::OneToOne).unwrap();
         assert_eq!(report.applied_left, qft.gate_count());
         assert_eq!(report.applied_right, qft.gate_count());
+    }
+
+    #[test]
+    fn node_budget_surfaces_as_dd_error() {
+        let config = PackageConfig {
+            limits: Limits {
+                max_nodes: Some(8),
+                ..Limits::default()
+            },
+            ..PackageConfig::default()
+        };
+        let mut checker = EquivalenceChecker::with_config(config);
+        let qft = library::qft(5, true);
+        let err = checker
+            .check(&qft, &qft, Strategy::Construction)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::Dd(qdd_core::DdError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_zero_aborts_check() {
+        let config = PackageConfig {
+            limits: Limits {
+                deadline: Some(std::time::Duration::ZERO),
+                ..Limits::default()
+            },
+            ..PackageConfig::default()
+        };
+        let mut checker = EquivalenceChecker::with_config(config);
+        let qft = library::qft(5, true);
+        let err = checker
+            .check(&qft, &qft, Strategy::OneToOne)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            VerifyError::Dd(qdd_core::DdError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

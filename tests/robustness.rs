@@ -1,0 +1,238 @@
+//! Resource-governance and malformed-input robustness.
+//!
+//! The engine must fail *structurally* — typed errors, balanced stats,
+//! graceful degradation — when driven past its budgets or fed garbage,
+//! never by panicking or exhausting the host.
+
+use qdd::circuit::{library, qasm, QuantumCircuit};
+use qdd::core::{DdError, DdPackage, Limits, PackageConfig, ResourceKind};
+use qdd::sim::{DdSimulator, SimError};
+use qdd::verify::{EquivalenceChecker, Strategy, VerifyError};
+use std::time::Duration;
+
+fn limited(limits: Limits) -> PackageConfig {
+    PackageConfig {
+        limits,
+        ..PackageConfig::default()
+    }
+}
+
+/// Entangling layers with incommensurate rotation angles: the state has no
+/// product structure, so its diagram grows exponentially in the register —
+/// the adversarial workload for a node budget.
+fn adversarial(n: usize, layers: usize) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            qc.ry(0.37 + 0.11 * (layer * n + q) as f64, q);
+        }
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+    }
+    qc
+}
+
+#[test]
+fn node_budget_yields_structured_error_with_balanced_stats() {
+    // Register too wide for the dense fallback: the budget must surface as
+    // a hard, typed error.
+    let config = limited(Limits {
+        max_nodes: Some(10_000),
+        ..Limits::default()
+    });
+    let mut sim = DdSimulator::with_config(adversarial(26, 3), 1, config);
+    let err = sim.run().unwrap_err();
+    match err {
+        SimError::Dd(DdError::ResourceExhausted { kind, limit, used }) => {
+            assert_eq!(kind, ResourceKind::Nodes);
+            assert_eq!(limit, 10_000);
+            assert!(used >= limit, "reported usage {used} below limit {limit}");
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    let stats = sim.stats();
+    assert!(stats.gc_pressure_runs > 0, "pressure GC must have run");
+    assert!(!stats.dense_fallback, "26 qubits cannot fall back densely");
+
+    // The package survives the failure with a consistent node ledger:
+    // every live node occupies an allocated slot, and the pressure GCs
+    // actually returned slots to the free list.
+    let pkg = sim.package().stats();
+    assert!(
+        pkg.vnodes_alive <= pkg.vnodes_allocated,
+        "vector ledger out of balance: {} alive > {} allocated",
+        pkg.vnodes_alive,
+        pkg.vnodes_allocated
+    );
+    assert!(
+        pkg.mnodes_alive <= pkg.mnodes_allocated,
+        "matrix ledger out of balance: {} alive > {} allocated",
+        pkg.mnodes_alive,
+        pkg.mnodes_allocated
+    );
+    assert!(pkg.gc_pressure_runs > 0);
+    assert!(pkg.peak_live_nodes >= 10_000);
+}
+
+#[test]
+fn deadline_fires_on_long_qft() {
+    let config = limited(Limits {
+        deadline: Some(Duration::from_millis(50)),
+        ..Limits::default()
+    });
+    // QFT over a non-basis (H-prepared) input keeps every step busy.
+    let mut qc = QuantumCircuit::new(22);
+    for q in 0..22 {
+        qc.ry(0.3 + 0.05 * q as f64, q);
+    }
+    let qft = library::qft(22, true);
+    qc.extend(&qft);
+    let mut sim = DdSimulator::with_config(qc, 1, config);
+    let start = std::time::Instant::now();
+    let err = sim.run().unwrap_err();
+    assert!(
+        matches!(err, SimError::Dd(DdError::DeadlineExceeded { .. })),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    // Generous ceiling: the point is that it aborted, not ran to completion.
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "deadline failed to cut the run short"
+    );
+}
+
+#[test]
+fn dense_fallback_preserves_semantics() {
+    let circuit = adversarial(10, 3);
+    let mut reference = DdSimulator::with_seed(circuit.clone(), 7);
+    reference.run().unwrap();
+    let expected = reference.dense_state();
+
+    let config = limited(Limits {
+        max_nodes: Some(32),
+        ..Limits::default()
+    });
+    let mut sim = DdSimulator::with_config(circuit, 7, config);
+    sim.run().unwrap();
+    assert!(sim.degraded_to_dense());
+    assert!(sim.stats().dense_fallback);
+    for (a, b) in expected.iter().zip(sim.dense_state().iter()) {
+        assert!(a.approx_eq(*b, 1e-9), "fallback diverged: {a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn default_limits_change_nothing() {
+    assert!(Limits::default().is_unlimited());
+    let mut plain = DdSimulator::with_seed(library::grover(8, 5), 3);
+    let mut configured =
+        DdSimulator::with_config(library::grover(8, 5), 3, limited(Limits::default()));
+    plain.run().unwrap();
+    configured.run().unwrap();
+    assert_eq!(plain.stats(), configured.stats());
+    for (a, b) in plain.dense_state().iter().zip(configured.dense_state().iter()) {
+        assert!(a.approx_eq(*b, 1e-15));
+    }
+}
+
+#[test]
+fn verifier_respects_budgets() {
+    let config = limited(Limits {
+        max_nodes: Some(64),
+        ..Limits::default()
+    });
+    let mut checker = EquivalenceChecker::with_config(config);
+    let qft = library::qft(7, true);
+    let err = checker
+        .check(&qft, &qft, Strategy::Construction)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        VerifyError::Dd(DdError::ResourceExhausted { .. })
+    ));
+}
+
+#[test]
+fn compute_table_budget_degrades_without_error() {
+    let config = limited(Limits {
+        max_compute_entries: Some(512),
+        ..Limits::default()
+    });
+    let mut sim = DdSimulator::with_config(library::qft(10, true), 1, config);
+    sim.run().unwrap(); // bounded caches never fail, they just evict
+    assert!(
+        sim.stats().compute_evictions > 0,
+        "a 512-entry cache budget must evict on a 10-qubit QFT"
+    );
+}
+
+#[test]
+fn recursion_depth_limit_is_enforced() {
+    let mut dd = DdPackage::with_config(limited(Limits {
+        recursion_depth: Some(4),
+        ..Limits::default()
+    }));
+    let state = dd.zero_state(8).unwrap();
+    // H on the bottom qubit forces the multiply to thread all 8 levels,
+    // which a depth budget of 4 must reject.
+    let err = dd
+        .apply_gate(state, qdd::core::gates::H, &[], 0)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        DdError::ResourceExhausted {
+            kind: ResourceKind::RecursionDepth,
+            ..
+        }
+    ));
+}
+
+/// Malformed QASM must produce `Err`, never a panic. Each entry is run
+/// under `catch_unwind` so a regression reports the offending source.
+#[test]
+fn malformed_qasm_corpus_never_panics() {
+    let deep_parens = format!(
+        "OPENQASM 2.0; qreg q[1]; rz({}pi{}) q[0];",
+        "(".repeat(50_000),
+        ")".repeat(50_000)
+    );
+    let corpus: Vec<String> = vec![
+        String::new(),
+        ";".into(),
+        "OPENQASM".into(),
+        "OPENQASM 3.0;".into(),
+        "OPENQASM 2.0; qreg".into(),
+        "OPENQASM 2.0; qreg q[0];".into(),
+        "OPENQASM 2.0; qreg q[99999999999];".into(),
+        "OPENQASM 2.0; qreg q[2]; qreg q[2];".into(),
+        "OPENQASM 2.0; qreg q[2]; h q[5];".into(),
+        "OPENQASM 2.0; qreg q[2]; cx q[0], q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; rx() q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; rx(1/0) q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; rx(frob(1)) q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; gate rec a { rec a; } rec q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; gate a x { b x; } gate b x { a x; } a q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; gate broken a {".into(),
+        "OPENQASM 2.0; qreg q[1]; creg c[1]; if (c = 1) x q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; creg c[1]; if (d == 1) x q[0];".into(),
+        "OPENQASM 2.0; qreg q[1]; measure q[0] ->".into(),
+        "OPENQASM 2.0; qreg q[2]; creg c[1]; measure q -> c;".into(),
+        "OPENQASM 2.0; qreg q[1]; x q[0]".into(),
+        "OPENQASM 2.0; qreg q[1]; \u{0} x q[0];".into(),
+        "OPENQASM 2.0; include \"unterminated".into(),
+        deep_parens,
+        format!("OPENQASM 2.0; qreg q[1]; rz({}1) q[0];", "-".repeat(50_000)),
+    ];
+    for src in &corpus {
+        let label: String = src.chars().take(60).collect();
+        let result = std::panic::catch_unwind(|| qasm::parse(src));
+        match result {
+            Ok(parse_result) => assert!(
+                parse_result.is_err(),
+                "malformed source accepted: {label}"
+            ),
+            Err(_) => panic!("parser panicked on: {label}"),
+        }
+    }
+}
