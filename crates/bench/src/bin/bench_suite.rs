@@ -1,0 +1,262 @@
+//! The tracked performance suite: GHZ / QFT / Grover / random-Clifford+T
+//! workloads at several widths, through both simulation and verification,
+//! with wall time, peak node counts, and cache hit rates written as JSON.
+//!
+//! Every perf-relevant PR regenerates `BENCH_current.json` at the repo root
+//! (and, once per optimization effort, pins the pre-change numbers as
+//! `BENCH_baseline.json`) so the trajectory is answerable:
+//!
+//! ```text
+//! cargo run --release -p qdd-bench --bin bench_suite -- --label current
+//! ```
+//!
+//! Options:
+//!   --label baseline|current   output file name (default: current)
+//!   --out PATH                 explicit output path (overrides --label)
+//!   --small                    smallest widths only, 1 repetition (CI smoke)
+//!   --reps N                   timing repetitions per workload (default 3)
+
+use qdd_bench::fmt_duration;
+use qdd_bench::workloads::Family;
+use qdd_sim::DdSimulator;
+use qdd_verify::{EquivalenceChecker, Strategy};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One benchmark measurement, serialized as a JSON object.
+struct Record {
+    family: &'static str,
+    phase: &'static str,
+    n: usize,
+    gates: usize,
+    wall_ms: f64,
+    peak_nodes: usize,
+    cache_lookups: u64,
+    cache_hits: u64,
+    complex_entries: usize,
+    /// Gate-DD cache counters (0/0 on package versions without the cache).
+    gate_cache_lookups: u64,
+    gate_cache_hits: u64,
+}
+
+impl Record {
+    fn hit_rate(lookups: u64, hits: u64) -> f64 {
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "    {{\"family\": \"{}\", \"phase\": \"{}\", \"n\": {}, \"gates\": {}, \
+             \"wall_ms\": {:.3}, \"peak_nodes\": {}, \
+             \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
+             \"gate_cache_lookups\": {}, \"gate_cache_hits\": {}, \"gate_cache_hit_rate\": {:.4}, \
+             \"complex_entries\": {}}}",
+            self.family,
+            self.phase,
+            self.n,
+            self.gates,
+            self.wall_ms,
+            self.peak_nodes,
+            self.cache_lookups,
+            self.cache_hits,
+            Self::hit_rate(self.cache_lookups, self.cache_hits),
+            self.gate_cache_lookups,
+            self.gate_cache_hits,
+            Self::hit_rate(self.gate_cache_lookups, self.gate_cache_hits),
+            self.complex_entries,
+        );
+        s
+    }
+}
+
+/// Simulation widths per family: wide enough that the DD work dominates
+/// fixed overheads, small enough that the full suite stays under a minute.
+fn sim_widths(family: Family, small: bool) -> &'static [usize] {
+    if small {
+        return match family {
+            Family::Ghz => &[8],
+            Family::Qft => &[8],
+            Family::Grover => &[6],
+            Family::CliffordT => &[6],
+            _ => &[],
+        };
+    }
+    match family {
+        Family::Ghz => &[8, 16, 24],
+        Family::Qft => &[8, 12, 16],
+        Family::Grover => &[8, 12, 14],
+        Family::CliffordT => &[8, 10, 12],
+        _ => &[],
+    }
+}
+
+/// Verification (self-equivalence, construction strategy) widths: the full
+/// system matrix is built twice, so these are narrower than the sim widths.
+fn verify_widths(family: Family, small: bool) -> &'static [usize] {
+    if small {
+        return match family {
+            Family::Ghz => &[6],
+            Family::Qft => &[5],
+            Family::Grover => &[4],
+            Family::CliffordT => &[4],
+            _ => &[],
+        };
+    }
+    match family {
+        Family::Ghz => &[8, 16, 24],
+        Family::Qft => &[6, 8, 10],
+        Family::Grover => &[4, 6, 8],
+        Family::CliffordT => &[4, 5, 6],
+        _ => &[],
+    }
+}
+
+fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
+    let circuit = family.circuit(n);
+    let mut best = f64::INFINITY;
+    let mut peak = 0usize;
+    let mut stats = qdd_core::PackageStats::default();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+        sim.run().expect("simulation");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(wall);
+        peak = sim.stats().peak_nodes;
+        stats = sim.package().stats();
+    }
+    Record {
+        family: family.name(),
+        phase: "sim",
+        n,
+        gates: circuit.gate_count(),
+        wall_ms: best,
+        peak_nodes: peak,
+        cache_lookups: stats.cache_lookups,
+        cache_hits: stats.cache_hits,
+        complex_entries: stats.complex_entries,
+        gate_cache_lookups: stats.gate_cache_lookups,
+        gate_cache_hits: stats.gate_cache_hits,
+    }
+}
+
+fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
+    let circuit = family.circuit(n);
+    let mut best = f64::INFINITY;
+    let mut peak = 0usize;
+    let mut stats = qdd_core::PackageStats::default();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut checker = EquivalenceChecker::new();
+        let report = checker
+            .check(&circuit, &circuit, Strategy::Construction)
+            .expect("verification");
+        assert!(report.result.is_equivalent(), "self-check must pass");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        best = best.min(wall);
+        peak = report.peak_nodes;
+        stats = checker.package().stats();
+    }
+    Record {
+        family: family.name(),
+        phase: "verify",
+        n,
+        gates: circuit.gate_count(),
+        wall_ms: best,
+        peak_nodes: peak,
+        cache_lookups: stats.cache_lookups,
+        cache_hits: stats.cache_hits,
+        complex_entries: stats.complex_entries,
+        gate_cache_lookups: stats.gate_cache_lookups,
+        gate_cache_hits: stats.gate_cache_hits,
+    }
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut label = "current".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut small = false;
+    let mut reps = 3usize;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a value"))),
+            "--small" => small = true,
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("--reps needs a number");
+            }
+            other => panic!("unknown option `{other}`"),
+        }
+    }
+    if small {
+        reps = 1;
+    }
+    // Without an explicit --out, the label names a tracked file in the repo
+    // root, so only the two canonical labels are allowed; any label goes
+    // when the caller picks the destination (e.g. CI smoke runs).
+    if out.is_none() {
+        assert!(
+            label == "baseline" || label == "current",
+            "--label must be `baseline` or `current` unless --out is given"
+        );
+    }
+    let path = out.unwrap_or_else(|| repo_root().join(format!("BENCH_{label}.json")));
+
+    let families = [Family::Ghz, Family::Qft, Family::Grover, Family::CliffordT];
+    let mut records = Vec::new();
+    let suite_t0 = Instant::now();
+    for family in families {
+        for &n in sim_widths(family, small) {
+            let r = bench_sim(family, n, reps);
+            println!(
+                "sim     {:>10}  n={:<2}  {:>10}  peak {} nodes",
+                r.family,
+                r.n,
+                fmt_duration(std::time::Duration::from_secs_f64(r.wall_ms / 1e3)),
+                r.peak_nodes
+            );
+            records.push(r);
+        }
+        for &n in verify_widths(family, small) {
+            let r = bench_verify(family, n, reps);
+            println!(
+                "verify  {:>10}  n={:<2}  {:>10}  peak {} nodes",
+                r.family,
+                r.n,
+                fmt_duration(std::time::Duration::from_secs_f64(r.wall_ms / 1e3)),
+                r.peak_nodes
+            );
+            records.push(r);
+        }
+    }
+
+    let body: Vec<String> = records.iter().map(Record::to_json).collect();
+    let json = format!(
+        "{{\n  \"label\": \"{label}\",\n  \"reps\": {reps},\n  \"small\": {small},\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::write(&path, json).expect("write benchmark JSON");
+    println!(
+        "\nsuite finished in {}; wrote {}",
+        fmt_duration(suite_t0.elapsed()),
+        path.display()
+    );
+}

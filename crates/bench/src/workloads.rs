@@ -18,16 +18,20 @@ pub enum Family {
     Grover,
     /// Seeded random circuit of depth `2n` (dense, worst-case-ish).
     Random,
+    /// Seeded random Clifford+T circuit of depth `4n` (deep, discrete gate
+    /// set — the memoization stress test).
+    CliffordT,
 }
 
 impl Family {
     /// All families, in reporting order.
-    pub const ALL: [Family; 5] = [
+    pub const ALL: [Family; 6] = [
         Family::Ghz,
         Family::W,
         Family::Qft,
         Family::Grover,
         Family::Random,
+        Family::CliffordT,
     ];
 
     /// Display name.
@@ -38,6 +42,7 @@ impl Family {
             Family::Qft => "qft",
             Family::Grover => "grover",
             Family::Random => "random",
+            Family::CliffordT => "clifford-t",
         }
     }
 
@@ -49,6 +54,7 @@ impl Family {
             Family::Qft => library::qft(n, false),
             Family::Grover => library::grover(n, (1u64 << n) - 1),
             Family::Random => library::random_circuit(n, 2 * n, 0xC0FFEE + n as u64),
+            Family::CliffordT => library::random_clifford_t(n, 4 * n, 0xDD + n as u64),
         }
     }
 }

@@ -378,6 +378,41 @@ pub fn random_circuit(n: usize, depth: usize, seed: u64) -> QuantumCircuit {
     qc
 }
 
+/// A reproducible random Clifford+T circuit: `depth` layers of uniformly
+/// chosen gates from `{H, S, S†, T, T†, X, Z}` followed by a random CNOT per
+/// layer. Unlike [`random_circuit`] the gate set is discrete, so deep
+/// circuits repeat the same (gate, target) pairs many times — the workload
+/// that operation and gate-DD caches are built for.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn random_clifford_t(n: usize, depth: usize, seed: u64) -> QuantumCircuit {
+    assert!(n >= 2, "random circuit needs at least 2 qubits");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut qc = QuantumCircuit::with_name(n, format!("clifford_t_{n}x{depth}"));
+    for _ in 0..depth {
+        for q in 0..n {
+            match rng.gen_range(0..7) {
+                0 => qc.h(q),
+                1 => qc.s(q),
+                2 => qc.sdg(q),
+                3 => qc.t(q),
+                4 => qc.tdg(q),
+                5 => qc.x(q),
+                _ => qc.z(q),
+            };
+        }
+        let c = rng.gen_range(0..n);
+        let mut t = rng.gen_range(0..n);
+        while t == c {
+            t = rng.gen_range(0..n);
+        }
+        qc.cx(c, t);
+    }
+    qc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +523,15 @@ mod tests {
         let qc = cuccaro_adder(3);
         assert_eq!(qc.num_qubits(), 8);
         assert!(qc.gate_count() > 0);
+    }
+
+    #[test]
+    fn random_clifford_t_is_reproducible_and_discrete() {
+        let a = random_clifford_t(4, 10, 7);
+        let b = random_clifford_t(4, 10, 7);
+        assert_eq!(a.ops(), b.ops());
+        // One CNOT plus n single-qubit gates per layer.
+        assert_eq!(a.len(), 10 * 5);
     }
 
     #[test]

@@ -20,6 +20,8 @@ OPTIONS:
   --node-limit N    cap live DD nodes; under pressure the run GCs, then
                     degrades to dense simulation (≤ 24 qubits), then fails
   --timeout-ms N    wall-clock budget for the run
+  --stats           print memoization statistics (per-table hit rates,
+                    gate-DD cache, complex-table interning)
   --svg PATH        write the final diagram as SVG
   --dot PATH        write the final diagram as Graphviz DOT
   --html PATH       write a step-by-step HTML explorer of the whole run
@@ -30,7 +32,7 @@ EXIT STATUS: 0 on success, 1 on bad input, 3 when a resource budget
 
 const FLAGS: &[&str] = &[
     "--seed", "--shots", "--state", "--threshold", "--node-limit", "--timeout-ms",
-    "--svg", "--dot", "--html", "--style",
+    "--stats", "--svg", "--dot", "--html", "--style",
 ];
 
 pub fn run(argv: &[String]) -> Result<(), CmdError> {
@@ -107,6 +109,39 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             "budget pressure: {} forced garbage collections",
             sim.stats().gc_pressure_runs
         );
+    }
+    if args.has("--stats") {
+        let pkg = sim.package().stats();
+        println!("memoization statistics:");
+        println!("  compute tables ({} lookups total):", pkg.cache_lookups);
+        for t in sim.package().compute_table_stats() {
+            if t.lookups == 0 {
+                continue;
+            }
+            println!(
+                "    {:<9} {:>10} lookups  {:>6.1}% hit  {} dropped",
+                t.name,
+                t.lookups,
+                100.0 * t.hit_rate(),
+                t.dropped
+            );
+        }
+        let gate_rate = if pkg.gate_cache_lookups == 0 {
+            0.0
+        } else {
+            100.0 * pkg.gate_cache_hits as f64 / pkg.gate_cache_lookups as f64
+        };
+        println!(
+            "  gate-DD cache: {} lookups, {} hits ({gate_rate:.1}%)",
+            pkg.gate_cache_lookups, pkg.gate_cache_hits
+        );
+        println!("  complex table: {} interned values", pkg.complex_entries);
+        if pkg.compute_evictions > 0 || pkg.compute_clears > 0 {
+            println!(
+                "  pressure: {} entries dropped by collisions, {} table clears",
+                pkg.compute_evictions, pkg.compute_clears
+            );
+        }
     }
     if !sim.classical_bits().is_empty() {
         let bits: String = sim

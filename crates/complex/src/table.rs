@@ -5,10 +5,19 @@
 //! Handle equality *is* value equality (up to the table's tolerance), which
 //! makes node hashing exact and decision diagrams canonical — the scheme of
 //! reference \[14\] of the reproduced paper.
+//!
+//! Interning is the innermost loop of the whole package (every normalization
+//! step interns one or more weights), so the value index is a flat
+//! open-addressed table over grid cells rather than a general hash map of
+//! bucket vectors: one multiply-rotate hash and a couple of array reads per
+//! probe, no per-insert allocation. An inline cache in front of it answers
+//! repeats of the handful of hot constants (±1/√2, phase factors, …) from
+//! their exact bit patterns without touching the grid at all.
 
 use crate::complex::Complex;
-use crate::hash::FxHashMap;
+use crate::hash::FxHasher;
 use crate::DEFAULT_TOLERANCE;
+use std::hash::{Hash, Hasher};
 
 /// A stable handle to an interned complex value in a [`ComplexTable`].
 ///
@@ -52,16 +61,58 @@ pub struct ComplexTableStats {
     pub lookups: u64,
     /// Lookups answered by an existing entry.
     pub hits: u64,
-    /// Approximate heap footprint of the table (value storage plus bucket
+    /// Approximate heap footprint of the table (value storage plus grid
     /// index), for resource diagnostics.
     pub approx_bytes: usize,
+    /// Total value slots reclaimed by [`ComplexTable::retain_referenced`]
+    /// over the table's lifetime.
+    pub reclaimed: u64,
+}
+
+/// One slot of the open-addressed grid index: the cell coordinates plus the
+/// value slot it points at (`EMPTY` when unoccupied).
+#[derive(Copy, Clone, Debug)]
+struct IndexEntry {
+    cr: i64,
+    ci: i64,
+    slot: u32,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl IndexEntry {
+    const VACANT: IndexEntry = IndexEntry { cr: 0, ci: 0, slot: EMPTY };
+}
+
+/// One slot of the inline front cache: exact bit patterns of a recently
+/// interned value and its handle.
+#[derive(Copy, Clone, Debug)]
+struct RecentEntry {
+    re_bits: u64,
+    im_bits: u64,
+    idx: u32,
+}
+
+/// Size of the inline front cache (direct-mapped on the value's bit hash).
+const RECENT_SLOTS: usize = 8;
+
+/// Initial grid-index capacity (power of two).
+const INITIAL_INDEX_CAP: usize = 256;
+
+#[inline]
+fn cell_hash(cr: i64, ci: i64) -> usize {
+    let mut h = FxHasher::default();
+    (cr, ci).hash(&mut h);
+    h.finish() as usize
 }
 
 /// An interning table for complex numbers with tolerance-bucketed lookup.
 ///
 /// Values are quantized onto a grid of cell size equal to the tolerance;
 /// a lookup probes the value's cell and the eight neighbouring cells, so any
-/// stored value within the tolerance ball is found. Slots `0` and `1` are
+/// stored value within the tolerance ball is found. Because the cell size
+/// equals the tolerance, two values quantizing to the same cell always
+/// collapse, so each cell indexes at most one value. Slots `0` and `1` are
 /// pre-seeded with the constants `0` and `1` ([`C_ZERO`], [`C_ONE`]).
 ///
 /// # Examples
@@ -78,10 +129,22 @@ pub struct ComplexTableStats {
 #[derive(Clone, Debug)]
 pub struct ComplexTable {
     values: Vec<Complex>,
-    buckets: FxHashMap<(i64, i64), Vec<u32>>,
+    /// Home cell of each value, parallel to `values` (for index rebuilds).
+    cells: Vec<(i64, i64)>,
+    /// Liveness of each value slot, parallel to `values`. Slots are killed
+    /// only by [`Self::retain_referenced`] and reused by later insertions,
+    /// so live handles stay stable across reclamation.
+    live: Vec<bool>,
+    /// Dead value slots available for reuse.
+    free: Vec<u32>,
+    /// Open-addressed (linear probing) grid index; capacity is a power of
+    /// two, grown at ~70% load.
+    index: Vec<IndexEntry>,
+    recent: [RecentEntry; RECENT_SLOTS],
     tolerance: f64,
     lookups: u64,
     hits: u64,
+    reclaimed: u64,
 }
 
 impl ComplexTable {
@@ -102,10 +165,15 @@ impl ComplexTable {
         );
         let mut table = ComplexTable {
             values: Vec::with_capacity(64),
-            buckets: FxHashMap::default(),
+            cells: Vec::with_capacity(64),
+            live: Vec::with_capacity(64),
+            free: Vec::new(),
+            index: vec![IndexEntry::VACANT; INITIAL_INDEX_CAP],
+            recent: [RecentEntry { re_bits: 0, im_bits: 0, idx: EMPTY }; RECENT_SLOTS],
             tolerance,
             lookups: 0,
             hits: 0,
+            reclaimed: 0,
         };
         // Seed the two ubiquitous constants at fixed slots.
         let zero = table.insert(Complex::ZERO);
@@ -121,34 +189,28 @@ impl ComplexTable {
         self.tolerance
     }
 
-    /// The number of distinct interned values.
+    /// The number of distinct live interned values.
     #[inline]
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.values.len() - self.free.len()
     }
 
     /// Returns `true` if the table holds only the seeded constants.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.values.len() <= 2
+        self.len() <= 2
     }
 
-    /// Current statistics snapshot. The byte estimate walks the bucket
-    /// index, so this is O(entries) — call it for diagnostics, not in hot
-    /// loops.
+    /// Current statistics snapshot (constant time).
     pub fn stats(&self) -> ComplexTableStats {
-        let bucket_bytes: usize = self
-            .buckets
-            .values()
-            .map(|b| b.capacity() * std::mem::size_of::<u32>())
-            .sum::<usize>()
-            + self.buckets.len()
-                * std::mem::size_of::<((i64, i64), Vec<u32>)>();
         ComplexTableStats {
-            entries: self.values.len(),
+            entries: self.len(),
             lookups: self.lookups,
             hits: self.hits,
-            approx_bytes: self.values.capacity() * std::mem::size_of::<Complex>() + bucket_bytes,
+            approx_bytes: self.values.capacity() * std::mem::size_of::<Complex>()
+                + self.cells.capacity() * std::mem::size_of::<(i64, i64)>()
+                + self.index.capacity() * std::mem::size_of::<IndexEntry>(),
+            reclaimed: self.reclaimed,
         }
     }
 
@@ -169,12 +231,107 @@ impl ComplexTable {
         )
     }
 
+    /// Walks the probe chain of `(cr, ci)` and returns the slot of a stored
+    /// value in that cell matching `v` within tolerance, if any.
+    #[inline]
+    fn find_in_cell(&self, cr: i64, ci: i64, v: Complex) -> Option<u32> {
+        let mask = self.index.len() - 1;
+        let mut i = cell_hash(cr, ci) & mask;
+        loop {
+            let e = self.index[i];
+            if e.slot == EMPTY {
+                return None;
+            }
+            if e.cr == cr
+                && e.ci == ci
+                && self.values[e.slot as usize].approx_eq(v, self.tolerance)
+            {
+                return Some(e.slot);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `slot` under `(cr, ci)` into the grid index (linear probing).
+    fn index_insert(index: &mut [IndexEntry], cr: i64, ci: i64, slot: u32) {
+        let mask = index.len() - 1;
+        let mut i = cell_hash(cr, ci) & mask;
+        while index[i].slot != EMPTY {
+            i = (i + 1) & mask;
+        }
+        index[i] = IndexEntry { cr, ci, slot };
+    }
+
     fn insert(&mut self, v: Complex) -> ComplexIdx {
-        let idx = self.values.len() as u32;
-        self.values.push(v);
-        let cell = self.cell(v);
-        self.buckets.entry(cell).or_default().push(idx);
+        // Grow before the load factor would degrade probing (index length
+        // is a power of two; grow at ~70%).
+        if (self.len() + 1) * 10 >= self.index.len() * 7 {
+            let mut bigger = vec![IndexEntry::VACANT; self.index.len() * 2];
+            for (slot, &(cr, ci)) in self.cells.iter().enumerate() {
+                if self.live[slot] {
+                    Self::index_insert(&mut bigger, cr, ci, slot as u32);
+                }
+            }
+            self.index = bigger;
+        }
+        let (cr, ci) = self.cell(v);
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.values[slot as usize] = v;
+                self.cells[slot as usize] = (cr, ci);
+                self.live[slot as usize] = true;
+                slot
+            }
+            None => {
+                let slot = self.values.len() as u32;
+                self.values.push(v);
+                self.cells.push((cr, ci));
+                self.live.push(true);
+                slot
+            }
+        };
+        Self::index_insert(&mut self.index, cr, ci, idx);
         ComplexIdx(idx)
+    }
+
+    /// Reclaims every interned value whose handle fails `keep`, except the
+    /// seeded constants `0` and `1`.
+    ///
+    /// Kept handles stay valid and keep denoting bit-identical values;
+    /// reclaimed slots are recycled by later insertions. The grid index is
+    /// rebuilt over the survivors (shrinking it back towards
+    /// cache-resident size) and the inline front cache is flushed, since it
+    /// may remember reclaimed handles.
+    ///
+    /// This is the complex-table half of garbage collection: a long run
+    /// interns a fresh set of amplitudes per applied gate, and without
+    /// reclamation the probe index grows until every lookup is a cache
+    /// miss. The caller supplies liveness (weights referenced by live DD
+    /// nodes and registered roots). Returns the number of slots reclaimed.
+    pub fn retain_referenced(&mut self, keep: impl Fn(ComplexIdx) -> bool) -> usize {
+        let mut freed = 0usize;
+        for slot in 2..self.values.len() {
+            if self.live[slot] && !keep(ComplexIdx(slot as u32)) {
+                self.live[slot] = false;
+                self.free.push(slot as u32);
+                freed += 1;
+            }
+        }
+        self.reclaimed += freed as u64;
+        // Rebuild the index sized for the survivors at < 70% load.
+        let mut cap = INITIAL_INDEX_CAP;
+        while (self.len() + 1) * 10 >= cap * 7 {
+            cap *= 2;
+        }
+        let mut index = vec![IndexEntry::VACANT; cap];
+        for (slot, &(cr, ci)) in self.cells.iter().enumerate() {
+            if self.live[slot] {
+                Self::index_insert(&mut index, cr, ci, slot as u32);
+            }
+        }
+        self.index = index;
+        self.recent = [RecentEntry { re_bits: 0, im_bits: 0, idx: EMPTY }; RECENT_SLOTS];
+        freed
     }
 
     /// Interns `v`, returning the handle of an existing value within
@@ -200,20 +357,45 @@ impl ComplexTable {
             self.hits += 1;
             return C_ONE;
         }
+        // Inline front cache: repeats of a hot value (exact bit pattern)
+        // skip the grid probe entirely. Interning is deterministic and the
+        // cache is flushed whenever entries are reclaimed, so a remembered
+        // handle stays correct.
+        let (re_bits, im_bits) = (v.re.to_bits(), v.im.to_bits());
+        let rslot = (re_bits ^ im_bits.rotate_left(32)) as usize % RECENT_SLOTS;
+        let r = self.recent[rslot];
+        if r.idx != EMPTY && r.re_bits == re_bits && r.im_bits == im_bits {
+            self.hits += 1;
+            return ComplexIdx(r.idx);
+        }
+
         let (cr, ci) = self.cell(v);
-        for dr in -1..=1 {
-            for di in -1..=1 {
-                if let Some(bucket) = self.buckets.get(&(cr + dr, ci + di)) {
-                    for &slot in bucket {
-                        if self.values[slot as usize].approx_eq(v, self.tolerance) {
-                            self.hits += 1;
-                            return ComplexIdx(slot);
-                        }
-                    }
+        // Probe the home cell and its eight neighbours in a fixed scan
+        // order. The order is load-bearing: which in-tolerance
+        // representative wins determines how drifting intermediate values
+        // snap back, and a different preference lets near-tolerance noise
+        // fragment diagrams (see `grover_16_stays_compact`).
+        let mut found = None;
+        // Saturating adds: astronomically large values (overflow products of
+        // degenerate inputs) quantize to the clamped edge cells instead of
+        // wrapping the cell coordinate space.
+        'probe: for dr in -1..=1i64 {
+            for di in -1..=1i64 {
+                if let Some(slot) = self.find_in_cell(cr.saturating_add(dr), ci.saturating_add(di), v) {
+                    found = Some(slot);
+                    break 'probe;
                 }
             }
         }
-        self.insert(v)
+        let idx = match found {
+            Some(slot) => {
+                self.hits += 1;
+                ComplexIdx(slot)
+            }
+            None => self.insert(v),
+        };
+        self.recent[rslot] = RecentEntry { re_bits, im_bits, idx: idx.0 };
+        idx
     }
 
     /// Interns the product of two handles.
@@ -255,6 +437,9 @@ impl ComplexTable {
         }
         if b.is_one() {
             return a;
+        }
+        if a == b {
+            return C_ONE;
         }
         let v = self.value(a) / self.value(b);
         self.lookup(v)
@@ -372,10 +557,13 @@ mod tests {
         assert_eq!(s.entries, 3);
         assert_eq!(s.lookups, 2);
         assert_eq!(s.hits, 1);
-        // Bytes: at least the value storage, and growing with entries.
+        // Bytes: at least the value storage; capacity-based, so it never
+        // shrinks as entries are added.
         assert!(s.approx_bytes >= 3 * std::mem::size_of::<Complex>());
         t.lookup(Complex::new(0.1, 0.9));
-        assert!(t.stats().approx_bytes > s.approx_bytes || t.stats().entries == s.entries);
+        let s2 = t.stats();
+        assert_eq!(s2.entries, 4);
+        assert!(s2.approx_bytes >= s.approx_bytes);
     }
 
     #[test]
@@ -403,5 +591,124 @@ mod tests {
         let a = t.lookup(Complex::new(base, 0.5));
         let b = t.lookup(Complex::new(base + tol * 0.9, 0.5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_grows_past_initial_capacity() {
+        // Intern well past the initial grid-index capacity; handles must
+        // stay unique and resolvable.
+        let mut t = ComplexTable::new();
+        let mut handles = Vec::new();
+        for i in 0..2000 {
+            let v = Complex::new(0.001 * i as f64 + 0.1, 0.5);
+            handles.push((v, t.lookup(v)));
+        }
+        assert_eq!(t.len(), 2002);
+        for (v, h) in handles {
+            assert_eq!(t.lookup(v), h, "re-interning must return the same handle");
+            assert_eq!(t.value(h), v);
+        }
+    }
+
+    #[test]
+    fn inline_cache_survives_table_growth() {
+        let mut t = ComplexTable::new();
+        let hot = Complex::new(std::f64::consts::FRAC_1_SQRT_2, 0.0);
+        let h = t.lookup(hot);
+        for i in 0..500 {
+            let _ = t.lookup(Complex::new(0.002 * i as f64 + 0.2, 0.7));
+            assert_eq!(t.lookup(hot), h);
+        }
+    }
+
+    #[test]
+    fn retain_keeps_handles_stable_and_recycles_slots() {
+        let mut t = ComplexTable::new();
+        let keep_v = Complex::new(0.3, 0.4);
+        let kept = t.lookup(keep_v);
+        let dropped: Vec<ComplexIdx> = (0..100)
+            .map(|i| t.lookup(Complex::new(0.01 * i as f64 + 1.5, -0.5)))
+            .collect();
+        let freed = t.retain_referenced(|idx| idx == kept);
+        assert_eq!(freed, 100);
+        assert_eq!(t.len(), 3, "0, 1 and the kept value survive");
+        assert_eq!(t.stats().reclaimed, 100);
+        // The kept handle still resolves and re-interning finds it.
+        assert_eq!(t.value(kept), keep_v);
+        assert_eq!(t.lookup(keep_v), kept);
+        assert_eq!(t.lookup(Complex::ZERO), C_ZERO);
+        assert_eq!(t.lookup(Complex::ONE), C_ONE);
+        // Reclaimed slots are recycled before the value vec grows.
+        let recycled = t.lookup(Complex::new(-0.9, 0.9));
+        assert!(
+            dropped.contains(&recycled),
+            "new value should land in a reclaimed slot"
+        );
+    }
+
+    #[test]
+    fn retain_shrinks_the_probe_index() {
+        let mut t = ComplexTable::new();
+        for i in 0..5000 {
+            let _ = t.lookup(Complex::new(0.001 * i as f64 + 0.1, 0.6));
+        }
+        let before = t.stats().approx_bytes;
+        t.retain_referenced(|_| false);
+        assert_eq!(t.len(), 2);
+        assert!(
+            t.stats().approx_bytes < before,
+            "index should shrink back after reclamation"
+        );
+        // The table keeps working after a full sweep.
+        let a = t.lookup(Complex::new(0.123, 0.456));
+        assert_eq!(t.lookup(Complex::new(0.123, 0.456)), a);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Interning is idempotent and the stored value is within tolerance
+        /// of the request, for arbitrary inputs.
+        #[test]
+        fn interning_is_idempotent(
+            re in -2.0f64..2.0,
+            im in -2.0f64..2.0,
+        ) {
+            let mut t = ComplexTable::new();
+            let v = Complex::new(re, im);
+            let a = t.lookup(v);
+            let b = t.lookup(v);
+            prop_assert_eq!(a, b);
+            let stored = t.value(a);
+            prop_assert!((stored.re - re).abs() <= t.tolerance());
+            prop_assert!((stored.im - im).abs() <= t.tolerance());
+        }
+
+        /// Handles behave like tolerance-collapsed values: after interning a
+        /// batch, re-interning each original value returns its handle, and
+        /// distinct handles denote values farther apart than the tolerance.
+        #[test]
+        fn handles_partition_values(
+            vals in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..100)
+        ) {
+            let mut t = ComplexTable::new();
+            let handles: Vec<ComplexIdx> = vals
+                .iter()
+                .map(|&(re, im)| t.lookup(Complex::new(re, im)))
+                .collect();
+            for (&(re, im), &h) in vals.iter().zip(&handles) {
+                prop_assert_eq!(t.lookup(Complex::new(re, im)), h);
+            }
+            // Distinct handles must denote distinguishable values.
+            for (i, &a) in handles.iter().enumerate() {
+                for &b in &handles[i + 1..] {
+                    if a != b {
+                        let va = t.value(a);
+                        let vb = t.value(b);
+                        prop_assert!(!va.approx_eq(vb, t.tolerance() * 0.5));
+                    }
+                }
+            }
+        }
     }
 }

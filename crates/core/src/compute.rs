@@ -4,59 +4,114 @@
 //! repeated sub-computations are answered in O(1) (paper footnote 4). Keys
 //! are canonical operand node ids (weights are factored out by the callers,
 //! so cached entries are scale-invariant and hit rates stay high).
+//!
+//! The tables are **direct-mapped** in the style of production DD packages
+//! (JKQ/MQT): a fixed power-of-two slot array, the key hashed once to a slot
+//! index, and a colliding insert overwriting the previous occupant in place.
+//! Compared to a general hash map this removes per-insert allocation, rehash
+//! storms, and clear-the-world eviction from the hottest loops of the
+//! package — a lookup is one multiply-rotate hash, one index, one compare.
 
 use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
-use qdd_complex::{ComplexIdx, FxHashMap};
-use std::hash::Hash;
+use qdd_complex::{ComplexIdx, FxHasher};
+use std::hash::{Hash, Hasher};
 
-/// A single memoization map with hit statistics and an optional capacity.
+/// A single direct-mapped memoization table with hit statistics.
 ///
-/// A full cache evicts by clearing: entries carry no recency metadata, and
-/// dropping the whole map on pressure (the classic DD-package strategy) keeps
-/// inserts O(1) with zero overhead while unbounded.
+/// The slot array is allocated lazily on the first insert, so packages that
+/// never use an operation pay nothing for its table. A colliding insert
+/// (different key hashing to an occupied slot) drops exactly one entry — the
+/// previous occupant — which is counted in [`Cache::dropped`]; explicit
+/// [`Cache::clear`] calls (mandatory after garbage collection) are counted
+/// separately in [`Cache::clears`].
 #[derive(Clone, Debug)]
 pub(crate) struct Cache<K, V> {
-    map: FxHashMap<K, V>,
+    slots: Vec<Option<(K, V)>>,
+    /// Power-of-two capacity the slot array takes on first insert.
     cap: usize,
+    len: usize,
     lookups: u64,
     hits: u64,
-    evictions: u64,
+    dropped: u64,
+    clears: u64,
 }
 
-impl<K: Eq + Hash, V: Copy> Cache<K, V> {
+/// Smallest direct-mapped table: below this the table thrashes (every
+/// insert collides) without saving meaningful memory.
+pub(crate) const MIN_CACHE_CAP: usize = 16;
+
+#[inline]
+fn slot_of<K: Hash>(key: &K, mask: usize) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() as usize) & mask
+}
+
+impl<K: Eq + Hash + Copy, V: Copy> Cache<K, V> {
+    /// A table with `cap` slots, rounded down to a power of two (floor
+    /// [`MIN_CACHE_CAP`]). `usize::MAX` selects the given default capacity.
     pub(crate) fn with_cap(cap: usize) -> Self {
+        let cap = cap.clamp(MIN_CACHE_CAP, 1 << 26);
+        let cap = if cap.is_power_of_two() {
+            cap
+        } else {
+            cap.next_power_of_two() >> 1
+        };
         Cache {
-            map: FxHashMap::default(),
+            slots: Vec::new(),
             cap,
+            len: 0,
             lookups: 0,
             hits: 0,
-            evictions: 0,
+            dropped: 0,
+            clears: 0,
         }
     }
 
     pub(crate) fn get(&mut self, key: &K) -> Option<V> {
         self.lookups += 1;
-        let hit = self.map.get(key).copied();
-        if hit.is_some() {
-            self.hits += 1;
+        if self.slots.is_empty() {
+            return None;
         }
-        hit
+        match &self.slots[slot_of(key, self.cap - 1)] {
+            Some((k, v)) if k == key => {
+                self.hits += 1;
+                Some(*v)
+            }
+            _ => None,
+        }
     }
 
     pub(crate) fn insert(&mut self, key: K, value: V) {
-        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
-            self.map.clear();
-            self.evictions += 1;
+        if self.slots.is_empty() {
+            self.slots.resize_with(self.cap, || None);
         }
-        self.map.insert(key, value);
+        let slot = &mut self.slots[slot_of(&key, self.cap - 1)];
+        match slot {
+            None => self.len += 1,
+            Some((k, _)) if *k != key => self.dropped += 1,
+            Some(_) => {}
+        }
+        *slot = Some((key, value));
     }
 
+    /// Drops every entry (used after garbage collection, when keys refer to
+    /// node ids that may have been freed). Counted in [`Cache::clears`];
+    /// the slot array is kept allocated.
     pub(crate) fn clear(&mut self) {
-        self.map.clear();
+        if self.len > 0 {
+            self.clears += 1;
+            self.slots.iter_mut().for_each(|s| *s = None);
+            self.len = 0;
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.map.len()
+        self.len
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.cap
     }
 
     pub(crate) fn lookups(&self) -> u64 {
@@ -67,9 +122,60 @@ impl<K: Eq + Hash, V: Copy> Cache<K, V> {
         self.hits
     }
 
-    pub(crate) fn evictions(&self) -> u64 {
-        self.evictions
+    /// Entries dropped by colliding inserts (one per collision).
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
     }
+
+    /// Non-empty [`Cache::clear`] calls since construction.
+    pub(crate) fn clears(&self) -> u64 {
+        self.clears
+    }
+}
+
+/// Public per-table statistics snapshot (see
+/// [`DdPackage::compute_table_stats`](crate::DdPackage::compute_table_stats)).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ComputeTableStat {
+    /// Stable table name (e.g. `"mat-vec"`).
+    pub name: &'static str,
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Entries dropped by colliding inserts.
+    pub dropped: u64,
+    /// Whole-table clears (after GC or by explicit request).
+    pub clears: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Slot capacity.
+    pub capacity: usize,
+}
+
+impl ComputeTableStat {
+    /// Hit rate in `[0, 1]` (0 when the table was never probed).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+macro_rules! stat_of {
+    ($table:expr, $name:literal) => {
+        ComputeTableStat {
+            name: $name,
+            lookups: $table.lookups(),
+            hits: $table.hits(),
+            dropped: $table.dropped(),
+            clears: $table.clears(),
+            entries: $table.len(),
+            capacity: $table.capacity(),
+        }
+    };
 }
 
 /// All operation caches of a package.
@@ -99,29 +205,36 @@ pub(crate) struct ComputeTables {
 /// evenly across them.
 const CACHE_COUNT: usize = 9;
 
-/// Floor on the per-cache capacity when a total budget is configured; below
-/// this a cache thrashes (clears on nearly every insert) without saving
-/// meaningful memory.
-const MIN_CACHE_CAP: usize = 16;
+/// Default slot count of the four hot tables (addition and multiplication
+/// carry almost all traffic in simulation and verification).
+const DEFAULT_HOT_CAP: usize = 1 << 15;
+
+/// Default slot count of the remaining tables.
+const DEFAULT_COLD_CAP: usize = 1 << 12;
 
 impl ComputeTables {
-    /// Tables whose combined size stays at or under `max_total_entries`
-    /// (each cache gets an even share, floored at [`MIN_CACHE_CAP`]).
+    /// Tables whose combined slot count stays at or under
+    /// `max_total_entries` (each cache gets an even power-of-two share,
+    /// floored at [`MIN_CACHE_CAP`]); `None` selects the default
+    /// capacities.
     pub(crate) fn bounded(max_total_entries: Option<usize>) -> Self {
-        let cap = match max_total_entries {
-            Some(total) => (total / CACHE_COUNT).max(MIN_CACHE_CAP),
-            None => usize::MAX,
+        let (hot, cold) = match max_total_entries {
+            Some(total) => {
+                let share = (total / CACHE_COUNT).max(MIN_CACHE_CAP);
+                (share, share)
+            }
+            None => (DEFAULT_HOT_CAP, DEFAULT_COLD_CAP),
         };
         ComputeTables {
-            add_vec: Cache::with_cap(cap),
-            add_mat: Cache::with_cap(cap),
-            mat_vec: Cache::with_cap(cap),
-            mat_mat: Cache::with_cap(cap),
-            kron_vec: Cache::with_cap(cap),
-            kron_mat: Cache::with_cap(cap),
-            adjoint: Cache::with_cap(cap),
-            inner: Cache::with_cap(cap),
-            prob_one: Cache::with_cap(cap),
+            add_vec: Cache::with_cap(hot),
+            add_mat: Cache::with_cap(hot),
+            mat_vec: Cache::with_cap(hot),
+            mat_mat: Cache::with_cap(hot),
+            kron_vec: Cache::with_cap(cold),
+            kron_mat: Cache::with_cap(cold),
+            adjoint: Cache::with_cap(cold),
+            inner: Cache::with_cap(cold),
+            prob_one: Cache::with_cap(cold),
         }
     }
 
@@ -139,53 +252,41 @@ impl ComputeTables {
         self.prob_one.clear();
     }
 
+    /// Per-table statistics in reporting order.
+    pub(crate) fn per_table(&self) -> [ComputeTableStat; CACHE_COUNT] {
+        [
+            stat_of!(self.add_vec, "add-vec"),
+            stat_of!(self.add_mat, "add-mat"),
+            stat_of!(self.mat_vec, "mat-vec"),
+            stat_of!(self.mat_mat, "mat-mat"),
+            stat_of!(self.kron_vec, "kron-vec"),
+            stat_of!(self.kron_mat, "kron-mat"),
+            stat_of!(self.adjoint, "adjoint"),
+            stat_of!(self.inner, "inner"),
+            stat_of!(self.prob_one, "prob-one"),
+        ]
+    }
+
     pub(crate) fn total_lookups(&self) -> u64 {
-        self.add_vec.lookups()
-            + self.add_mat.lookups()
-            + self.mat_vec.lookups()
-            + self.mat_mat.lookups()
-            + self.kron_vec.lookups()
-            + self.kron_mat.lookups()
-            + self.adjoint.lookups()
-            + self.inner.lookups()
-            + self.prob_one.lookups()
+        self.per_table().iter().map(|t| t.lookups).sum()
     }
 
     pub(crate) fn total_hits(&self) -> u64 {
-        self.add_vec.hits()
-            + self.add_mat.hits()
-            + self.mat_vec.hits()
-            + self.mat_mat.hits()
-            + self.kron_vec.hits()
-            + self.kron_mat.hits()
-            + self.adjoint.hits()
-            + self.inner.hits()
-            + self.prob_one.hits()
+        self.per_table().iter().map(|t| t.hits).sum()
     }
 
     pub(crate) fn total_entries(&self) -> usize {
-        self.add_vec.len()
-            + self.add_mat.len()
-            + self.mat_vec.len()
-            + self.mat_mat.len()
-            + self.kron_vec.len()
-            + self.kron_mat.len()
-            + self.adjoint.len()
-            + self.inner.len()
-            + self.prob_one.len()
+        self.per_table().iter().map(|t| t.entries).sum()
     }
 
-    /// Capacity-pressure clears across all caches since construction.
-    pub(crate) fn total_evictions(&self) -> u64 {
-        self.add_vec.evictions()
-            + self.add_mat.evictions()
-            + self.mat_vec.evictions()
-            + self.mat_mat.evictions()
-            + self.kron_vec.evictions()
-            + self.kron_mat.evictions()
-            + self.adjoint.evictions()
-            + self.inner.evictions()
-            + self.prob_one.evictions()
+    /// Entries dropped by colliding inserts across all tables.
+    pub(crate) fn total_dropped(&self) -> u64 {
+        self.per_table().iter().map(|t| t.dropped).sum()
+    }
+
+    /// Whole-table clears across all tables.
+    pub(crate) fn total_clears(&self) -> u64 {
+        self.per_table().iter().map(|t| t.clears).sum()
     }
 }
 
@@ -195,7 +296,7 @@ mod tests {
 
     #[test]
     fn cache_counts_hits_and_misses() {
-        let mut c: Cache<u32, u32> = Cache::with_cap(usize::MAX);
+        let mut c: Cache<u32, u32> = Cache::with_cap(64);
         assert_eq!(c.get(&1), None);
         c.insert(1, 10);
         assert_eq!(c.get(&1), Some(10));
@@ -204,42 +305,71 @@ mod tests {
         c.clear();
         assert_eq!(c.get(&1), None);
         assert_eq!(c.len(), 0);
+        assert_eq!(c.clears(), 1);
     }
 
     #[test]
-    fn bounded_cache_evicts_by_clearing() {
-        let mut c: Cache<u32, u32> = Cache::with_cap(2);
-        c.insert(1, 10);
-        c.insert(2, 20);
-        assert_eq!(c.evictions(), 0);
-        // Overwriting an existing key at capacity is not an eviction.
-        c.insert(2, 21);
-        assert_eq!(c.evictions(), 0);
-        assert_eq!(c.len(), 2);
-        // A genuinely new key at capacity clears the cache first.
-        c.insert(3, 30);
-        assert_eq!(c.evictions(), 1);
+    fn colliding_insert_drops_exactly_one_entry() {
+        let mut c: Cache<u32, u32> = Cache::with_cap(16);
+        // Find two keys that collide on the 16-slot table.
+        let mask = c.capacity() - 1;
+        let base_slot = slot_of(&0u32, mask);
+        let colliding = (1u32..1000)
+            .find(|k| slot_of(k, mask) == base_slot)
+            .expect("a colliding key exists");
+        c.insert(0, 100);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&1), None);
-        assert_eq!(c.get(&3), Some(30));
+        c.insert(colliding, 200);
+        // Overwrite in place: one entry dropped, still one stored.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.clears(), 0);
+        // The old key is gone; the new key answers with its own value.
+        assert_eq!(c.get(&0), None);
+        assert_eq!(c.get(&colliding), Some(200));
+    }
+
+    #[test]
+    fn overwriting_same_key_is_not_a_drop() {
+        let mut c: Cache<u32, u32> = Cache::with_cap(16);
+        c.insert(7, 1);
+        c.insert(7, 2);
+        assert_eq!(c.dropped(), 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&7), Some(2));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let c: Cache<u32, u32> = Cache::with_cap(100);
+        assert_eq!(c.capacity(), 64);
+        let c: Cache<u32, u32> = Cache::with_cap(128);
+        assert_eq!(c.capacity(), 128);
+        let c: Cache<u32, u32> = Cache::with_cap(3);
+        assert_eq!(c.capacity(), MIN_CACHE_CAP);
+    }
+
+    #[test]
+    fn clear_on_empty_is_not_counted() {
+        let mut c: Cache<u32, u32> = Cache::with_cap(16);
+        c.clear();
+        assert_eq!(c.clears(), 0);
+        c.insert(1, 1);
+        c.clear();
+        c.clear();
+        assert_eq!(c.clears(), 1);
     }
 
     #[test]
     fn bounded_tables_split_budget_with_floor() {
-        use qdd_complex::C_ZERO;
         let t = ComputeTables::bounded(Some(9));
         // 9 entries / 9 caches = 1, floored at MIN_CACHE_CAP.
-        let mut add_vec = t.add_vec;
-        for i in 0..MIN_CACHE_CAP {
-            add_vec.insert((VNodeId::from_index(i), VNodeId::from_index(i), C_ZERO), VecEdge::ZERO);
-        }
-        assert_eq!(add_vec.len(), MIN_CACHE_CAP);
-        assert_eq!(add_vec.evictions(), 0);
-        add_vec.insert(
-            (VNodeId::from_index(99), VNodeId::from_index(99), C_ZERO),
-            VecEdge::ZERO,
-        );
-        assert_eq!(add_vec.evictions(), 1);
+        assert_eq!(t.add_vec.capacity(), MIN_CACHE_CAP);
+        let t = ComputeTables::bounded(Some(9 * 1024));
+        assert_eq!(t.mat_vec.capacity(), 1024);
+        let t = ComputeTables::bounded(None);
+        assert_eq!(t.mat_vec.capacity(), DEFAULT_HOT_CAP);
+        assert_eq!(t.adjoint.capacity(), DEFAULT_COLD_CAP);
     }
 
     #[test]
@@ -250,5 +380,41 @@ mod tests {
         assert_eq!(t.total_entries(), 1);
         t.clear();
         assert_eq!(t.total_entries(), 0);
+        assert_eq!(t.total_clears(), 1);
+    }
+
+    #[test]
+    fn per_table_stats_name_every_cache() {
+        let t = ComputeTables::bounded(None);
+        let stats = t.per_table();
+        assert_eq!(stats.len(), CACHE_COUNT);
+        let names: std::collections::HashSet<&str> =
+            stats.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), CACHE_COUNT, "table names must be distinct");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A direct-mapped table must never answer with a value for the
+        /// wrong key, no matter the collision pattern.
+        #[test]
+        fn collisions_never_alias_keys(
+            ops in prop::collection::vec((0u32..64, 0u32..1000), 1..200)
+        ) {
+            let mut cache: Cache<u32, u32> = Cache::with_cap(MIN_CACHE_CAP);
+            let mut model = std::collections::HashMap::new();
+            for (key, value) in ops {
+                cache.insert(key, value);
+                model.insert(key, value);
+                // Whatever the cache answers must match the model exactly;
+                // misses (evicted entries) are always allowed.
+                for probe in 0..64u32 {
+                    if let Some(got) = cache.get(&probe) {
+                        prop_assert_eq!(Some(&got), model.get(&probe));
+                    }
+                }
+            }
+        }
     }
 }

@@ -59,9 +59,10 @@ mod package;
 mod serialize;
 mod types;
 
+pub use compute::ComputeTableStat;
 pub use error::{DdError, ResourceKind};
 pub use gates::{Control, GateMatrix, Polarity};
-pub use limits::{Limits, DEFAULT_AUTO_GC_THRESHOLD};
+pub use limits::{Limits, DEFAULT_AUTO_GC_THRESHOLD, DEFAULT_COMPLEX_GC_THRESHOLD};
 pub use measure::MeasurementOutcome;
 pub use node::{MNode, VNode};
 pub use observable::{ParsePauliError, Pauli, PauliString};

@@ -29,6 +29,12 @@ use crate::error::{DdError, ResourceKind};
 /// threshold is configured.
 pub const DEFAULT_AUTO_GC_THRESHOLD: usize = 2_000_000;
 
+/// Complex-table entry count beyond which long-running drivers
+/// garbage-collect between operations. Chosen so the interning probe index
+/// (a few dozen bytes per entry) stays within the last-level cache; larger
+/// tables make every fresh amplitude a string of DRAM misses.
+pub const DEFAULT_COMPLEX_GC_THRESHOLD: usize = 1 << 15;
+
 /// Resource budgets of a package. All optional; `None` means unlimited.
 ///
 /// Construct with struct-update syntax:
@@ -59,6 +65,11 @@ pub struct Limits {
     /// Live-node estimate at which long-running drivers auto-GC between
     /// operations (previously a hardcoded constant in the simulator).
     pub auto_gc_threshold: usize,
+    /// Complex-table size at which long-running drivers auto-GC between
+    /// operations. Dense workloads intern a fresh batch of amplitudes per
+    /// gate; past this point the interning index has outgrown the CPU
+    /// caches and a collection pays for itself.
+    pub complex_gc_threshold: usize,
 }
 
 impl Default for Limits {
@@ -70,6 +81,7 @@ impl Default for Limits {
             deadline: None,
             recursion_depth: None,
             auto_gc_threshold: DEFAULT_AUTO_GC_THRESHOLD,
+            complex_gc_threshold: DEFAULT_COMPLEX_GC_THRESHOLD,
         }
     }
 }
@@ -169,6 +181,7 @@ mod tests {
         let l = Limits::default();
         assert!(l.is_unlimited());
         assert_eq!(l.auto_gc_threshold, DEFAULT_AUTO_GC_THRESHOLD);
+        assert_eq!(l.complex_gc_threshold, DEFAULT_COMPLEX_GC_THRESHOLD);
     }
 
     #[test]

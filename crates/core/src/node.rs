@@ -17,6 +17,13 @@ pub struct VNode {
     pub(crate) rc: u32,
     /// Tombstone flag set when the slot is on the free list.
     pub(crate) dead: bool,
+    /// Monotone creation stamp. Commutative operations order their operands
+    /// by birth rather than by slot id: slot ids are recycled by garbage
+    /// collection, and an ordering that changes when a collection happens to
+    /// run changes which operand is divided by which — enough numeric
+    /// perturbation to re-fragment knife-edge-compact diagrams (see
+    /// `grover_16_stays_compact`).
+    pub(crate) birth: u64,
 }
 
 /// A matrix-DD node: a qubit label and four successor edges.
@@ -34,6 +41,8 @@ pub struct MNode {
     pub(crate) rc: u32,
     /// Tombstone flag set when the slot is on the free list.
     pub(crate) dead: bool,
+    /// Monotone creation stamp (see [`VNode::birth`]).
+    pub(crate) birth: u64,
 }
 
 impl VNode {
@@ -43,6 +52,7 @@ impl VNode {
             children,
             rc: 0,
             dead: false,
+            birth: 0,
         }
     }
 }
@@ -54,6 +64,7 @@ impl MNode {
             children,
             rc: 0,
             dead: false,
+            birth: 0,
         }
     }
 }

@@ -14,7 +14,7 @@
 //! Both rules are invariant under pre-scaling of the inputs, which is the
 //! canonicity requirement.
 
-use qdd_complex::{Complex, ComplexIdx, ComplexTable, C_ZERO};
+use qdd_complex::{ComplexIdx, ComplexTable, C_ZERO};
 
 /// Which normalization rule vector nodes use.
 ///
@@ -64,11 +64,11 @@ fn normalize_vector_l2(
     table: &mut ComplexTable,
     weights: [ComplexIdx; 2],
 ) -> Option<Normalized<2>> {
-    let w: Vec<Complex> = weights.iter().map(|&i| table.value(i)).collect();
-    let mag2: f64 = w.iter().map(|c| c.norm_sqr()).sum();
     if weights.iter().all(|i| i.is_zero()) {
         return None;
     }
+    let w = [table.value(weights[0]), table.value(weights[1])];
+    let mag2: f64 = w.iter().map(|c| c.norm_sqr()).sum();
     let norm = mag2.sqrt();
     // Phase convention: first non-zero (interned-non-zero) weight becomes
     // real-positive.
@@ -77,9 +77,9 @@ fn normalize_vector_l2(
     let factor = phase * norm;
     let top = table.lookup(factor);
     let mut out = [C_ZERO; 2];
-    for (slot, (&orig_idx, &orig)) in out.iter_mut().zip(weights.iter().zip(w.iter())) {
-        if !orig_idx.is_zero() {
-            *slot = table.lookup(orig / factor);
+    for (i, slot) in out.iter_mut().enumerate() {
+        if !weights[i].is_zero() {
+            *slot = table.lookup(w[i] / factor);
         }
     }
     Some(Normalized { top, weights: out })
@@ -93,7 +93,7 @@ fn normalize_vector_max(
     if weights.iter().all(|i| i.is_zero()) {
         return None;
     }
-    let w: Vec<Complex> = weights.iter().map(|&i| table.value(i)).collect();
+    let w = [table.value(weights[0]), table.value(weights[1])];
     let best = if w[1].norm_sqr() > w[0].norm_sqr() { 1 } else { 0 };
     let factor = w[best];
     let top = table.lookup(factor);
@@ -118,10 +118,16 @@ pub(crate) fn normalize_matrix(
     table: &mut ComplexTable,
     weights: [ComplexIdx; 4],
 ) -> Option<Normalized<4>> {
-    if weights.iter().all(|i| i.is_zero()) {
+    let nonzero = weights.iter().filter(|i| !i.is_zero()).count();
+    if nonzero == 0 {
         return None;
     }
-    let w: Vec<Complex> = weights.iter().map(|&i| table.value(i)).collect();
+    let w = [
+        table.value(weights[0]),
+        table.value(weights[1]),
+        table.value(weights[2]),
+        table.value(weights[3]),
+    ];
     // First strictly-larger magnitude wins; earliest index on ties. Because
     // equal values share an interned handle, genuine ties compare exactly
     // equal and the rule is stable under uniform pre-scaling.
@@ -152,7 +158,7 @@ pub(crate) fn normalize_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qdd_complex::C_ONE;
+    use qdd_complex::{Complex, C_ONE};
 
     fn table() -> ComplexTable {
         ComplexTable::new()

@@ -58,7 +58,10 @@ impl DdPackage {
             "vector addition rank mismatch"
         );
         // Commutative: order operands canonically for better cache reuse.
-        let (x, y) = if a.node.raw() <= b.node.raw() {
+        // Order by creation stamp, not slot id — slot ids are recycled by
+        // GC, and a GC-dependent ordering perturbs which operand divides
+        // which (numeric drift that can re-fragment compact diagrams).
+        let (x, y) = if self.vnode(a.node).birth <= self.vnode(b.node).birth {
             (a, b)
         } else {
             (b, a)
@@ -136,7 +139,7 @@ impl DdPackage {
             !a.is_terminal() && !b.is_terminal(),
             "matrix addition rank mismatch"
         );
-        let (x, y) = if a.node.raw() <= b.node.raw() {
+        let (x, y) = if self.mnode(a.node).birth <= self.mnode(b.node).birth {
             (a, b)
         } else {
             (b, a)

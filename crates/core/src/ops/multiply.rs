@@ -55,6 +55,14 @@ impl DdPackage {
             !mn.is_terminal() && !vn.is_terminal(),
             "dimension mismatch in mat_vec"
         );
+        // Identity skip: a single-qubit gate DD is identity chains around
+        // one active level, so `I·v = v` here prunes the whole sub-diagram
+        // below the gate's target — the difference between O(state nodes)
+        // and O(levels) per gate application on wide states.
+        let mvar = self.mnode(mn).var;
+        if self.is_identity_node(mn, mvar) {
+            return Ok(VecEdge::new(vn, qdd_complex::C_ONE));
+        }
         let key = (mn, vn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.mat_vec.get(&key) {
@@ -128,6 +136,14 @@ impl DdPackage {
             !an.is_terminal() && !bn.is_terminal(),
             "dimension mismatch in mat_mat"
         );
+        // Identity skip on either operand (`I·B = B`, `A·I = A`).
+        let avar = self.mnode(an).var;
+        if self.is_identity_node(an, avar) {
+            return Ok(MatEdge::new(bn, qdd_complex::C_ONE));
+        }
+        if self.is_identity_node(bn, avar) {
+            return Ok(MatEdge::new(an, qdd_complex::C_ONE));
+        }
         let key = (an, bn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.mat_mat.get(&key) {

@@ -21,8 +21,13 @@ pub struct SimStats {
     pub applied_ops: usize,
     /// Garbage collections forced by node-budget pressure.
     pub gc_pressure_runs: u64,
-    /// Compute-table clears forced by the configured cache capacity.
+    /// Compute-table entries dropped by colliding inserts (capacity
+    /// pressure in the direct-mapped tables).
     pub compute_evictions: u64,
+    /// Gate-DD cache probes over the run.
+    pub gate_cache_lookups: u64,
+    /// Gate-DD cache probes answered without rebuilding the operator.
+    pub gate_cache_hits: u64,
     /// High-water mark of the package's live-node estimate.
     pub peak_live_nodes: usize,
     /// Whether the run degraded to dense state-vector simulation after the
@@ -211,13 +216,20 @@ impl DdSimulator {
         self.dd.check_deadline()?;
         let op = self.circuit.ops()[self.cursor].clone();
         self.cursor += 1;
-        if self.dense.is_some() {
-            self.apply_dense(&op)?;
+        let applied = if self.dense.is_some() {
+            self.apply_dense(&op)
         } else {
-            self.apply_governed(&op)?;
+            self.apply_governed(&op)
+        };
+        if let Err(e) = applied {
+            // Keep the stats faithful even when the operation failed: a
+            // pressure GC attempted during the failed application must be
+            // visible to callers inspecting the wreckage.
+            self.sync_governor_stats();
+            return Err(e);
         }
         if self.dense.is_none() {
-            if self.dd.live_node_estimate() > self.dd.limits().auto_gc_threshold {
+            if self.dd.wants_auto_gc() {
                 self.dd.garbage_collect();
             }
             let nodes = self.dd.vec_node_count(self.state);
@@ -225,10 +237,16 @@ impl DdSimulator {
             self.stats.peak_nodes = self.stats.peak_nodes.max(nodes);
         }
         self.stats.applied_ops += 1;
+        self.sync_governor_stats();
+        Ok(true)
+    }
+
+    fn sync_governor_stats(&mut self) {
         self.stats.gc_pressure_runs = self.dd.gc_pressure_runs();
         self.stats.compute_evictions = self.dd.compute_evictions();
+        self.stats.gate_cache_lookups = self.dd.gate_cache_lookups();
+        self.stats.gate_cache_hits = self.dd.gate_cache_hits();
         self.stats.peak_live_nodes = self.dd.peak_live_nodes();
-        Ok(true)
     }
 
     /// One operation through the degradation ladder: apply, and on node
@@ -610,6 +628,50 @@ mod tests {
         );
         let p = sim.amplitude((1 << n) - 1).norm_sqr();
         assert!(p > 0.99, "P(marked) = {p}");
+    }
+
+    /// The memoization layers (compute tables, gate-DD cache, identity
+    /// skips) must be transparent: disabling them changes speed, never
+    /// amplitudes.
+    #[test]
+    fn caches_are_transparent_to_simulation_results() {
+        for qc in [
+            library::qft(6, true),
+            library::grover(6, 11),
+            library::random_clifford_t(6, 24, 7),
+        ] {
+            let mut memoized = DdSimulator::with_seed(qc.clone(), 1);
+            memoized.run().unwrap();
+            let mut bare = DdSimulator::with_config(
+                qc,
+                1,
+                PackageConfig {
+                    compute_tables: false,
+                    ..PackageConfig::default()
+                },
+            );
+            bare.run().unwrap();
+            let reference = DenseSimulator::simulate(memoized.circuit(), 1)
+                .unwrap()
+                .state()
+                .to_vec();
+            for (i, ((a, b), r)) in memoized
+                .dense_state()
+                .iter()
+                .zip(bare.dense_state())
+                .zip(reference)
+                .enumerate()
+            {
+                assert!(
+                    a.approx_eq(b, 1e-9),
+                    "amplitude {i} diverges with caches off: {a:?} vs {b:?}"
+                );
+                assert!(
+                    a.approx_eq(r, 1e-9),
+                    "amplitude {i} diverges from dense backend: {a:?} vs {r:?}"
+                );
+            }
+        }
     }
 
     /// A circuit whose state has no product structure: node counts grow

@@ -346,7 +346,7 @@ impl EquivalenceChecker {
     }
 
     fn maybe_gc(&mut self, roots: &mut [MatEdge]) {
-        if self.dd.live_node_estimate() < self.dd.limits().auto_gc_threshold {
+        if !self.dd.wants_auto_gc() {
             return;
         }
         for r in roots.iter() {
