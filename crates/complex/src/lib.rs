@@ -31,10 +31,12 @@
 mod complex;
 mod hash;
 mod table;
+mod visit;
 
 pub use complex::Complex;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use table::{ComplexIdx, ComplexTable, ComplexTableStats, C_ONE, C_ZERO};
+pub use visit::{VisitSet, WalkScratch};
 
 /// Default tolerance used for interning and approximate comparisons.
 ///

@@ -57,6 +57,7 @@ mod observable;
 mod ops;
 mod package;
 mod serialize;
+mod traverse;
 mod types;
 
 pub use compute::ComputeTableStat;
@@ -64,11 +65,12 @@ pub use error::{DdError, ResourceKind};
 pub use gates::{Control, GateMatrix, Polarity};
 pub use limits::{Limits, DEFAULT_AUTO_GC_THRESHOLD, DEFAULT_COMPLEX_GC_THRESHOLD};
 pub use measure::MeasurementOutcome;
-pub use node::{MNode, VNode};
+pub use node::{MNode, Node, VNode};
 pub use observable::{ParsePauliError, Pauli, PauliString};
-pub use package::{DdPackage, PackageConfig, PackageStats, VectorNormalization};
+pub use package::{DdPackage, GcReport, PackageConfig, PackageStats, VectorNormalization};
 pub use serialize::SerializeError;
-pub use types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
+pub use traverse::Traversable;
+pub use types::{Edge, MatEdge, MNodeId, NodeId, Qubit, VecEdge, VNodeId};
 
 /// Maximum number of qubits a single package supports.
 ///

@@ -10,7 +10,7 @@
 use crate::error::DdError;
 use crate::package::DdPackage;
 use crate::types::{Qubit, VecEdge, VNodeId};
-use qdd_complex::{FxHashMap, FxHashSet};
+use qdd_complex::FxHashMap;
 use rand::Rng;
 
 /// The result of measuring a single qubit.
@@ -300,34 +300,39 @@ impl DdPackage {
         dense.iter().map(|a| a.norm_sqr()).collect()
     }
 
-    /// All basis states with non-zero amplitude, without densifying:
-    /// enumerates root→terminal paths. Intended for sparse states.
+    /// All basis states with non-zero amplitude, without densifying.
+    /// Intended for sparse states.
+    ///
+    /// Each shared node is processed once (memoized post-order over the
+    /// diagram, not per root→terminal path): a node's index list is its
+    /// `|0⟩` child's list followed by the `|1⟩` child's list with the
+    /// node's bit set. Children decide on strictly lower variables, so the
+    /// concatenation is already sorted.
     pub fn nonzero_basis_states(&self, state: VecEdge) -> Vec<u64> {
-        let mut out = Vec::new();
-        let mut seen_paths: FxHashSet<u64> = FxHashSet::default();
-        fn walk(
-            dd: &DdPackage,
-            e: VecEdge,
-            acc: u64,
-            out: &mut Vec<u64>,
-            seen: &mut FxHashSet<u64>,
-        ) {
-            if e.is_zero() {
-                return;
-            }
-            if e.is_terminal() {
-                if seen.insert(acc) {
-                    out.push(acc);
-                }
-                return;
-            }
-            let n = dd.vnode(e.node);
-            walk(dd, n.children[0], acc, out, seen);
-            walk(dd, n.children[1], acc | (1 << n.var), out, seen);
+        use crate::traverse::Traversable;
+        if state.is_zero() {
+            return Vec::new();
         }
-        walk(self, state, 0, &mut out, &mut seen_paths);
-        out.sort_unstable();
-        out
+        if state.is_terminal() {
+            return vec![0];
+        }
+        let mut memo: FxHashMap<u32, Vec<u64>> = FxHashMap::default();
+        self.visit_postorder(state, |id, n| {
+            let mut list: Vec<u64> = Vec::new();
+            for (bit, c) in [(0u64, n.children[0]), (1 << n.var, n.children[1])] {
+                if c.is_zero() {
+                    continue;
+                }
+                if c.is_terminal() {
+                    list.push(bit);
+                    continue;
+                }
+                list.extend(memo[&c.node.raw()].iter().map(|x| x | bit));
+            }
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "unsorted paths");
+            memo.insert(id.raw(), list);
+        });
+        memo.remove(&state.node.raw()).expect("root memoized")
     }
 }
 

@@ -1,17 +1,21 @@
 //! Arena node representations.
 
-use crate::types::{MatEdge, Qubit, VecEdge};
+use crate::types::{Edge, Qubit};
 
-/// A vector-DD node: a qubit label and two successor edges.
+/// A decision-diagram node with `N` successor edges.
 ///
-/// Successor `0` leads to the sub-vector where the node's qubit is `|0⟩`,
-/// successor `1` to the `|1⟩` sub-vector (paper §III-A).
+/// * `N = 2` ([`VNode`]): successor `0` leads to the sub-vector where the
+///   node's qubit is `|0⟩`, successor `1` to the `|1⟩` sub-vector
+///   (paper §III-A).
+/// * `N = 4` ([`MNode`]): successors are ordered `[U₀₀, U₀₁, U₁₀, U₁₁]` —
+///   row index `i` is the *output* value of the qubit, column index `j` the
+///   *input* value, matching Fig. 2(c) of the paper (child `2·i + j`).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct VNode {
+pub struct Node<const N: usize> {
     /// Qubit this node decides on.
     pub var: Qubit,
-    /// Successor edges `[e₀, e₁]`.
-    pub children: [VecEdge; 2],
+    /// Successor edges, in slot order.
+    pub children: [Edge<N>; N],
     /// External root-reference count (used by garbage collection; not a
     /// structural property).
     pub(crate) rc: u32,
@@ -26,45 +30,20 @@ pub struct VNode {
     pub(crate) birth: u64,
 }
 
+impl<const N: usize> Node<N> {
+    pub(crate) fn new(var: Qubit, children: [Edge<N>; N]) -> Self {
+        Node {
+            var,
+            children,
+            rc: 0,
+            dead: false,
+            birth: 0,
+        }
+    }
+}
+
+/// A vector-DD node: a qubit label and two successor edges.
+pub type VNode = Node<2>;
+
 /// A matrix-DD node: a qubit label and four successor edges.
-///
-/// Successors are ordered `[U₀₀, U₀₁, U₁₀, U₁₁]` — row index `i` is the
-/// *output* value of the qubit, column index `j` the *input* value, matching
-/// Fig. 2(c) of the paper (child `2·i + j`).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct MNode {
-    /// Qubit this node decides on.
-    pub var: Qubit,
-    /// Successor edges `[e₀₀, e₀₁, e₁₀, e₁₁]`.
-    pub children: [MatEdge; 4],
-    /// External root-reference count.
-    pub(crate) rc: u32,
-    /// Tombstone flag set when the slot is on the free list.
-    pub(crate) dead: bool,
-    /// Monotone creation stamp (see [`VNode::birth`]).
-    pub(crate) birth: u64,
-}
-
-impl VNode {
-    pub(crate) fn new(var: Qubit, children: [VecEdge; 2]) -> Self {
-        VNode {
-            var,
-            children,
-            rc: 0,
-            dead: false,
-            birth: 0,
-        }
-    }
-}
-
-impl MNode {
-    pub(crate) fn new(var: Qubit, children: [MatEdge; 4]) -> Self {
-        MNode {
-            var,
-            children,
-            rc: 0,
-            dead: false,
-            birth: 0,
-        }
-    }
-}
+pub type MNode = Node<4>;

@@ -1,0 +1,249 @@
+//! The decision-diagram package: arenas, unique tables, constructors, and
+//! garbage collection.
+//!
+//! This module is a thin facade. The kernel is the arity-generic
+//! [`NodeStore`](store::NodeStore) — one implementation of the unique
+//! table, refcounts, birth stamps and GC mark/sweep, instantiated at
+//! `N = 2` (vector DDs) and `N = 4` (matrix DDs) — plus focused submodules:
+//!
+//! * [`store`] — `NodeStore<N>` and the `HasStore<N>` arity dispatch;
+//! * [`alloc`] — normalization + unique-table interning (`make_*_node`);
+//! * [`refcount`] — external roots (`inc_ref_*` / `dec_ref_*`);
+//! * [`gc`] — mark/sweep collection and the complex-table sweep;
+//! * [`states`] — basis states and dense-amplitude import;
+//! * [`gates`] — identity/gate-DD construction and the gate-DD cache;
+//! * [`stats`] — node counting, statistics, traversal hookup.
+//!
+//! The public API is unchanged from the pre-split, hand-duplicated
+//! implementation: concrete `*_vec` / `*_mat` methods wrap the generic
+//! code, so downstream crates (and serialized files) see the exact same
+//! surface and semantics.
+
+mod alloc;
+mod gates;
+mod gc;
+mod refcount;
+mod states;
+mod stats;
+mod store;
+
+pub use self::gc::GcReport;
+pub use self::stats::PackageStats;
+pub use crate::normalize::VectorNormalization;
+
+pub(crate) use self::store::HasStore;
+
+use self::gates::GateKey;
+use self::store::NodeStore;
+use crate::compute::ComputeTables;
+use crate::error::DdError;
+use crate::limits::{Governor, Limits};
+use crate::node::{MNode, VNode};
+use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
+use qdd_complex::{Complex, ComplexIdx, ComplexTable, FxHashMap, DEFAULT_TOLERANCE};
+use std::time::Duration;
+
+/// Tunable parameters of a [`DdPackage`].
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct PackageConfig {
+    /// Tolerance for complex-weight interning and approximate comparisons.
+    pub tolerance: f64,
+    /// Enables the operation caches (compute tables). Disabling them is
+    /// only useful for the ablation experiments — expect exponential
+    /// slowdowns on anything non-trivial.
+    pub compute_tables: bool,
+    /// Validates 2×2 gate matrices for unitarity in [`DdPackage::gate_dd`].
+    pub check_unitarity: bool,
+    /// Normalization rule for vector nodes. Measurement and sampling
+    /// require the default [`VectorNormalization::L2`]; the alternative is
+    /// for the ablation experiments.
+    pub vector_normalization: VectorNormalization,
+    /// Resource budgets enforced by the package (all unlimited by default).
+    pub limits: Limits,
+}
+
+impl Default for PackageConfig {
+    fn default() -> Self {
+        PackageConfig {
+            tolerance: DEFAULT_TOLERANCE,
+            compute_tables: true,
+            check_unitarity: true,
+            vector_normalization: VectorNormalization::default(),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// The central object owning all decision-diagram state.
+///
+/// A package holds the node arenas, the unique tables that enforce structural
+/// sharing, the complex-weight interning table, and the operation caches.
+/// All diagrams created by one package may share nodes; edges from different
+/// packages must never be mixed.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Clone, Debug)]
+pub struct DdPackage {
+    /// Vector-DD store (nodes with 2 successors).
+    pub(crate) vstore: NodeStore<2>,
+    /// Matrix-DD store (nodes with 4 successors).
+    pub(crate) mstore: NodeStore<4>,
+    pub(crate) ctable: ComplexTable,
+    pub(crate) caches: ComputeTables,
+    pub(crate) config: PackageConfig,
+    /// `id_cache[k]` spans variables `0..k`; rebuilt lazily. Survives
+    /// routine GCs as a root set, flushed by pressure GCs.
+    id_cache: Vec<MatEdge>,
+    /// Built gate operators by exact identity. Survives routine GCs as a
+    /// root set (bounded by `GATE_CACHE_CAP`), flushed by pressure GCs.
+    gate_cache: FxHashMap<GateKey, MatEdge>,
+    gate_lookups: u64,
+    gate_hits: u64,
+    /// Reference counts of the *weights* of registered root edges. Node
+    /// roots are counted on the nodes themselves, but a root edge's own
+    /// weight lives only in the caller's copy of the edge, so the
+    /// complex-table sweep needs this registry to keep it pinned.
+    root_weights: FxHashMap<ComplexIdx, u32>,
+    /// Monotone node-creation counter backing `Node::birth`.
+    births: u64,
+    gc_runs: u64,
+    governor: Governor,
+}
+
+impl DdPackage {
+    /// Creates a package with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(PackageConfig::default())
+    }
+
+    /// Creates a package with an explicit configuration.
+    pub fn with_config(config: PackageConfig) -> Self {
+        DdPackage {
+            vstore: NodeStore::new(),
+            mstore: NodeStore::new(),
+            ctable: ComplexTable::with_tolerance(config.tolerance),
+            caches: ComputeTables::bounded(config.limits.max_compute_entries),
+            config,
+            id_cache: vec![MatEdge::ONE],
+            gate_cache: FxHashMap::default(),
+            gate_lookups: 0,
+            gate_hits: 0,
+            root_weights: FxHashMap::default(),
+            births: 0,
+            gc_runs: 0,
+            governor: Governor::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PackageConfig {
+        &self.config
+    }
+
+    /// The active resource limits.
+    pub fn limits(&self) -> &Limits {
+        &self.config.limits
+    }
+
+    // ------------------------------------------------------------------
+    // Resource governor
+    // ------------------------------------------------------------------
+
+    /// Starts the wall-clock budget configured in
+    /// [`Limits::deadline`], if any. Returns whether a deadline is now
+    /// armed. Drivers call this once at the start of governed work
+    /// (e.g. a simulation run); until armed, no deadline is enforced.
+    pub fn arm_deadline(&mut self) -> bool {
+        if let Some(budget) = self.config.limits.deadline {
+            self.governor.arm(budget);
+        }
+        self.governor.armed()
+    }
+
+    /// Starts an explicit wall-clock budget, overriding
+    /// [`Limits::deadline`] for this arming.
+    pub fn arm_deadline_for(&mut self, budget: Duration) {
+        self.governor.arm(budget);
+    }
+
+    /// Stops deadline enforcement (e.g. when a run completes).
+    pub fn disarm_deadline(&mut self) {
+        self.governor.disarm();
+    }
+
+    /// Immediate check of the armed deadline, for per-operation use by
+    /// drivers. Never fails when no deadline is armed.
+    pub fn check_deadline(&self) -> Result<(), DdError> {
+        self.governor.check_deadline_now()
+    }
+
+    /// Per-recursion-level governor check used by the DD operations:
+    /// recursion depth always, the armed deadline periodically.
+    #[inline]
+    pub(crate) fn governor_check(&mut self, depth: usize) -> Result<(), DdError> {
+        let limits = self.config.limits;
+        self.governor.check(depth, &limits)
+    }
+
+    // ------------------------------------------------------------------
+    // Basic accessors
+    // ------------------------------------------------------------------
+
+    /// Interns a complex value, returning its stable handle.
+    #[inline]
+    pub fn intern(&mut self, v: Complex) -> ComplexIdx {
+        self.ctable.lookup(v)
+    }
+
+    /// The complex value behind an interned handle.
+    #[inline]
+    pub fn complex_value(&self, idx: ComplexIdx) -> Complex {
+        self.ctable.value(idx)
+    }
+
+    /// Read access to a vector node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the terminal sentinel or a foreign/freed id.
+    #[inline]
+    pub fn vnode(&self, id: VNodeId) -> &VNode {
+        self.vstore.node(id)
+    }
+
+    /// Read access to a matrix node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the terminal sentinel or a foreign/freed id.
+    #[inline]
+    pub fn mnode(&self, id: MNodeId) -> &MNode {
+        self.mstore.node(id)
+    }
+
+    /// The variable a vector edge decides on, or `None` for terminal edges.
+    #[inline]
+    pub fn vec_var(&self, e: VecEdge) -> Option<Qubit> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.vnode(e.node).var)
+        }
+    }
+
+    /// The variable a matrix edge decides on, or `None` for terminal edges.
+    #[inline]
+    pub fn mat_var(&self, e: MatEdge) -> Option<Qubit> {
+        if e.is_terminal() {
+            None
+        } else {
+            Some(self.mnode(e.node).var)
+        }
+    }
+}
+
+impl Default for DdPackage {
+    fn default() -> Self {
+        Self::new()
+    }
+}

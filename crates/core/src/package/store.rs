@@ -1,0 +1,243 @@
+//! The arity-generic node store: one arena + unique table + free list +
+//! traversal scratch, instantiated at `N = 2` (vector DDs) and `N = 4`
+//! (matrix DDs), so allocation, refcounting, GC mark/sweep and node
+//! counting exist exactly once.
+
+use crate::node::Node;
+use crate::normalize::{normalize_matrix, normalize_vector, Normalized};
+use crate::types::{Edge, NodeId, Qubit};
+use qdd_complex::{ComplexIdx, ComplexTable, FxHashMap, FxHashSet, WalkScratch};
+use std::cell::RefCell;
+
+use super::{DdPackage, PackageConfig};
+
+/// One diagram kind's worth of storage: the node arena, the unique table
+/// that enforces structural sharing, the free list of reclaimed slots, and
+/// the reusable traversal scratch.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeStore<const N: usize> {
+    nodes: Vec<Node<N>>,
+    unique: FxHashMap<(Qubit, [Edge<N>; N]), NodeId<N>>,
+    free: Vec<u32>,
+    scratch: RefCell<WalkScratch>,
+}
+
+impl<const N: usize> NodeStore<N> {
+    pub(crate) fn new() -> Self {
+        NodeStore {
+            nodes: Vec::new(),
+            unique: FxHashMap::default(),
+            free: Vec::new(),
+            scratch: RefCell::new(WalkScratch::default()),
+        }
+    }
+
+    /// Read access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the terminal sentinel or a foreign/freed id.
+    #[inline]
+    pub(crate) fn node(&self, id: NodeId<N>) -> &Node<N> {
+        let n = &self.nodes[id.index()];
+        debug_assert!(!n.dead, "access to freed node");
+        n
+    }
+
+    /// Unique-table lookup of a canonicalized node.
+    #[inline]
+    pub(crate) fn lookup(&self, var: Qubit, children: &[Edge<N>; N]) -> Option<NodeId<N>> {
+        self.unique.get(&(var, *children)).copied()
+    }
+
+    /// Allocates a node (reusing a free-listed slot when available) and
+    /// records it in the unique table. The caller has already checked the
+    /// unique table and the allocation budget.
+    pub(crate) fn alloc(&mut self, mut node: Node<N>, birth: u64) -> NodeId<N> {
+        node.birth = birth;
+        let key = (node.var, node.children);
+        let id = if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            NodeId::from_index(slot as usize)
+        } else {
+            self.nodes.push(node);
+            NodeId::from_index(self.nodes.len() - 1)
+        };
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// Bumps a node's external root count.
+    #[inline]
+    pub(crate) fn inc_rc(&mut self, id: NodeId<N>) {
+        self.nodes[id.index()].rc += 1;
+    }
+
+    /// Drops a node's external root count.
+    ///
+    /// # Panics
+    ///
+    /// Panics with `label` if the count is already zero.
+    #[inline]
+    pub(crate) fn dec_rc(&mut self, id: NodeId<N>, label: &'static str) {
+        let rc = &mut self.nodes[id.index()].rc;
+        assert!(*rc > 0, "{}", label);
+        *rc -= 1;
+    }
+
+    /// Number of arena slots (live + free-listed) — visited-set sizing and
+    /// the `*_allocated` statistics.
+    #[inline]
+    pub(crate) fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Constant-time live-slot estimate (allocated minus free-listed).
+    #[inline]
+    pub(crate) fn live_len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Exact live-node count (linear scan over the arena).
+    pub(crate) fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.dead).count()
+    }
+
+    /// The store's reusable traversal scratch (see
+    /// [`Traversable`](crate::Traversable)).
+    #[inline]
+    pub(crate) fn scratch(&self) -> &RefCell<WalkScratch> {
+        &self.scratch
+    }
+
+    // --------------------------------------------------------------
+    // Garbage collection
+    // --------------------------------------------------------------
+
+    /// Mark phase: flags every slot reachable from a node with a positive
+    /// root count or from `extra_roots` (cache-held edges).
+    pub(crate) fn mark(&self, extra_roots: impl IntoIterator<Item = NodeId<N>>) -> Vec<bool> {
+        let mut mark = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.dead && n.rc > 0 {
+                stack.push(i as u32);
+            }
+        }
+        for id in extra_roots {
+            stack.push(id.raw());
+        }
+        while let Some(i) = stack.pop() {
+            if mark[i as usize] {
+                continue;
+            }
+            mark[i as usize] = true;
+            for c in self.nodes[i as usize].children {
+                if !c.is_terminal() {
+                    stack.push(c.node.raw());
+                }
+            }
+        }
+        mark
+    }
+
+    /// Sweep phase: tombstones every unmarked live slot onto the free list.
+    /// Returns `(freed, live)`.
+    pub(crate) fn sweep(&mut self, mark: &[bool]) -> (usize, usize) {
+        let (mut freed, mut live) = (0, 0);
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            if n.dead {
+                continue;
+            }
+            if mark[i] {
+                live += 1;
+            } else {
+                n.dead = true;
+                self.free.push(i as u32);
+                freed += 1;
+            }
+        }
+        (freed, live)
+    }
+
+    /// Rebuilds the unique table from the surviving nodes.
+    pub(crate) fn rebuild_unique(&mut self) {
+        self.unique.clear();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.dead {
+                self.unique.insert((n.var, n.children), NodeId::from_index(i));
+            }
+        }
+    }
+
+    /// Adds the child-edge weights of every live node to `keep` (the
+    /// complex-table sweep's pin set).
+    pub(crate) fn collect_live_weights(&self, keep: &mut FxHashSet<ComplexIdx>) {
+        for n in self.nodes.iter().filter(|n| !n.dead) {
+            for c in n.children {
+                keep.insert(c.weight);
+            }
+        }
+    }
+}
+
+/// Arity dispatch: gives the generic construction/refcount/GC code access
+/// to the right [`NodeStore`] and normalization rule for its `N`.
+///
+/// Deliberately `pub(crate)`: the public API remains the concrete
+/// `*_vec` / `*_mat` methods (thin wrappers over the generic
+/// implementations), so downstream crates see the exact pre-refactor
+/// surface.
+pub(crate) trait HasStore<const N: usize> {
+    fn store(&self) -> &NodeStore<N>;
+    fn store_mut(&mut self) -> &mut NodeStore<N>;
+    /// Arity-specific edge-weight normalization (vector rule is
+    /// configurable, matrix rule is fixed — paper §III).
+    fn normalize(
+        ctable: &mut ComplexTable,
+        config: &PackageConfig,
+        weights: [ComplexIdx; N],
+    ) -> Option<Normalized<N>>;
+}
+
+impl HasStore<2> for DdPackage {
+    #[inline]
+    fn store(&self) -> &NodeStore<2> {
+        &self.vstore
+    }
+
+    #[inline]
+    fn store_mut(&mut self) -> &mut NodeStore<2> {
+        &mut self.vstore
+    }
+
+    #[inline]
+    fn normalize(
+        ctable: &mut ComplexTable,
+        config: &PackageConfig,
+        weights: [ComplexIdx; 2],
+    ) -> Option<Normalized<2>> {
+        normalize_vector(ctable, weights, config.vector_normalization)
+    }
+}
+
+impl HasStore<4> for DdPackage {
+    #[inline]
+    fn store(&self) -> &NodeStore<4> {
+        &self.mstore
+    }
+
+    #[inline]
+    fn store_mut(&mut self) -> &mut NodeStore<4> {
+        &mut self.mstore
+    }
+
+    #[inline]
+    fn normalize(
+        ctable: &mut ComplexTable,
+        _config: &PackageConfig,
+        weights: [ComplexIdx; 4],
+    ) -> Option<Normalized<4>> {
+        normalize_matrix(ctable, weights)
+    }
+}

@@ -17,9 +17,14 @@
 //! (ascending variable), so deserialization is a single pass. Weights are
 //! re-interned and nodes re-normalized on load, so a loaded diagram is
 //! canonical in its new package even if the file was edited by hand.
+//!
+//! Vector and matrix diagrams share one generic implementation
+//! parameterized by the node arity: only the header string and the number
+//! of child chunks per line (`3·N` tokens) differ.
 
 use crate::package::DdPackage;
-use crate::types::{MatEdge, VecEdge};
+use crate::traverse::Traversable;
+use crate::types::{Edge, MatEdge, NodeId, VecEdge};
 use qdd_complex::{Complex, FxHashMap};
 use std::error::Error;
 use std::fmt;
@@ -102,31 +107,29 @@ fn parse_ref(token: &str, line: usize) -> Result<Ref, SerializeError> {
 }
 
 impl DdPackage {
-    /// Writes a state diagram in the `qdd-vector v1` text format.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    pub fn write_vector<W: Write>(&self, e: VecEdge, mut out: W) -> Result<(), SerializeError> {
-        writeln!(out, "qdd-vector v1")?;
-        let levels = self.vec_var(e).map_or(0, |v| v as usize + 1);
+    /// Generic writer behind [`Self::write_vector`] / [`Self::write_matrix`]:
+    /// collect reachable nodes in shared pre-order, then emit in
+    /// ascending-variable order so children always precede parents.
+    fn write_dd<const N: usize, W: Write>(
+        &self,
+        header: &str,
+        e: Edge<N>,
+        mut out: W,
+    ) -> Result<(), SerializeError>
+    where
+        Self: Traversable<N>,
+    {
+        writeln!(out, "{header}")?;
+        let levels = if e.is_terminal() {
+            0
+        } else {
+            self.node(e.node).var as usize + 1
+        };
         writeln!(out, "levels {levels}")?;
 
-        // Collect reachable nodes, then emit in ascending-variable order so
-        // children always precede parents.
-        let mut order: Vec<crate::types::VNodeId> = Vec::new();
-        let mut seen = qdd_complex::FxHashSet::default();
-        let mut stack = vec![e];
-        while let Some(edge) = stack.pop() {
-            if edge.is_terminal() || !seen.insert(edge.node) {
-                continue;
-            }
-            order.push(edge.node);
-            for c in self.vnode(edge.node).children {
-                stack.push(c);
-            }
-        }
-        order.sort_by_key(|&id| self.vnode(id).var);
+        let mut order: Vec<NodeId<N>> = Vec::new();
+        self.visit_preorder(e, |id, _| order.push(id));
+        order.sort_by_key(|&id| self.node(id).var);
         let id_map: FxHashMap<u32, u32> = order
             .iter()
             .enumerate()
@@ -134,7 +137,7 @@ impl DdPackage {
             .collect();
 
         for id in &order {
-            let node = self.vnode(*id);
+            let node = self.node(*id);
             let mut line = format!("node {} {}", id_map[&id.raw()], node.var);
             for c in node.children {
                 let w = self.complex_value(c.weight);
@@ -147,6 +150,104 @@ impl DdPackage {
         let root_ref = format_ref(e.is_terminal(), e.is_zero(), e.to_mapped(&id_map));
         writeln!(out, "root {root_ref} {} {}", w.re, w.im)?;
         Ok(())
+    }
+
+    /// Generic reader behind [`Self::read_vector`] / [`Self::read_matrix`].
+    fn read_dd<const N: usize, R: BufRead>(
+        &mut self,
+        header_want: &str,
+        input: R,
+    ) -> Result<Edge<N>, SerializeError>
+    where
+        Self: crate::package::HasStore<N>,
+    {
+        let mut lines = input.lines().enumerate();
+        let (num, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
+        let header = header?;
+        if header.trim() != header_want {
+            return Err(parse_err(
+                num + 1,
+                format!("expected header `{header_want}`"),
+            ));
+        }
+        let mut nodes: FxHashMap<u32, Edge<N>> = FxHashMap::default();
+        let mut root: Option<Edge<N>> = None;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line?;
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                [] => continue,
+                ["levels", _] => continue,
+                ["node", id, var, rest @ ..] if rest.len() == 3 * N => {
+                    let id: u32 = id.parse().map_err(|_| parse_err(lineno, "bad node id"))?;
+                    let var: u8 = var
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "bad variable"))?;
+                    let mut children = [Edge::ZERO; N];
+                    for (k, chunk) in rest.chunks(3).enumerate() {
+                        children[k] = self.resolve_child(chunk, &nodes, lineno)?;
+                    }
+                    let edge = self
+                        .try_make_node_generic(var, children)
+                        .unwrap_or_else(|e| panic!("ungoverned node construction failed: {e}"));
+                    nodes.insert(id, edge);
+                }
+                ["root", rest @ ..] if rest.len() == 3 => {
+                    root = Some(self.resolve_child(rest, &nodes, lineno)?);
+                }
+                _ => return Err(parse_err(lineno, format!("unrecognized line `{line}`"))),
+            }
+        }
+        root.ok_or_else(|| parse_err(0, "missing root line"))
+    }
+
+    fn resolve_child<const N: usize>(
+        &mut self,
+        chunk: &[&str],
+        nodes: &FxHashMap<u32, Edge<N>>,
+        lineno: usize,
+    ) -> Result<Edge<N>, SerializeError> {
+        let re: f64 = chunk[1]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad real part"))?;
+        let im: f64 = chunk[2]
+            .parse()
+            .map_err(|_| parse_err(lineno, "bad imaginary part"))?;
+        let weight = Complex::new(re, im);
+        if weight.is_non_finite() {
+            return Err(parse_err(lineno, "non-finite weight"));
+        }
+        match parse_ref(chunk[0], lineno)? {
+            Ref::Zero => Ok(Edge::ZERO),
+            Ref::Terminal => Ok(Edge::terminal(self.intern(weight))),
+            Ref::Node(id) => {
+                let base = nodes
+                    .get(&id)
+                    .copied()
+                    .ok_or_else(|| parse_err(lineno, format!("forward reference to node {id}")))?;
+                // `base.weight` is the factor node construction pulled out
+                // when re-normalizing the stored node: 1 for canonical
+                // files, meaningful for hand-edited ones. Fold it into the
+                // edge.
+                let w = self.intern(weight);
+                let w = self.ctable.mul(w, base.weight);
+                Ok(if w.is_zero() {
+                    Edge::ZERO
+                } else {
+                    Edge::new(base.node, w)
+                })
+            }
+        }
+    }
+
+    /// Writes a state diagram in the `qdd-vector v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_vector<W: Write>(&self, e: VecEdge, out: W) -> Result<(), SerializeError> {
+        self.write_dd(VECTOR_HEADER, e, out)
     }
 
     /// Reads a state diagram written by [`Self::write_vector`].
@@ -156,80 +257,7 @@ impl DdPackage {
     /// [`SerializeError::Parse`] for malformed input, [`SerializeError::Io`]
     /// for read failures.
     pub fn read_vector<R: BufRead>(&mut self, input: R) -> Result<VecEdge, SerializeError> {
-        let mut lines = input.lines().enumerate();
-        let (num, header) = lines
-            .next()
-            .ok_or_else(|| parse_err(1, "empty input"))?;
-        let header = header?;
-        if header.trim() != "qdd-vector v1" {
-            return Err(parse_err(num + 1, "expected header `qdd-vector v1`"));
-        }
-        let mut nodes: FxHashMap<u32, VecEdge> = FxHashMap::default();
-        let mut root: Option<VecEdge> = None;
-        for (idx, line) in lines {
-            let lineno = idx + 1;
-            let line = line?;
-            let tokens: Vec<&str> = line.split_whitespace().collect();
-            match tokens.as_slice() {
-                [] => continue,
-                ["levels", _] => continue,
-                ["node", id, var, rest @ ..] if rest.len() == 6 => {
-                    let id: u32 = id
-                        .parse()
-                        .map_err(|_| parse_err(lineno, "bad node id"))?;
-                    let var: u8 = var
-                        .parse()
-                        .map_err(|_| parse_err(lineno, "bad variable"))?;
-                    let mut children = [VecEdge::ZERO; 2];
-                    for (k, chunk) in rest.chunks(3).enumerate() {
-                        children[k] =
-                            self.resolve_vec_child(chunk, &nodes, lineno)?;
-                    }
-                    let edge = self.make_vec_node(var, children);
-                    nodes.insert(id, edge);
-                }
-                ["root", rest @ ..] if rest.len() == 3 => {
-                    let base = self.resolve_vec_child(rest, &nodes, lineno)?;
-                    root = Some(base);
-                }
-                _ => return Err(parse_err(lineno, format!("unrecognized line `{line}`"))),
-            }
-        }
-        root.ok_or_else(|| parse_err(0, "missing root line"))
-    }
-
-    fn resolve_vec_child(
-        &mut self,
-        chunk: &[&str],
-        nodes: &FxHashMap<u32, VecEdge>,
-        lineno: usize,
-    ) -> Result<VecEdge, SerializeError> {
-        let re: f64 = chunk[1]
-            .parse()
-            .map_err(|_| parse_err(lineno, "bad real part"))?;
-        let im: f64 = chunk[2]
-            .parse()
-            .map_err(|_| parse_err(lineno, "bad imaginary part"))?;
-        let weight = Complex::new(re, im);
-        if weight.is_non_finite() {
-            return Err(parse_err(lineno, "non-finite weight"));
-        }
-        match parse_ref(chunk[0], lineno)? {
-            Ref::Zero => Ok(VecEdge::ZERO),
-            Ref::Terminal => Ok(VecEdge::terminal(self.intern(weight))),
-            Ref::Node(id) => {
-                let base = nodes
-                    .get(&id)
-                    .copied()
-                    .ok_or_else(|| parse_err(lineno, format!("forward reference to node {id}")))?;
-                // `base.weight` is the factor make_vec_node pulled out when
-                // re-normalizing the stored node: 1 for canonical files,
-                // meaningful for hand-edited ones. Fold it into the edge.
-                let w = self.intern(weight);
-                let w = self.ctable.mul(w, base.weight);
-                Ok(if w.is_zero() { VecEdge::ZERO } else { VecEdge::new(base.node, w) })
-            }
-        }
+        self.read_dd(VECTOR_HEADER, input)
     }
 
     /// Writes an operator diagram in the `qdd-matrix v1` text format.
@@ -237,42 +265,8 @@ impl DdPackage {
     /// # Errors
     ///
     /// Propagates I/O errors.
-    pub fn write_matrix<W: Write>(&self, e: MatEdge, mut out: W) -> Result<(), SerializeError> {
-        writeln!(out, "qdd-matrix v1")?;
-        let levels = self.mat_var(e).map_or(0, |v| v as usize + 1);
-        writeln!(out, "levels {levels}")?;
-        let mut order: Vec<crate::types::MNodeId> = Vec::new();
-        let mut seen = qdd_complex::FxHashSet::default();
-        let mut stack = vec![e];
-        while let Some(edge) = stack.pop() {
-            if edge.is_terminal() || !seen.insert(edge.node) {
-                continue;
-            }
-            order.push(edge.node);
-            for c in self.mnode(edge.node).children {
-                stack.push(c);
-            }
-        }
-        order.sort_by_key(|&id| self.mnode(id).var);
-        let id_map: FxHashMap<u32, u32> = order
-            .iter()
-            .enumerate()
-            .map(|(i, id)| (id.raw(), i as u32))
-            .collect();
-        for id in &order {
-            let node = self.mnode(*id);
-            let mut line = format!("node {} {}", id_map[&id.raw()], node.var);
-            for c in node.children {
-                let w = self.complex_value(c.weight);
-                let r = format_ref(c.is_terminal(), c.is_zero(), c.to_mapped(&id_map));
-                line.push_str(&format!(" {r} {} {}", w.re, w.im));
-            }
-            writeln!(out, "{line}")?;
-        }
-        let w = self.complex_value(e.weight);
-        let root_ref = format_ref(e.is_terminal(), e.is_zero(), e.to_mapped(&id_map));
-        writeln!(out, "root {root_ref} {} {}", w.re, w.im)?;
-        Ok(())
+    pub fn write_matrix<W: Write>(&self, e: MatEdge, out: W) -> Result<(), SerializeError> {
+        self.write_dd(MATRIX_HEADER, e, out)
     }
 
     /// Reads an operator diagram written by [`Self::write_matrix`].
@@ -282,94 +276,19 @@ impl DdPackage {
     /// [`SerializeError::Parse`] for malformed input, [`SerializeError::Io`]
     /// for read failures.
     pub fn read_matrix<R: BufRead>(&mut self, input: R) -> Result<MatEdge, SerializeError> {
-        let mut lines = input.lines().enumerate();
-        let (num, header) = lines
-            .next()
-            .ok_or_else(|| parse_err(1, "empty input"))?;
-        let header = header?;
-        if header.trim() != "qdd-matrix v1" {
-            return Err(parse_err(num + 1, "expected header `qdd-matrix v1`"));
-        }
-        let mut nodes: FxHashMap<u32, MatEdge> = FxHashMap::default();
-        let mut root: Option<MatEdge> = None;
-        for (idx, line) in lines {
-            let lineno = idx + 1;
-            let line = line?;
-            let tokens: Vec<&str> = line.split_whitespace().collect();
-            match tokens.as_slice() {
-                [] => continue,
-                ["levels", _] => continue,
-                ["node", id, var, rest @ ..] if rest.len() == 12 => {
-                    let id: u32 = id
-                        .parse()
-                        .map_err(|_| parse_err(lineno, "bad node id"))?;
-                    let var: u8 = var
-                        .parse()
-                        .map_err(|_| parse_err(lineno, "bad variable"))?;
-                    let mut children = [MatEdge::ZERO; 4];
-                    for (k, chunk) in rest.chunks(3).enumerate() {
-                        children[k] = self.resolve_mat_child(chunk, &nodes, lineno)?;
-                    }
-                    let edge = self.make_mat_node(var, children);
-                    nodes.insert(id, edge);
-                }
-                ["root", rest @ ..] if rest.len() == 3 => {
-                    root = Some(self.resolve_mat_child(rest, &nodes, lineno)?);
-                }
-                _ => return Err(parse_err(lineno, format!("unrecognized line `{line}`"))),
-            }
-        }
-        root.ok_or_else(|| parse_err(0, "missing root line"))
-    }
-
-    fn resolve_mat_child(
-        &mut self,
-        chunk: &[&str],
-        nodes: &FxHashMap<u32, MatEdge>,
-        lineno: usize,
-    ) -> Result<MatEdge, SerializeError> {
-        let re: f64 = chunk[1]
-            .parse()
-            .map_err(|_| parse_err(lineno, "bad real part"))?;
-        let im: f64 = chunk[2]
-            .parse()
-            .map_err(|_| parse_err(lineno, "bad imaginary part"))?;
-        let weight = Complex::new(re, im);
-        if weight.is_non_finite() {
-            return Err(parse_err(lineno, "non-finite weight"));
-        }
-        match parse_ref(chunk[0], lineno)? {
-            Ref::Zero => Ok(MatEdge::ZERO),
-            Ref::Terminal => Ok(MatEdge::terminal(self.intern(weight))),
-            Ref::Node(id) => {
-                let base = nodes
-                    .get(&id)
-                    .copied()
-                    .ok_or_else(|| parse_err(lineno, format!("forward reference to node {id}")))?;
-                let w = self.intern(weight);
-                let w = self.ctable.mul(w, base.weight);
-                Ok(if w.is_zero() { MatEdge::ZERO } else { MatEdge::new(base.node, w) })
-            }
-        }
+        self.read_dd(MATRIX_HEADER, input)
     }
 }
+
+const VECTOR_HEADER: &str = "qdd-vector v1";
+const MATRIX_HEADER: &str = "qdd-matrix v1";
 
 /// Helper: map an edge's target through the serialization id map.
 trait ToMapped {
     fn to_mapped(&self, map: &FxHashMap<u32, u32>) -> Option<u32>;
 }
 
-impl ToMapped for VecEdge {
-    fn to_mapped(&self, map: &FxHashMap<u32, u32>) -> Option<u32> {
-        if self.is_terminal() {
-            None
-        } else {
-            map.get(&self.node.raw()).copied()
-        }
-    }
-}
-
-impl ToMapped for MatEdge {
+impl<const N: usize> ToMapped for Edge<N> {
     fn to_mapped(&self, map: &FxHashMap<u32, u32>) -> Option<u32> {
         if self.is_terminal() {
             None

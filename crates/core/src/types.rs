@@ -1,4 +1,12 @@
 //! Core identifier and edge types.
+//!
+//! Vector and matrix diagrams share one generic representation: a node with
+//! `N` successor edges, where `N = 2` for state vectors (qubit in `|0⟩` /
+//! `|1⟩`) and `N = 4` for operators (one successor per `U_{ij}` block).
+//! [`NodeId`] and [`Edge`] are generic over that arity; the const parameter
+//! keeps the two diagram kinds **nominally distinct types** — a `VecEdge`
+//! cannot be passed where a `MatEdge` is expected — while letting the store,
+//! refcounting, GC and traversal code exist exactly once.
 
 use qdd_complex::{ComplexIdx, C_ONE, C_ZERO};
 
@@ -9,133 +17,120 @@ use qdd_complex::{ComplexIdx, C_ONE, C_ZERO};
 /// labelled `q` has children labelled `q-1` (or zero-stub / terminal edges).
 pub type Qubit = u8;
 
-macro_rules! node_id {
-    ($(#[$doc:meta])* $name:ident) => {
-        $(#[$doc])*
-        #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        pub struct $name(u32);
-
-        impl $name {
-            /// The sentinel id of the shared terminal node.
-            pub const TERMINAL: $name = $name(u32::MAX);
-
-            /// Wraps a raw arena slot.
-            #[inline]
-            pub(crate) fn from_index(i: usize) -> Self {
-                debug_assert!(i < u32::MAX as usize);
-                $name(i as u32)
-            }
-
-            /// The raw arena slot.
-            ///
-            /// # Panics
-            ///
-            /// Panics if called on [`Self::TERMINAL`].
-            #[inline]
-            pub(crate) fn index(self) -> usize {
-                debug_assert!(self != Self::TERMINAL, "terminal has no arena slot");
-                self.0 as usize
-            }
-
-            /// Returns `true` for the terminal sentinel.
-            #[inline]
-            pub fn is_terminal(self) -> bool {
-                self == Self::TERMINAL
-            }
-
-            /// The raw value, for diagnostics and visualization keys.
-            #[inline]
-            pub fn raw(self) -> u32 {
-                self.0
-            }
-        }
-    };
-}
-
-node_id! {
-    /// Identifier of a vector-DD node inside a [`DdPackage`](crate::DdPackage).
-    VNodeId
-}
-
-node_id! {
-    /// Identifier of a matrix-DD node inside a [`DdPackage`](crate::DdPackage).
-    MNodeId
-}
-
-/// An edge of a vector decision diagram: a target node plus an interned
-/// complex weight.
+/// Identifier of a decision-diagram node with `N` successors inside a
+/// [`DdPackage`](crate::DdPackage) arena.
 ///
-/// The all-zero sub-vector ("0-stub" in the paper) is the edge with weight
+/// Use the [`VNodeId`] / [`MNodeId`] aliases in application code.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId<const N: usize>(u32);
+
+impl<const N: usize> NodeId<N> {
+    /// The sentinel id of the shared terminal node.
+    pub const TERMINAL: NodeId<N> = NodeId(u32::MAX);
+
+    /// Wraps a raw arena slot.
+    #[inline]
+    pub(crate) fn from_index(i: usize) -> Self {
+        debug_assert!(i < u32::MAX as usize);
+        NodeId(i as u32)
+    }
+
+    /// The raw arena slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Self::TERMINAL`].
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        debug_assert!(self != Self::TERMINAL, "terminal has no arena slot");
+        self.0 as usize
+    }
+
+    /// Returns `true` for the terminal sentinel.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self == Self::TERMINAL
+    }
+
+    /// The raw value, for diagnostics and visualization keys.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Identifier of a vector-DD node inside a [`DdPackage`](crate::DdPackage).
+pub type VNodeId = NodeId<2>;
+
+/// Identifier of a matrix-DD node inside a [`DdPackage`](crate::DdPackage).
+pub type MNodeId = NodeId<4>;
+
+/// An edge of a decision diagram with `N`-ary nodes: a target node plus an
+/// interned complex weight.
+///
+/// The all-zero sub-diagram ("0-stub" in the paper) is the edge with weight
 /// zero pointing at the terminal; the invariant *weight = 0 ⇒ node =
 /// terminal* is maintained by every constructor and operation.
+///
+/// Use the [`VecEdge`] / [`MatEdge`] aliases in application code.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct VecEdge {
-    /// Target node (or [`VNodeId::TERMINAL`]).
-    pub node: VNodeId,
+pub struct Edge<const N: usize> {
+    /// Target node (or [`NodeId::TERMINAL`]).
+    pub node: NodeId<N>,
     /// Interned edge weight.
     pub weight: ComplexIdx,
 }
 
-/// An edge of a matrix decision diagram.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct MatEdge {
-    /// Target node (or [`MNodeId::TERMINAL`]).
-    pub node: MNodeId,
-    /// Interned edge weight.
-    pub weight: ComplexIdx,
-}
+impl<const N: usize> Edge<N> {
+    /// The zero edge (0-stub): terminal with weight `0`.
+    pub const ZERO: Edge<N> = Edge {
+        node: NodeId::TERMINAL,
+        weight: C_ZERO,
+    };
 
-macro_rules! edge_impl {
-    ($edge:ident, $id:ident) => {
-        impl $edge {
-            /// The zero edge (0-stub): terminal with weight `0`.
-            pub const ZERO: $edge = $edge {
-                node: $id::TERMINAL,
-                weight: C_ZERO,
-            };
+    /// The unit terminal edge: the scalar `1`.
+    pub const ONE: Edge<N> = Edge {
+        node: NodeId::TERMINAL,
+        weight: C_ONE,
+    };
 
-            /// The unit terminal edge: the scalar `1`.
-            pub const ONE: $edge = $edge {
-                node: $id::TERMINAL,
-                weight: C_ONE,
-            };
+    /// Creates an edge.
+    #[inline]
+    pub fn new(node: NodeId<N>, weight: ComplexIdx) -> Self {
+        Edge { node, weight }
+    }
 
-            /// Creates an edge.
-            #[inline]
-            pub fn new(node: $id, weight: ComplexIdx) -> Self {
-                $edge { node, weight }
-            }
-
-            /// A terminal edge carrying `weight`.
-            #[inline]
-            pub fn terminal(weight: ComplexIdx) -> Self {
-                if weight.is_zero() {
-                    Self::ZERO
-                } else {
-                    $edge {
-                        node: $id::TERMINAL,
-                        weight,
-                    }
-                }
-            }
-
-            /// Returns `true` if this is the zero edge.
-            #[inline]
-            pub fn is_zero(self) -> bool {
-                self.weight.is_zero()
-            }
-
-            /// Returns `true` if the edge points at the terminal node.
-            #[inline]
-            pub fn is_terminal(self) -> bool {
-                self.node.is_terminal()
+    /// A terminal edge carrying `weight`.
+    #[inline]
+    pub fn terminal(weight: ComplexIdx) -> Self {
+        if weight.is_zero() {
+            Self::ZERO
+        } else {
+            Edge {
+                node: NodeId::TERMINAL,
+                weight,
             }
         }
-    };
+    }
+
+    /// Returns `true` if this is the zero edge.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.weight.is_zero()
+    }
+
+    /// Returns `true` if the edge points at the terminal node.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        self.node.is_terminal()
+    }
 }
 
-edge_impl!(VecEdge, VNodeId);
-edge_impl!(MatEdge, MNodeId);
+/// An edge of a vector decision diagram (2 successors per node).
+pub type VecEdge = Edge<2>;
+
+/// An edge of a matrix decision diagram (4 successors per node).
+pub type MatEdge = Edge<4>;
 
 #[cfg(test)]
 mod tests {

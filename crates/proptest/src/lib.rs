@@ -3,9 +3,9 @@
 //! The build environment has no registry access, so the workspace vendors the
 //! slice of proptest's API its property tests use: the [`strategy::Strategy`]
 //! trait with `prop_map`/`prop_filter`, range / tuple / [`strategy::Just`] /
-//! [`collection::vec`] strategies, the [`prop_oneof!`] union, the
+//! [`collection::vec`] strategies, the `prop_oneof!` union, the
 //! [`proptest!`] test macro with `#![proptest_config(..)]`, and the
-//! [`prop_assert!`] family.
+//! `prop_assert!` family.
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
@@ -87,7 +87,7 @@ pub mod strategy {
         }
     }
 
-    /// A boxed strategy, used by [`prop_oneof!`] to erase option types.
+    /// A boxed strategy, used by `prop_oneof!` to erase option types.
     pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
 
     impl<T> Strategy for BoxedStrategy<T> {
@@ -102,7 +102,7 @@ pub mod strategy {
         Box::new(s)
     }
 
-    /// Uniform choice between several strategies ([`prop_oneof!`]).
+    /// Uniform choice between several strategies (`prop_oneof!`).
     pub struct Union<T> {
         options: Vec<BoxedStrategy<T>>,
     }
@@ -179,7 +179,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact size or a half-open range.
+    /// Length specification for [`vec()`]: an exact size or a half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
@@ -245,7 +245,7 @@ pub mod test_runner {
         }
     }
 
-    /// A failed property within a test case; created by [`prop_assert!`].
+    /// A failed property within a test case; created by `prop_assert!`.
     #[derive(Clone, Debug)]
     pub struct TestCaseError(String);
 
@@ -327,7 +327,7 @@ macro_rules! prop_assert {
     };
 }
 
-/// Equality assertion counterpart of [`prop_assert!`].
+/// Equality assertion counterpart of `prop_assert!`.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
@@ -342,7 +342,7 @@ macro_rules! prop_assert_eq {
     }};
 }
 
-/// Inequality assertion counterpart of [`prop_assert!`].
+/// Inequality assertion counterpart of `prop_assert!`.
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{

@@ -39,7 +39,7 @@ impl Default for EquivalenceChecker {
 
 impl EquivalenceChecker {
     /// Creates a checker with a fresh, unlimited package (auto-GC at
-    /// [`DEFAULT_GC_THRESHOLD`] live nodes).
+    /// `DEFAULT_GC_THRESHOLD` live nodes).
     pub fn new() -> Self {
         Self::with_config(PackageConfig {
             limits: Limits {

@@ -1,8 +1,7 @@
 //! Renderer-independent graph extraction from decision diagrams.
 
-use qdd_complex::{Complex, FxHashSet};
-use qdd_core::{DdPackage, MatEdge, VecEdge};
-use std::collections::VecDeque;
+use qdd_complex::Complex;
+use qdd_core::{DdPackage, Edge, MatEdge, Traversable, VecEdge};
 
 /// Whether the graph came from a state (2 successors) or an operator
 /// (4 successors) diagram.
@@ -69,70 +68,33 @@ pub struct DdGraph {
 impl DdGraph {
     /// Extracts the graph of a state diagram.
     pub fn from_vector(dd: &DdPackage, e: VecEdge) -> Self {
-        let mut graph = DdGraph {
-            kind: NodeKind::Vector,
-            root_weight: dd.complex_value(e.weight),
-            root: if e.is_terminal() { None } else { Some(e.node.raw()) },
-            nodes: Vec::new(),
-            edges: Vec::new(),
-            num_levels: dd.vec_var(e).map_or(0, |v| v as usize + 1),
-        };
-        if e.is_terminal() {
-            return graph;
-        }
-        let mut seen: FxHashSet<u32> = FxHashSet::default();
-        let mut queue = VecDeque::new();
-        queue.push_back(e.node);
-        seen.insert(e.node.raw());
-        while let Some(id) = queue.pop_front() {
-            let node = dd.vnode(id);
-            let mut zero_mask = 0u8;
-            for (slot, child) in node.children.iter().enumerate() {
-                if child.is_zero() {
-                    zero_mask |= 1 << slot;
-                }
-                graph.edges.push(GraphEdge {
-                    from: id.raw(),
-                    slot: slot as u8,
-                    to: if child.is_terminal() {
-                        None
-                    } else {
-                        Some(child.node.raw())
-                    },
-                    weight: dd.complex_value(child.weight),
-                });
-                if !child.is_terminal() && seen.insert(child.node.raw()) {
-                    queue.push_back(child.node);
-                }
-            }
-            graph.nodes.push(GraphNode {
-                key: id.raw(),
-                var: node.var,
-                zero_mask,
-            });
-        }
-        graph
+        Self::extract(dd, e, NodeKind::Vector)
     }
 
     /// Extracts the graph of an operator diagram.
     pub fn from_matrix(dd: &DdPackage, e: MatEdge) -> Self {
+        Self::extract(dd, e, NodeKind::Matrix)
+    }
+
+    /// Arity-generic extraction: one BFS (top-down, left-to-right — the
+    /// order renderers lay nodes out in) over the shared traversal layer.
+    fn extract<const N: usize>(dd: &DdPackage, e: Edge<N>, kind: NodeKind) -> Self
+    where
+        DdPackage: Traversable<N>,
+    {
         let mut graph = DdGraph {
-            kind: NodeKind::Matrix,
+            kind,
             root_weight: dd.complex_value(e.weight),
             root: if e.is_terminal() { None } else { Some(e.node.raw()) },
             nodes: Vec::new(),
             edges: Vec::new(),
-            num_levels: dd.mat_var(e).map_or(0, |v| v as usize + 1),
+            num_levels: if e.is_terminal() {
+                0
+            } else {
+                dd.node(e.node).var as usize + 1
+            },
         };
-        if e.is_terminal() {
-            return graph;
-        }
-        let mut seen: FxHashSet<u32> = FxHashSet::default();
-        let mut queue = VecDeque::new();
-        queue.push_back(e.node);
-        seen.insert(e.node.raw());
-        while let Some(id) = queue.pop_front() {
-            let node = dd.mnode(id);
+        dd.visit_bfs(e, |id, node| {
             let mut zero_mask = 0u8;
             for (slot, child) in node.children.iter().enumerate() {
                 if child.is_zero() {
@@ -148,16 +110,13 @@ impl DdGraph {
                     },
                     weight: dd.complex_value(child.weight),
                 });
-                if !child.is_terminal() && seen.insert(child.node.raw()) {
-                    queue.push_back(child.node);
-                }
             }
             graph.nodes.push(GraphNode {
                 key: id.raw(),
                 var: node.var,
                 zero_mask,
             });
-        }
+        });
         graph
     }
 

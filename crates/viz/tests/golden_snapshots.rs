@@ -1,0 +1,74 @@
+//! Golden-snapshot tests for the DOT and SVG renderers.
+//!
+//! The rendered output of a 3-qubit GHZ state is compared byte-for-byte
+//! against committed snapshots in `tests/golden/`. Extraction order (the
+//! shared BFS walker), normalization, and renderer formatting are all
+//! pinned by these files: an accidental change to any of them shows up as
+//! a readable text diff.
+//!
+//! To regenerate after an *intentional* renderer change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qdd-viz --test golden_snapshots
+//! ```
+
+use qdd_core::{gates, Control, DdPackage, VecEdge};
+use qdd_viz::style::VizStyle;
+use std::path::PathBuf;
+
+/// |GHZ₃⟩ = (|000⟩ + |111⟩)/√2 — H on the top qubit, then a CX ladder.
+fn ghz3(dd: &mut DdPackage) -> VecEdge {
+    let z = dd.zero_state(3).unwrap();
+    let s = dd.apply_gate(z, gates::H, &[], 2).unwrap();
+    let s = dd.apply_gate(s, gates::X, &[Control::pos(2)], 1).unwrap();
+    dd.apply_gate(s, gates::X, &[Control::pos(1)], 0).unwrap()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        rendered,
+        want,
+        "rendered {name} differs from golden snapshot; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn ghz3_dot_matches_golden() {
+    let mut dd = DdPackage::new();
+    let ghz = ghz3(&mut dd);
+    let dot = qdd_viz::dot::vector_to_dot(&dd, ghz, &VizStyle::classic());
+    check_golden("ghz3_classic.dot", &dot);
+}
+
+#[test]
+fn ghz3_svg_matches_golden() {
+    let mut dd = DdPackage::new();
+    let ghz = ghz3(&mut dd);
+    let svg = qdd_viz::svg::vector_to_svg(&dd, ghz, &VizStyle::colored());
+    check_golden("ghz3_colored.svg", &svg);
+}
+
+/// The snapshots are only meaningful if the state is what we think it is.
+#[test]
+fn ghz3_sanity() {
+    let mut dd = DdPackage::new();
+    let ghz = ghz3(&mut dd);
+    assert_eq!(dd.nonzero_basis_states(ghz), vec![0b000, 0b111]);
+    let amps = dd.to_dense_vector(ghz, 3);
+    assert!((amps[0].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    assert!((amps[7].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare two bench_suite JSON files and warn on wall-time regressions.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Workloads are matched on (family, phase, n). A regression is a current
+wall time more than ``--threshold`` percent (default 15) above baseline.
+The report is advisory: the exit code is always 0, because shared-runner
+timings are too noisy to gate a merge on. The job log (and any wrapping
+`::warning::` annotations) is the product.
+"""
+
+import argparse
+import json
+import sys
+
+# Workloads faster than this are dominated by timer noise; percentage
+# comparisons on them are meaningless.
+MIN_MEANINGFUL_MS = 1.0
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        (w["family"], w["phase"], w["n"]): w
+        for w in data.get("workloads", [])
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression warning threshold in percent")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("bench_diff: no common workloads; nothing to compare")
+        return 0
+
+    regressions = []
+    print(f"{'workload':<28} {'base ms':>10} {'cur ms':>10} {'delta':>8}")
+    for key in shared:
+        b, c = base[key]["wall_ms"], cur[key]["wall_ms"]
+        name = f"{key[0]}/{key[1]}/n={key[2]}"
+        if b <= 0:
+            print(f"{name:<28} {b:>10.3f} {c:>10.3f}     n/a")
+            continue
+        delta = (c - b) / b * 100.0
+        flag = ""
+        if delta > args.threshold and max(b, c) >= MIN_MEANINGFUL_MS:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, b, c, delta))
+        print(f"{name:<28} {b:>10.3f} {c:>10.3f} {delta:>+7.1f}%{flag}")
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print(f"bench_diff: {len(missing)} baseline workload(s) missing "
+              f"from current run (e.g. a --small subset); skipped")
+
+    if regressions:
+        print()
+        for name, b, c, delta in regressions:
+            # `::warning::` renders as an annotation on GitHub Actions and
+            # is harmless noise anywhere else.
+            print(f"::warning::bench regression {name}: "
+                  f"{b:.3f} ms -> {c:.3f} ms ({delta:+.1f}%, "
+                  f"threshold {args.threshold:.0f}%)")
+    else:
+        print(f"\nbench_diff: no regressions above {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
