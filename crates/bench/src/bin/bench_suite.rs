@@ -38,6 +38,10 @@ struct Record {
     /// Gate-DD cache counters (0/0 on package versions without the cache).
     gate_cache_lookups: u64,
     gate_cache_hits: u64,
+    /// Telemetry snapshot of one extra untimed repetition (span timings,
+    /// GC pauses, table hit rates) — the *why* behind `wall_ms` moves.
+    /// Timed repetitions always run with telemetry disabled.
+    metrics: String,
 }
 
 impl Record {
@@ -72,8 +76,32 @@ impl Record {
             Self::hit_rate(self.gate_cache_lookups, self.gate_cache_hits),
             self.complex_entries,
         );
+        // Splice in the (already serialized) telemetry snapshot.
+        s.truncate(s.len() - 1);
+        let _ = write!(s, ", \"metrics\": {}}}", compact(&self.metrics));
         s
     }
+}
+
+/// Flattens the pretty-printed snapshot JSON onto one line so each record
+/// stays a single row in the benchmark file. Safe textually: metric names
+/// contain no whitespace or escapes, so collapsing indentation never
+/// touches string contents.
+fn compact(json: &str) -> String {
+    json.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Runs `work` once with telemetry enabled and returns the serialized
+/// metrics snapshot. Kept outside the timing loop: the telemetry rep is
+/// diagnostic, the timed reps measure the engine with recording off.
+fn collect_metrics(work: impl FnOnce()) -> String {
+    qdd_telemetry::set_enabled(true);
+    qdd_telemetry::reset();
+    work();
+    let snapshot = qdd_telemetry::snapshot();
+    let _ = qdd_telemetry::drain_events();
+    qdd_telemetry::set_enabled(false);
+    snapshot.to_json()
 }
 
 /// Simulation widths per family: wide enough that the DD work dominates
@@ -132,6 +160,10 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
         peak = sim.stats().peak_nodes;
         stats = sim.package().stats();
     }
+    let metrics = collect_metrics(|| {
+        let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+        sim.run().expect("simulation");
+    });
     Record {
         family: family.name(),
         phase: "sim",
@@ -144,6 +176,7 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
         complex_entries: stats.complex_entries,
         gate_cache_lookups: stats.gate_cache_lookups,
         gate_cache_hits: stats.gate_cache_hits,
+        metrics,
     }
 }
 
@@ -164,6 +197,14 @@ fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
         peak = report.peak_nodes;
         stats = checker.package().stats();
     }
+    let metrics = collect_metrics(|| {
+        let mut checker = EquivalenceChecker::new();
+        let report = checker
+            .check(&circuit, &circuit, Strategy::Construction)
+            .expect("verification");
+        assert!(report.result.is_equivalent(), "self-check must pass");
+        checker.package().publish_telemetry();
+    });
     Record {
         family: family.name(),
         phase: "verify",
@@ -176,6 +217,7 @@ fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
         complex_entries: stats.complex_entries,
         gate_cache_lookups: stats.gate_cache_lookups,
         gate_cache_hits: stats.gate_cache_hits,
+        metrics,
     }
 }
 

@@ -38,6 +38,7 @@ impl OptimizeStats {
 /// across a barrier — matching their breakpoint role in the paper's tool).
 /// Measurements, resets, and conditioned gates are fences as well.
 pub fn optimize(qc: &QuantumCircuit) -> (QuantumCircuit, OptimizeStats) {
+    let mut span = qdd_telemetry::span("circuit.optimize");
     let mut stats = OptimizeStats::default();
     let mut ops: Vec<Operation> = qc.ops().to_vec();
     loop {
@@ -57,6 +58,11 @@ pub fn optimize(qc: &QuantumCircuit) -> (QuantumCircuit, OptimizeStats) {
         out.append(op);
     }
     out.add_global_phase(qc.global_phase());
+    span.field("passes", stats.passes);
+    span.field("cancelled_gates", stats.cancelled_gates);
+    span.field("merged_phases", stats.merged_phases);
+    span.field("dropped_identities", stats.dropped_identities);
+    span.field("ops_out", out.len());
     (out, stats)
 }
 

@@ -23,6 +23,8 @@ use std::f64::consts::FRAC_PI_2;
 /// Returns [`CircuitError::Parse`] with the offending line for syntax
 /// errors, undeclared registers, arity mismatches, and out-of-range indices.
 pub fn parse(src: &str) -> Result<QuantumCircuit, CircuitError> {
+    let mut span = qdd_telemetry::span("circuit.parse_qasm");
+    span.field("bytes", src.len());
     let tokens = tokenize(src)?;
     let mut parser = Parser {
         tokens,

@@ -46,6 +46,8 @@ use std::collections::HashMap;
 /// Returns [`CircuitError::Parse`] for malformed headers, unknown gates,
 /// arity mismatches, and undeclared variables.
 pub fn parse(src: &str) -> Result<QuantumCircuit, CircuitError> {
+    let mut span = qdd_telemetry::span("circuit.parse_real");
+    span.field("bytes", src.len());
     let mut numvars: Option<usize> = None;
     let mut var_index: HashMap<String, usize> = HashMap::new();
     let mut ops: Vec<Operation> = Vec::new();

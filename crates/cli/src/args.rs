@@ -12,6 +12,7 @@ pub struct Args {
 const VALUE_FLAGS: &[&str] = &[
     "--seed", "--shots", "--style", "--svg", "--dot", "--html", "--strategy",
     "--stimuli", "-o", "--threshold", "--node-limit", "--timeout-ms",
+    "--metrics-out", "--trace-out",
 ];
 
 impl Args {

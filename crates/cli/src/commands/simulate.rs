@@ -20,8 +20,14 @@ OPTIONS:
   --node-limit N    cap live DD nodes; under pressure the run GCs, then
                     degrades to dense simulation (≤ 24 qubits), then fails
   --timeout-ms N    wall-clock budget for the run
-  --stats           print memoization statistics (per-table hit rates,
-                    gate-DD cache, complex-table interning)
+  --stats           print the full engine statistics snapshot (per-table
+                    hit rates, gate-DD cache, complex-table interning,
+                    GC activity, peak nodes)
+  --stats-json      print the same snapshot as one JSON object on stdout
+  --profile         print a per-phase wall-time profile table on stderr
+  --metrics-out P   write the telemetry metrics snapshot as JSON to P
+  --trace-out P     write the telemetry event stream to P (Chrome
+                    trace_event JSON for .json paths, JSONL otherwise)
   --svg PATH        write the final diagram as SVG
   --dot PATH        write the final diagram as Graphviz DOT
   --html PATH       write a step-by-step HTML explorer of the whole run
@@ -32,7 +38,8 @@ EXIT STATUS: 0 on success, 1 on bad input, 3 when a resource budget
 
 const FLAGS: &[&str] = &[
     "--seed", "--shots", "--state", "--threshold", "--node-limit", "--timeout-ms",
-    "--stats", "--svg", "--dot", "--html", "--style",
+    "--stats", "--stats-json", "--svg", "--dot", "--html", "--style",
+    "--profile", "--metrics-out", "--trace-out",
 ];
 
 pub fn run(argv: &[String]) -> Result<(), CmdError> {
@@ -42,6 +49,8 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             "expected exactly one circuit file\n\n{HELP}"
         )));
     };
+    // Enable recording before the circuit loads so parse spans are captured.
+    let telemetry_on = crate::telemetry::start(&args);
     let circuit = load_circuit(path)?;
     let seed: u64 = args.number("--seed", 1)?;
     let shots: u64 = args.number("--shots", 0)?;
@@ -89,7 +98,12 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         ..qdd_core::PackageConfig::default()
     };
     let mut sim = qdd_sim::DdSimulator::with_config(circuit.clone(), seed, config);
-    sim.run().map_err(|e| CmdError::from_sim(&e))?;
+    if let Err(e) = sim.run() {
+        // Still write the requested telemetry outputs: the trace of a run
+        // that hit its budget is exactly what a post-mortem needs.
+        let _ = crate::telemetry::finish(&args, telemetry_on);
+        return Err(CmdError::from_sim(&e));
+    }
     if sim.degraded_to_dense() {
         println!(
             "node limit hit: degraded to dense simulation after {} operations \
@@ -112,7 +126,12 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
     }
     if args.has("--stats") {
         let pkg = sim.package().stats();
-        println!("memoization statistics:");
+        let ct = sim.package().complex_table_stats();
+        println!("engine statistics:");
+        println!(
+            "  nodes: {} vector + {} matrix alive, peak live {}",
+            pkg.vnodes_alive, pkg.mnodes_alive, pkg.peak_live_nodes
+        );
         println!("  compute tables ({} lookups total):", pkg.cache_lookups);
         for t in sim.package().compute_table_stats() {
             if t.lookups == 0 {
@@ -135,13 +154,29 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             "  gate-DD cache: {} lookups, {} hits ({gate_rate:.1}%)",
             pkg.gate_cache_lookups, pkg.gate_cache_hits
         );
-        println!("  complex table: {} interned values", pkg.complex_entries);
+        let complex_rate = if ct.lookups == 0 {
+            0.0
+        } else {
+            100.0 * ct.hits as f64 / ct.lookups as f64
+        };
+        println!(
+            "  complex table: {} interned values, {} lookups ({complex_rate:.1}% hit, \
+             {} from the front cache), {} reclaimed by GC",
+            ct.entries, ct.lookups, ct.front_hits, ct.reclaimed
+        );
+        println!(
+            "  GC: {} runs ({} under pressure)",
+            pkg.gc_runs, pkg.gc_pressure_runs
+        );
         if pkg.compute_evictions > 0 || pkg.compute_clears > 0 {
             println!(
                 "  pressure: {} entries dropped by collisions, {} table clears",
                 pkg.compute_evictions, pkg.compute_clears
             );
         }
+    }
+    if args.has("--stats-json") {
+        println!("{}", stats_json(&circuit, &sim));
     }
     if !sim.classical_bits().is_empty() {
         let bits: String = sim
@@ -201,5 +236,84 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         std::fs::write(dot_path, dot).map_err(|e| format!("writing `{dot_path}`: {e}"))?;
         println!("wrote {dot_path}");
     }
+    crate::telemetry::finish(&args, telemetry_on)?;
     Ok(())
+}
+
+/// Serializes the full post-run statistics snapshot (`--stats-json`) as one
+/// JSON object: circuit shape, simulator run stats, package counters,
+/// per-compute-table rates, and complex-table health.
+fn stats_json(circuit: &qdd_circuit::QuantumCircuit, sim: &qdd_sim::DdSimulator) -> String {
+    use std::fmt::Write as _;
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let pkg = sim.package().stats();
+    let ct = sim.package().complex_table_stats();
+    let run = sim.stats();
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"qdd-stats-v1\"");
+    let _ = write!(
+        out,
+        ",\"circuit\":{{\"name\":\"{}\",\"qubits\":{},\"ops\":{},\"depth\":{}}}",
+        esc(circuit.name()),
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.depth()
+    );
+    let _ = write!(
+        out,
+        ",\"run\":{{\"applied_ops\":{},\"peak_nodes\":{},\"final_nodes\":{},\
+         \"dense_fallback\":{},\"gc_pressure_runs\":{}}}",
+        run.applied_ops,
+        run.peak_nodes,
+        sim.node_count(),
+        run.dense_fallback,
+        run.gc_pressure_runs
+    );
+    let _ = write!(
+        out,
+        ",\"package\":{{\"vnodes_alive\":{},\"mnodes_alive\":{},\"peak_live_nodes\":{},\
+         \"cache_lookups\":{},\"cache_hits\":{},\"cache_entries\":{},\"gc_runs\":{},\
+         \"compute_evictions\":{},\"compute_clears\":{},\
+         \"gate_cache_lookups\":{},\"gate_cache_hits\":{}}}",
+        pkg.vnodes_alive,
+        pkg.mnodes_alive,
+        pkg.peak_live_nodes,
+        pkg.cache_lookups,
+        pkg.cache_hits,
+        pkg.cache_entries,
+        pkg.gc_runs,
+        pkg.compute_evictions,
+        pkg.compute_clears,
+        pkg.gate_cache_lookups,
+        pkg.gate_cache_hits
+    );
+    out.push_str(",\"compute_tables\":[");
+    for (i, t) in sim.package().compute_table_stats().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"lookups\":{},\"hits\":{},\"hit_rate\":{:.6},\
+             \"dropped\":{},\"clears\":{},\"entries\":{}}}",
+            t.name, t.lookups, t.hits, t.hit_rate(), t.dropped, t.clears, t.entries
+        );
+    }
+    out.push(']');
+    let _ = write!(
+        out,
+        ",\"complex_table\":{{\"entries\":{},\"lookups\":{},\"hits\":{},\
+         \"front_hits\":{},\"reclaimed\":{},\"approx_bytes\":{}}}}}",
+        ct.entries, ct.lookups, ct.hits, ct.front_hits, ct.reclaimed, ct.approx_bytes
+    );
+    out
 }

@@ -19,11 +19,18 @@ OPTIONS:
                    circuits and compare the outputs (default 0)
   --node-limit N   cap live DD nodes during the check
   --timeout-ms N   wall-clock budget for the check
+  --profile        print a per-phase wall-time profile table on stderr
+  --metrics-out P  write the telemetry metrics snapshot as JSON to P
+  --trace-out P    write the telemetry event stream to P (Chrome
+                   trace_event JSON for .json paths, JSONL otherwise)
 
 EXIT STATUS: 0 when equivalent (incl. up to global phase), 1 otherwise,
 3 when a resource budget (--node-limit, --timeout-ms) is exhausted.";
 
-const FLAGS: &[&str] = &["--strategy", "--stimuli", "--node-limit", "--timeout-ms"];
+const FLAGS: &[&str] = &[
+    "--strategy", "--stimuli", "--node-limit", "--timeout-ms",
+    "--profile", "--metrics-out", "--trace-out",
+];
 
 pub fn run(argv: &[String]) -> Result<(), CmdError> {
     let args = Args::parse(argv, FLAGS)?;
@@ -32,6 +39,8 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             "expected exactly two circuit files\n\n{HELP}"
         )));
     };
+    // Enable recording before the circuits load so parse spans are captured.
+    let telemetry_on = crate::telemetry::start(&args);
     let left = load_circuit(left_path)?;
     let right = load_circuit(right_path)?;
     let strategy = parse_strategy(args.value("--strategy"))?;
@@ -59,9 +68,17 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             ..qdd_core::PackageConfig::default()
         })
     };
-    let report = checker
-        .check(&left, &right, strategy)
-        .map_err(|e| CmdError::from_verify(&e))?;
+    let report = match checker.check(&left, &right, strategy) {
+        Ok(report) => report,
+        Err(e) => {
+            // Still write the requested telemetry outputs: the trace of a
+            // check that blew its budget is exactly what a post-mortem needs.
+            checker.package().publish_telemetry();
+            let _ = crate::telemetry::finish(&args, telemetry_on);
+            return Err(CmdError::from_verify(&e));
+        }
+    };
+    checker.package().publish_telemetry();
     println!("{report}");
     if let Some(cx) = report.counterexample {
         println!("counterexample: entry ({}, {}) deviates from the identity pattern", cx.row, cx.col);
@@ -81,6 +98,7 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         );
     }
 
+    crate::telemetry::finish(&args, telemetry_on)?;
     match report.result {
         Equivalence::NotEquivalent => {
             Err(CmdError::Input("circuits are NOT equivalent".to_string()))

@@ -14,6 +14,7 @@
 mod args;
 mod commands;
 mod load;
+mod telemetry;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,57 @@
+//! Shared handling of the telemetry flags (`--profile`, `--metrics-out`,
+//! `--trace-out`) for the subcommands that run the engine.
+
+use crate::args::Args;
+
+/// Turns recording on when any telemetry output was requested. Returns
+/// `true` if recording was enabled (callers pass it to [`finish`]).
+pub fn start(args: &Args) -> bool {
+    let wanted = args.has("--profile")
+        || args.value("--metrics-out").is_some()
+        || args.value("--trace-out").is_some();
+    if wanted {
+        qdd_telemetry::set_enabled(true);
+        qdd_telemetry::reset();
+    }
+    wanted
+}
+
+/// Writes the requested telemetry outputs: the metrics snapshot to
+/// `--metrics-out` (JSON), the event stream to `--trace-out` (Chrome
+/// `trace_event` JSON for `.json` paths, JSONL otherwise), and the
+/// per-phase profile table to stderr under `--profile`.
+///
+/// # Errors
+///
+/// Reports unwritable output paths.
+pub fn finish(args: &Args, enabled: bool) -> Result<(), String> {
+    if !enabled {
+        return Ok(());
+    }
+    let snapshot = qdd_telemetry::snapshot();
+    let events = qdd_telemetry::drain_events();
+    if let Some(path) = args.value("--metrics-out") {
+        std::fs::write(path, snapshot.to_json())
+            .map_err(|e| format!("writing `{path}`: {e}"))?;
+        eprintln!("wrote metrics snapshot to {path}");
+    }
+    if let Some(path) = args.value("--trace-out") {
+        let payload = if path.ends_with(".json") {
+            qdd_telemetry::sink::events_to_chrome_trace(&events)
+        } else {
+            qdd_telemetry::sink::events_to_jsonl(&events)
+        };
+        std::fs::write(path, payload).map_err(|e| format!("writing `{path}`: {e}"))?;
+        let dropped = snapshot.dropped_events;
+        if dropped > 0 {
+            eprintln!("wrote {} events to {path} ({dropped} dropped at the buffer cap)", events.len());
+        } else {
+            eprintln!("wrote {} events to {path}", events.len());
+        }
+    }
+    if args.has("--profile") {
+        eprint!("{}", qdd_telemetry::sink::render_profile(&snapshot));
+    }
+    qdd_telemetry::set_enabled(false);
+    Ok(())
+}

@@ -67,6 +67,9 @@ pub struct ComplexTableStats {
     /// Total value slots reclaimed by [`ComplexTable::retain_referenced`]
     /// over the table's lifetime.
     pub reclaimed: u64,
+    /// Lookups answered by the inline front cache alone (exact bit-pattern
+    /// repeats that skipped the grid probe); a subset of `hits`.
+    pub front_hits: u64,
 }
 
 /// One slot of the open-addressed grid index: the cell coordinates plus the
@@ -145,6 +148,7 @@ pub struct ComplexTable {
     lookups: u64,
     hits: u64,
     reclaimed: u64,
+    front_hits: u64,
 }
 
 impl ComplexTable {
@@ -174,6 +178,7 @@ impl ComplexTable {
             lookups: 0,
             hits: 0,
             reclaimed: 0,
+            front_hits: 0,
         };
         // Seed the two ubiquitous constants at fixed slots.
         let zero = table.insert(Complex::ZERO);
@@ -211,6 +216,7 @@ impl ComplexTable {
                 + self.cells.capacity() * std::mem::size_of::<(i64, i64)>()
                 + self.index.capacity() * std::mem::size_of::<IndexEntry>(),
             reclaimed: self.reclaimed,
+            front_hits: self.front_hits,
         }
     }
 
@@ -366,6 +372,7 @@ impl ComplexTable {
         let r = self.recent[rslot];
         if r.idx != EMPTY && r.re_bits == re_bits && r.im_bits == im_bits {
             self.hits += 1;
+            self.front_hits += 1;
             return ComplexIdx(r.idx);
         }
 

@@ -29,6 +29,7 @@ impl DdPackage {
     /// a configured budget runs out; the partial result is dropped (any
     /// nodes it created are unreferenced and reclaimed by the next GC).
     pub fn try_add_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        let _span = qdd_telemetry::span("core.add_vec");
         self.add_vec_go(a, b, 0)
     }
 
@@ -111,6 +112,7 @@ impl DdPackage {
     /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
     /// a configured budget runs out.
     pub fn try_add_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        let _span = qdd_telemetry::span("core.add_mat");
         self.add_mat_go(a, b, 0)
     }
 

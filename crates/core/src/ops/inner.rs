@@ -26,6 +26,7 @@ impl DdPackage {
     /// a configured budget runs out. Inner products allocate no DD nodes,
     /// so only the depth and deadline budgets apply.
     pub fn try_inner_product(&mut self, a: VecEdge, b: VecEdge) -> Result<Complex, DdError> {
+        let _span = qdd_telemetry::span("core.inner");
         if a.is_zero() || b.is_zero() {
             return Ok(Complex::ZERO);
         }

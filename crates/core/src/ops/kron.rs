@@ -30,6 +30,7 @@ impl DdPackage {
     /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
     /// a configured budget runs out.
     pub fn try_kron_vec(&mut self, a: VecEdge, b: VecEdge) -> Result<VecEdge, DdError> {
+        let _span = qdd_telemetry::span("core.kron_vec");
         self.kron_vec_go(a, b, 0)
     }
 
@@ -98,6 +99,7 @@ impl DdPackage {
     /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
     /// a configured budget runs out.
     pub fn try_kron_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        let _span = qdd_telemetry::span("core.kron_mat");
         self.kron_mat_go(a, b, 0)
     }
 

@@ -29,6 +29,7 @@ impl DdPackage {
     /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
     /// a configured budget runs out.
     pub fn try_mat_vec(&mut self, m: MatEdge, v: VecEdge) -> Result<VecEdge, DdError> {
+        let _span = qdd_telemetry::span("core.mat_vec");
         self.mat_vec_go(m, v, 0)
     }
 
@@ -110,6 +111,7 @@ impl DdPackage {
     /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
     /// a configured budget runs out.
     pub fn try_mat_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        let _span = qdd_telemetry::span("core.mat_mat");
         self.mat_mat_go(a, b, 0)
     }
 
@@ -187,6 +189,8 @@ impl DdPackage {
         controls: &[Control],
         target: usize,
     ) -> Result<VecEdge, DdError> {
+        let mut span = qdd_telemetry::span("core.apply_gate");
+        span.field("target", target);
         let n = match self.vec_var(state) {
             Some(v) => v as usize + 1,
             None => {

@@ -93,6 +93,7 @@ impl DdPackage {
         target: usize,
         n: usize,
     ) -> Result<MatEdge, DdError> {
+        let _span = qdd_telemetry::span("core.gate_dd");
         Self::check_qubits(n)?;
         if target >= n {
             return Err(DdError::QubitIndexOutOfRange {

@@ -28,6 +28,7 @@ impl DdPackage {
     /// additional roots (see [`Self::gc_under_pressure`] for the
     /// flush-everything variant).
     pub fn garbage_collect(&mut self) -> GcReport {
+        let mut span = qdd_telemetry::span("core.gc");
         self.gc_runs += 1;
 
         // Mark phase. For matrices the gate-DD and identity caches count
@@ -69,6 +70,16 @@ impl DdPackage {
         self.vstore.collect_live_weights(&mut keep);
         self.mstore.collect_live_weights(&mut keep);
         report.freed_cvalues = self.ctable.retain_referenced(|idx| keep.contains(&idx));
+        span.field("freed_vnodes", report.freed_vnodes);
+        span.field("freed_mnodes", report.freed_mnodes);
+        span.field("live_vnodes", report.live_vnodes);
+        span.field("live_mnodes", report.live_mnodes);
+        span.field("freed_cvalues", report.freed_cvalues);
+        qdd_telemetry::counter_add("core.gc.runs", 1);
+        qdd_telemetry::counter_add(
+            "core.gc.nodes_swept",
+            (report.freed_vnodes + report.freed_mnodes) as u64,
+        );
         report
     }
 
@@ -80,6 +91,9 @@ impl DdPackage {
     /// so callers implementing the degradation ladder (collect, retry, then
     /// fall back or fail) leave an audit trail.
     pub fn gc_under_pressure(&mut self) -> GcReport {
+        qdd_telemetry::emit("core.pressure_gc")
+            .field("live_before", self.live_node_estimate() as u64);
+        qdd_telemetry::counter_add("core.gc.pressure_runs", 1);
         self.governor.gc_pressure_runs += 1;
         self.gate_cache.clear();
         self.id_cache.truncate(1);

@@ -140,6 +140,78 @@ impl DdPackage {
         self.gate_hits
     }
 
+    /// Statistics of the complex-weight interning table (constant time).
+    pub fn complex_table_stats(&self) -> qdd_complex::ComplexTableStats {
+        self.ctable.stats()
+    }
+
+    /// Publishes the package's internal counters into the thread's telemetry
+    /// registry as gauges, so a metrics snapshot taken afterwards carries
+    /// node counts, per-table hit rates, gate-DD-cache stats, GC totals, and
+    /// complex-table health alongside the span timings. No-op (one branch)
+    /// when telemetry is disabled. Call once per reporting point — values
+    /// are absolute readings, not deltas.
+    pub fn publish_telemetry(&self) {
+        if !qdd_telemetry::enabled() {
+            return;
+        }
+        fn rate(hits: u64, lookups: u64) -> f64 {
+            if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            }
+        }
+        let s = self.stats();
+        qdd_telemetry::gauge_set("core.nodes.vec_alive", s.vnodes_alive as f64);
+        qdd_telemetry::gauge_set("core.nodes.mat_alive", s.mnodes_alive as f64);
+        qdd_telemetry::gauge_set("core.nodes.peak_live", s.peak_live_nodes as f64);
+        qdd_telemetry::gauge_set("core.compute.lookups", s.cache_lookups as f64);
+        qdd_telemetry::gauge_set("core.compute.hits", s.cache_hits as f64);
+        qdd_telemetry::gauge_set("core.compute.hit_rate", rate(s.cache_hits, s.cache_lookups));
+        qdd_telemetry::gauge_set("core.compute.evictions", s.compute_evictions as f64);
+        qdd_telemetry::gauge_set("core.compute.clears", s.compute_clears as f64);
+        qdd_telemetry::gauge_set("core.gate_cache.lookups", s.gate_cache_lookups as f64);
+        qdd_telemetry::gauge_set("core.gate_cache.hits", s.gate_cache_hits as f64);
+        qdd_telemetry::gauge_set(
+            "core.gate_cache.hit_rate",
+            rate(s.gate_cache_hits, s.gate_cache_lookups),
+        );
+        qdd_telemetry::gauge_set("core.gc.total_runs", s.gc_runs as f64);
+        qdd_telemetry::gauge_set("core.gc.total_pressure_runs", s.gc_pressure_runs as f64);
+
+        let ct = self.ctable.stats();
+        qdd_telemetry::gauge_set("core.complex.entries", ct.entries as f64);
+        qdd_telemetry::gauge_set("core.complex.lookups", ct.lookups as f64);
+        qdd_telemetry::gauge_set("core.complex.hits", ct.hits as f64);
+        qdd_telemetry::gauge_set("core.complex.hit_rate", rate(ct.hits, ct.lookups));
+        qdd_telemetry::gauge_set("core.complex.front_hits", ct.front_hits as f64);
+        qdd_telemetry::gauge_set("core.complex.reclaimed", ct.reclaimed as f64);
+        qdd_telemetry::gauge_set("core.complex.approx_bytes", ct.approx_bytes as f64);
+
+        // Static gauge names per compute table, in the reporting order of
+        // `compute_table_stats` (gauge keys must be `&'static str`).
+        const TABLE_KEYS: [(&str, &str, &str, &str); 9] = [
+            ("add-vec", "core.table.add_vec.lookups", "core.table.add_vec.hits", "core.table.add_vec.hit_rate"),
+            ("add-mat", "core.table.add_mat.lookups", "core.table.add_mat.hits", "core.table.add_mat.hit_rate"),
+            ("mat-vec", "core.table.mat_vec.lookups", "core.table.mat_vec.hits", "core.table.mat_vec.hit_rate"),
+            ("mat-mat", "core.table.mat_mat.lookups", "core.table.mat_mat.hits", "core.table.mat_mat.hit_rate"),
+            ("kron-vec", "core.table.kron_vec.lookups", "core.table.kron_vec.hits", "core.table.kron_vec.hit_rate"),
+            ("kron-mat", "core.table.kron_mat.lookups", "core.table.kron_mat.hits", "core.table.kron_mat.hit_rate"),
+            ("adjoint", "core.table.adjoint.lookups", "core.table.adjoint.hits", "core.table.adjoint.hit_rate"),
+            ("inner", "core.table.inner.lookups", "core.table.inner.hits", "core.table.inner.hit_rate"),
+            ("prob-one", "core.table.prob_one.lookups", "core.table.prob_one.hits", "core.table.prob_one.hit_rate"),
+        ];
+        for (t, (name, lookups_key, hits_key, rate_key)) in
+            self.compute_table_stats().iter().zip(TABLE_KEYS)
+        {
+            debug_assert_eq!(t.name, name, "table reporting order changed");
+            qdd_telemetry::gauge_set(lookups_key, t.lookups as f64);
+            qdd_telemetry::gauge_set(hits_key, t.hits as f64);
+            qdd_telemetry::gauge_set(rate_key, t.hit_rate());
+        }
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> PackageStats {
         PackageStats {

@@ -35,6 +35,17 @@ pub struct SimStats {
     pub dense_fallback: bool,
 }
 
+/// Stable label of an operation for telemetry events.
+fn op_name(op: &Operation) -> &'static str {
+    match op {
+        Operation::Barrier => "barrier",
+        Operation::Gate(g) => g.gate.name(),
+        Operation::Swap { .. } => "swap",
+        Operation::Measure { .. } => "measure",
+        Operation::Reset { .. } => "reset",
+    }
+}
+
 /// Simulates a [`QuantumCircuit`] by consecutive matrix–vector products on
 /// decision diagrams (paper Example 9), handling the tool's special
 /// operations — measurements collapse with seeded randomness, resets
@@ -188,6 +199,7 @@ impl DdSimulator {
     /// [`DdError::DeadlineExceeded`] / [`DdError::ResourceExhausted`] from
     /// the resource governor.
     pub fn run(&mut self) -> Result<VecEdge, SimError> {
+        let mut span = qdd_telemetry::span("sim.run");
         self.dd.arm_deadline();
         let mut outcome = Ok(());
         while self.cursor < self.circuit.len() {
@@ -197,6 +209,9 @@ impl DdSimulator {
             }
         }
         self.dd.disarm_deadline();
+        span.field("applied_ops", self.stats.applied_ops);
+        span.field("peak_nodes", self.stats.peak_nodes);
+        self.dd.publish_telemetry();
         outcome.map(|()| self.state)
     }
 
@@ -213,8 +228,12 @@ impl DdSimulator {
         // Per-operation deadline check: cheap, and catches circuits whose
         // individual operations are too small to trip the in-recursion
         // pacing.
-        self.dd.check_deadline()?;
+        if let Err(e) = self.dd.check_deadline() {
+            qdd_telemetry::emit("sim.deadline").field("op_index", self.cursor);
+            return Err(e.into());
+        }
         let op = self.circuit.ops()[self.cursor].clone();
+        let op_index = self.cursor;
         self.cursor += 1;
         let applied = if self.dense.is_some() {
             self.apply_dense(&op)
@@ -222,6 +241,9 @@ impl DdSimulator {
             self.apply_governed(&op)
         };
         if let Err(e) = applied {
+            if matches!(e, SimError::Dd(DdError::DeadlineExceeded { .. })) {
+                qdd_telemetry::emit("sim.deadline").field("op_index", op_index);
+            }
             // Keep the stats faithful even when the operation failed: a
             // pressure GC attempted during the failed application must be
             // visible to callers inspecting the wreckage.
@@ -235,6 +257,16 @@ impl DdSimulator {
             let nodes = self.dd.vec_node_count(self.state);
             self.stats.nodes_per_step.push(nodes);
             self.stats.peak_nodes = self.stats.peak_nodes.max(nodes);
+            qdd_telemetry::emit("sim.op")
+                .field("op_index", op_index)
+                .field("op", op_name(&op))
+                .field("nodes", nodes);
+            qdd_telemetry::observe("sim.nodes_after_op", nodes as u64);
+        } else {
+            qdd_telemetry::emit("sim.op")
+                .field("op_index", op_index)
+                .field("op", op_name(&op))
+                .field("dense", true);
         }
         self.stats.applied_ops += 1;
         self.sync_governor_stats();
@@ -268,6 +300,8 @@ impl DdSimulator {
         if !self.dense_fallback_enabled || n > MAX_DENSE_QUBITS {
             return Err(SimError::Dd(err));
         }
+        qdd_telemetry::emit("sim.dense_fallback").field("qubits", n);
+        qdd_telemetry::counter_add("sim.dense_fallbacks", 1);
         let amps = self.dd.to_dense_vector(self.state, n);
         let seed = self.rng.gen::<u64>();
         let mut dense = DenseSimulator::from_parts(n, amps, self.classical.clone(), seed)?;
@@ -337,6 +371,10 @@ impl DdSimulator {
                 let (outcome, _p, new_state) =
                     self.dd.measure(self.state, *qubit, &mut self.rng)?;
                 self.classical[*bit] = outcome.as_bool();
+                qdd_telemetry::emit("sim.measure")
+                    .field("qubit", *qubit)
+                    .field("bit", *bit)
+                    .field("outcome", outcome.as_bool());
                 self.set_state(new_state);
             }
             Operation::Reset { qubit } => {

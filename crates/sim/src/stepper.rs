@@ -167,6 +167,7 @@ impl SteppableSimulation {
         if self.cursor >= self.circuit.len() {
             return Ok(StepOutcome::AtEnd);
         }
+        qdd_telemetry::emit("sim.step").field("op_index", self.cursor);
         let op = self.circuit.ops()[self.cursor].clone();
         match &op {
             Operation::Barrier => {
@@ -254,6 +255,9 @@ impl SteppableSimulation {
         kind: ChoiceKind,
         outcome: MeasurementOutcome,
     ) -> Result<(), SimError> {
+        qdd_telemetry::emit("sim.choice")
+            .field("qubit", qubit)
+            .field("outcome", outcome.as_bool());
         let new_state = match kind {
             ChoiceKind::Measurement { .. } => self.dd.collapse(self.state, qubit, outcome)?,
             ChoiceKind::Reset => self.dd.reset_with_outcome(self.state, qubit, outcome)?,

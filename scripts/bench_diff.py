@@ -3,9 +3,14 @@
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold PCT]
+                  [--hit-rate-threshold POINTS]
 
 Workloads are matched on (family, phase, n). A regression is a current
 wall time more than ``--threshold`` percent (default 15) above baseline.
+Cache hit rates (compute tables and the gate-DD cache) and peak node
+counts are diffed as well: a hit rate dropping by more than
+``--hit-rate-threshold`` percentage points (default 5) earns a warning,
+since hit-rate collapses are the usual *cause* behind wall-time moves.
 The report is advisory: the exit code is always 0, because shared-runner
 timings are too noisy to gate a merge on. The job log (and any wrapping
 `::warning::` annotations) is the product.
@@ -29,12 +34,59 @@ def load(path):
     }
 
 
+def hit_rate_points(workload, key):
+    """A cache hit rate as percentage points, or None when absent/unprobed."""
+    rate = workload.get(key)
+    lookups_key = key.replace("_hit_rate", "_lookups")
+    if rate is None or workload.get(lookups_key, 0) == 0:
+        return None
+    return rate * 100.0
+
+
+def diff_metrics(name, b, c, hit_rate_threshold, warnings):
+    """Compares the embedded metrics of one workload; appends to warnings."""
+    for key, label in [("cache_hit_rate", "compute-table hit rate"),
+                       ("gate_cache_hit_rate", "gate-DD-cache hit rate")]:
+        br = hit_rate_points(b, key)
+        cr = hit_rate_points(c, key)
+        if br is None or cr is None:
+            continue
+        drop = br - cr
+        if drop > hit_rate_threshold:
+            warnings.append(
+                f"{name}: {label} dropped {br:.1f} -> {cr:.1f} points "
+                f"({drop:.1f}-point drop, threshold {hit_rate_threshold:.0f})")
+    bp, cp = b.get("peak_nodes"), c.get("peak_nodes")
+    if bp and cp and bp > 0:
+        growth = (cp - bp) / bp * 100.0
+        if growth > 25.0:
+            warnings.append(
+                f"{name}: peak nodes grew {bp} -> {cp} ({growth:+.0f}%)")
+    # GC pause totals from the embedded telemetry snapshot, when both sides
+    # carry one (older baselines predate the `metrics` field).
+    bgc = gc_total_ms(b)
+    cgc = gc_total_ms(c)
+    if bgc is not None and cgc is not None and cgc - bgc > 1.0:
+        warnings.append(
+            f"{name}: GC pause total grew {bgc:.2f} ms -> {cgc:.2f} ms")
+
+
+def gc_total_ms(workload):
+    spans = workload.get("metrics", {}).get("spans", {})
+    gc = spans.get("core.gc")
+    if gc is None:
+        return None
+    return gc.get("total_ns", 0) / 1e6
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--threshold", type=float, default=15.0,
                     help="regression warning threshold in percent")
+    ap.add_argument("--hit-rate-threshold", type=float, default=5.0,
+                    help="hit-rate drop warning threshold in percentage points")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -45,10 +97,13 @@ def main():
         return 0
 
     regressions = []
+    metric_warnings = []
     print(f"{'workload':<28} {'base ms':>10} {'cur ms':>10} {'delta':>8}")
     for key in shared:
         b, c = base[key]["wall_ms"], cur[key]["wall_ms"]
         name = f"{key[0]}/{key[1]}/n={key[2]}"
+        diff_metrics(name, base[key], cur[key],
+                     args.hit_rate_threshold, metric_warnings)
         if b <= 0:
             print(f"{name:<28} {b:>10.3f} {c:>10.3f}     n/a")
             continue
@@ -74,6 +129,13 @@ def main():
                   f"threshold {args.threshold:.0f}%)")
     else:
         print(f"\nbench_diff: no regressions above {args.threshold:.0f}%")
+    if metric_warnings:
+        print()
+        for w in metric_warnings:
+            print(f"::warning::bench metrics {w}")
+    else:
+        print("bench_diff: no metric warnings "
+              f"(hit-rate drop threshold {args.hit_rate_threshold:.0f} points)")
     return 0
 
 

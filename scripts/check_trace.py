@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts produced by `qdd --metrics-out / --trace-out`.
+
+Usage:
+    check_trace.py FILE [FILE ...]
+
+Each file's format is detected from its content:
+
+* **metrics snapshot** — a JSON object with ``"schema": "qdd-metrics-v1"``
+  (from ``--metrics-out`` or the ``metrics`` field embedded in
+  ``BENCH_*.json`` workloads);
+* **Chrome trace** — a JSON object with a ``traceEvents`` array (from
+  ``--trace-out foo.json``), loadable in ``chrome://tracing`` / Perfetto;
+* **JSONL event stream** — one JSON object per line (from
+  ``--trace-out foo.jsonl``).
+
+Exits non-zero on the first malformed file, printing what was wrong and
+where. Unlike bench_diff.py this *is* a gate: the output formats are a
+published contract, not a noisy measurement.
+"""
+
+import json
+import sys
+
+METRICS_SCHEMA = "qdd-metrics-v1"
+
+
+def fail(path, msg):
+    raise SystemExit(f"check_trace: {path}: {msg}")
+
+
+def check_metrics(path, doc):
+    """A --metrics-out snapshot: four name->record maps plus a drop count."""
+    for key, kind in [("counters", int), ("gauges", (int, float)),
+                      ("histograms", dict), ("spans", dict)]:
+        section = doc.get(key)
+        if not isinstance(section, dict):
+            fail(path, f"`{key}` must be an object, got {type(section).__name__}")
+        for name, value in section.items():
+            if not isinstance(value, kind):
+                fail(path, f"{key}[{name!r}]: expected {kind}, got {value!r}")
+    if not isinstance(doc.get("dropped_events"), int):
+        fail(path, "`dropped_events` must be an integer")
+    for name, h in doc["histograms"].items():
+        bucket_total = sum(c for _, _, c in h.get("buckets", []))
+        if bucket_total != h.get("count"):
+            fail(path, f"histogram {name!r}: buckets sum to {bucket_total}, "
+                       f"count says {h.get('count')}")
+        for lo, hi, c in h["buckets"]:
+            if not (0 <= lo <= hi and c > 0):
+                fail(path, f"histogram {name!r}: bad bucket [{lo},{hi},{c}]")
+    for name, s in doc["spans"].items():
+        for field in ("count", "total_ns", "max_ns"):
+            if not isinstance(s.get(field), int) or s[field] < 0:
+                fail(path, f"span {name!r}: bad `{field}`: {s.get(field)!r}")
+        if s["max_ns"] > s["total_ns"]:
+            fail(path, f"span {name!r}: max_ns {s['max_ns']} exceeds "
+                       f"total_ns {s['total_ns']}")
+        if s["count"] == 0 and s["total_ns"] > 0:
+            fail(path, f"span {name!r}: time recorded with zero closings")
+    return (f"metrics snapshot: {len(doc['counters'])} counters, "
+            f"{len(doc['gauges'])} gauges, {len(doc['spans'])} spans, "
+            f"{doc['dropped_events']} dropped")
+
+
+def check_event(path, where, ev):
+    """One event record (a JSONL line or a Chrome trace entry's source)."""
+    if not isinstance(ev, dict):
+        fail(path, f"{where}: expected an object, got {type(ev).__name__}")
+    kind = ev.get("kind")
+    if kind not in ("span", "instant"):
+        fail(path, f"{where}: bad `kind` {kind!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        fail(path, f"{where}: missing `name`")
+    for field in ("ts_us", "depth") + (("dur_us",) if kind == "span" else ()):
+        if not isinstance(ev.get(field), int) or ev[field] < 0:
+            fail(path, f"{where}: bad `{field}`: {ev.get(field)!r}")
+    if not isinstance(ev.get("args"), dict):
+        fail(path, f"{where}: `args` must be an object")
+
+
+def check_jsonl(path, text):
+    lines = [l for l in text.splitlines() if l.strip()]
+    kinds = {"span": 0, "instant": 0}
+    for i, line in enumerate(lines, 1):
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(path, f"line {i}: not JSON ({e})")
+        check_event(path, f"line {i}", ev)
+        kinds[ev["kind"]] += 1
+    return (f"JSONL stream: {len(lines)} events "
+            f"({kinds['span']} spans, {kinds['instant']} instants)")
+
+
+def check_chrome(path, doc):
+    """The subset of the trace_event format the converter emits."""
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "`traceEvents` must be an array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where}: expected an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i"):
+            fail(path, f"{where}: bad `ph` {ph!r} (converter emits X and i)")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(path, f"{where}: missing `name`")
+        for field in ("ts", "pid", "tid") + (("dur",) if ph == "X" else ()):
+            if not isinstance(ev.get(field), (int, float)) or ev[field] < 0:
+                fail(path, f"{where}: bad `{field}`: {ev.get(field)!r}")
+    return f"Chrome trace: {len(events)} trace events"
+
+
+def check_file(path):
+    with open(path) as f:
+        text = f.read()
+    if not text.strip():
+        fail(path, "empty file")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return check_jsonl(path, text)
+    if isinstance(doc, dict) and doc.get("schema") == METRICS_SCHEMA:
+        return check_metrics(path, doc)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return check_chrome(path, doc)
+    if isinstance(doc, dict) and "schema" in doc:
+        fail(path, f"unknown schema {doc['schema']!r} "
+                   f"(this checker knows {METRICS_SCHEMA!r})")
+    # A one-event JSONL file parses as a single JSON object; accept it.
+    if isinstance(doc, dict) and "kind" in doc:
+        return check_jsonl(path, text)
+    fail(path, "unrecognized format: neither a metrics snapshot, a Chrome "
+               "trace, nor a JSONL event stream")
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__.strip().splitlines()[2].strip())
+    for path in sys.argv[1:]:
+        print(f"{path}: OK ({check_file(path)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

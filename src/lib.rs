@@ -8,6 +8,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`complex`] | `qdd-complex` | complex arithmetic + interning table |
+//! | [`telemetry`] | `qdd-telemetry` | metrics registry, spans, trace sinks |
 //! | [`core`] | `qdd-core` | the DD package: canonical vector/matrix DDs |
 //! | [`circuit`] | `qdd-circuit` | circuits, QASM/`.real` parsers, library |
 //! | [`sim`] | `qdd-sim` | DD simulation, interactive stepper, dense baseline |
@@ -42,5 +43,6 @@ pub use qdd_circuit as circuit;
 pub use qdd_complex as complex;
 pub use qdd_core as core;
 pub use qdd_sim as sim;
+pub use qdd_telemetry as telemetry;
 pub use qdd_verify as verify;
 pub use qdd_viz as viz;

@@ -41,8 +41,22 @@ fn node_budget_yields_structured_error_with_balanced_stats() {
         max_nodes: Some(10_000),
         ..Limits::default()
     });
+    qdd::telemetry::set_enabled(true);
+    qdd::telemetry::reset();
     let mut sim = DdSimulator::with_config(adversarial(26, 3), 1, config);
     let err = sim.run().unwrap_err();
+    let events = qdd::telemetry::drain_events();
+    let pressure_events = qdd::telemetry::snapshot()
+        .counter("core.gc.pressure_runs")
+        .unwrap_or(0);
+    qdd::telemetry::set_enabled(false);
+    // The degradation left a telemetry trail: pressure-GC events on the
+    // stream, matching the counter.
+    assert!(
+        events.iter().any(|e| e.name == "core.pressure_gc"),
+        "pressure GC must emit a telemetry event"
+    );
+    assert!(pressure_events > 0, "pressure-run counter must advance");
     match err {
         SimError::Dd(DdError::ResourceExhausted { kind, limit, used }) => {
             assert_eq!(kind, ResourceKind::Nodes);
@@ -88,12 +102,20 @@ fn deadline_fires_on_long_qft() {
     }
     let qft = library::qft(22, true);
     qc.extend(&qft);
+    qdd::telemetry::set_enabled(true);
+    qdd::telemetry::reset();
     let mut sim = DdSimulator::with_config(qc, 1, config);
     let start = std::time::Instant::now();
     let err = sim.run().unwrap_err();
+    let events = qdd::telemetry::drain_events();
+    qdd::telemetry::set_enabled(false);
     assert!(
         matches!(err, SimError::Dd(DdError::DeadlineExceeded { .. })),
         "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(
+        events.iter().any(|e| e.name == "sim.deadline"),
+        "deadline abort must emit a telemetry event"
     );
     // Generous ceiling: the point is that it aborted, not ran to completion.
     assert!(
@@ -113,10 +135,18 @@ fn dense_fallback_preserves_semantics() {
         max_nodes: Some(32),
         ..Limits::default()
     });
+    qdd::telemetry::set_enabled(true);
+    qdd::telemetry::reset();
     let mut sim = DdSimulator::with_config(circuit, 7, config);
     sim.run().unwrap();
+    let events = qdd::telemetry::drain_events();
+    qdd::telemetry::set_enabled(false);
     assert!(sim.degraded_to_dense());
     assert!(sim.stats().dense_fallback);
+    assert!(
+        events.iter().any(|e| e.name == "sim.dense_fallback"),
+        "dense fallback must emit a telemetry event"
+    );
     for (a, b) in expected.iter().zip(sim.dense_state().iter()) {
         assert!(a.approx_eq(*b, 1e-9), "fallback diverged: {a:?} vs {b:?}");
     }
