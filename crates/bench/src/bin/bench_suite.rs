@@ -38,6 +38,8 @@ struct Record {
     /// Gate-DD cache counters (0/0 on package versions without the cache).
     gate_cache_lookups: u64,
     gate_cache_hits: u64,
+    /// Sampling throughput (0.0 for non-sampling phases).
+    shots_per_sec: f64,
     /// Telemetry snapshot of one extra untimed repetition (span timings,
     /// GC pauses, table hit rates) — the *why* behind `wall_ms` moves.
     /// Timed repetitions always run with telemetry disabled.
@@ -61,7 +63,7 @@ impl Record {
              \"wall_ms\": {:.3}, \"peak_nodes\": {}, \
              \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
              \"gate_cache_lookups\": {}, \"gate_cache_hits\": {}, \"gate_cache_hit_rate\": {:.4}, \
-             \"complex_entries\": {}}}",
+             \"shots_per_sec\": {:.1}, \"complex_entries\": {}}}",
             self.family,
             self.phase,
             self.n,
@@ -74,6 +76,7 @@ impl Record {
             self.gate_cache_lookups,
             self.gate_cache_hits,
             Self::hit_rate(self.gate_cache_lookups, self.gate_cache_hits),
+            self.shots_per_sec,
             self.complex_entries,
         );
         // Splice in the (already serialized) telemetry snapshot.
@@ -176,6 +179,7 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
         complex_entries: stats.complex_entries,
         gate_cache_lookups: stats.gate_cache_lookups,
         gate_cache_hits: stats.gate_cache_hits,
+        shots_per_sec: 0.0,
         metrics,
     }
 }
@@ -217,6 +221,98 @@ fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
         complex_entries: stats.complex_entries,
         gate_cache_lookups: stats.gate_cache_lookups,
         gate_cache_hits: stats.gate_cache_hits,
+        shots_per_sec: 0.0,
+        metrics,
+    }
+}
+
+/// Sampling throughput of the shared-state fast path on an unmeasured QFT:
+/// `memoized` runs the shot engine (one prefix run + tableau walks),
+/// `!memoized` the naive per-shot hash-path loop over the same diagram.
+fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool) -> Record {
+    let circuit = qdd_circuit::library::qft(n, true);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let drawn: u64 = if memoized {
+            let report = qdd_sim::shots::run(&circuit, &qdd_sim::ShotOptions::new(shots, 1))
+                .expect("sampling");
+            report.histogram.values().sum()
+        } else {
+            let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+            sim.run().expect("simulation");
+            sim.sample(shots).values().sum()
+        };
+        assert_eq!(drawn, shots);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let metrics = collect_metrics(|| {
+        let _ = qdd_sim::shots::run(&circuit, &qdd_sim::ShotOptions::new(shots.min(1000), 1));
+    });
+    Record {
+        family: "sampling",
+        phase: if memoized { "qft-memoized" } else { "qft-naive" },
+        n,
+        gates: circuit.gate_count(),
+        wall_ms: best,
+        peak_nodes: 0,
+        cache_lookups: 0,
+        cache_hits: 0,
+        complex_entries: 0,
+        gate_cache_lookups: 0,
+        gate_cache_hits: 0,
+        shots_per_sec: shots as f64 / (best / 1e3),
+        metrics,
+    }
+}
+
+/// Sampling throughput of the mid-circuit regime on teleportation:
+/// `threads == 0` times the serial reference (`DdSimulator::run_shots`,
+/// fresh package per shot), otherwise the batched shot engine.
+fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize) -> Record {
+    let circuit = qdd_circuit::library::teleportation(0.3);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let drawn: u64 = if threads == 0 {
+            DdSimulator::run_shots(&circuit, shots, 1)
+                .expect("shots")
+                .values()
+                .sum()
+        } else {
+            let mut opts = qdd_sim::ShotOptions::new(shots, 1);
+            opts.threads = threads;
+            qdd_sim::shots::run(&circuit, &opts)
+                .expect("shots")
+                .histogram
+                .values()
+                .sum()
+        };
+        assert_eq!(drawn, shots);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let metrics = collect_metrics(|| {
+        let mut opts = qdd_sim::ShotOptions::new(shots.min(100), 1);
+        opts.threads = threads.max(1);
+        let _ = qdd_sim::shots::run(&circuit, &opts);
+    });
+    Record {
+        family: "sampling",
+        phase: match threads {
+            0 => "teleport-serial",
+            1 => "teleport-engine1",
+            _ => "teleport-engine8",
+        },
+        n: circuit.num_qubits(),
+        gates: circuit.gate_count(),
+        wall_ms: best,
+        peak_nodes: 0,
+        cache_lookups: 0,
+        cache_hits: 0,
+        complex_entries: 0,
+        gate_cache_lookups: 0,
+        gate_cache_hits: 0,
+        shots_per_sec: shots as f64 / (best / 1e3),
         metrics,
     }
 }
@@ -287,6 +383,37 @@ fn main() {
             );
             records.push(r);
         }
+    }
+
+    // Sampling workloads: the shot engine's two performance claims — the
+    // memoized terminal path beats naive per-shot diagram walks, and the
+    // batched engine beats serial per-shot re-execution.
+    let (qft_n, qft_shots, tele_shots) = if small {
+        (8, 20_000, 300)
+    } else {
+        (16, 100_000, 2_000)
+    };
+    for memoized in [false, true] {
+        let r = bench_sampling_shared(qft_n, qft_shots, reps, memoized);
+        println!(
+            "sample  {:>10}  n={:<2}  {:>10}  {:.0} shots/s",
+            r.phase,
+            r.n,
+            fmt_duration(std::time::Duration::from_secs_f64(r.wall_ms / 1e3)),
+            r.shots_per_sec
+        );
+        records.push(r);
+    }
+    for threads in [0, 8] {
+        let r = bench_sampling_midcircuit(tele_shots, reps, threads);
+        println!(
+            "sample  {:>10}  n={:<2}  {:>10}  {:.0} shots/s",
+            r.phase,
+            r.n,
+            fmt_duration(std::time::Duration::from_secs_f64(r.wall_ms / 1e3)),
+            r.shots_per_sec
+        );
+        records.push(r);
     }
 
     let body: Vec<String> = records.iter().map(Record::to_json).collect();

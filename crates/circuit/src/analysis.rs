@@ -1,0 +1,240 @@
+//! Measurement-regime analysis: which shot-sampling strategy is *correct*
+//! for a circuit.
+//!
+//! Repeated non-destructive sampling of the final DD (paper §III-B, ref
+//! \[16\]) is only equivalent to running the circuit once per shot when no
+//! collapse happens *before* the end of the circuit. This module classifies
+//! a circuit into the three regimes the shot engine dispatches on:
+//!
+//! | regime | meaning | correct strategy |
+//! |---|---|---|
+//! | [`NoMeasurement`](MeasurementRegime::NoMeasurement) | purely unitary | run once, sample the final state |
+//! | [`TerminalMeasurement`](MeasurementRegime::TerminalMeasurement) | all measurements at the very end | run the unitary prefix once, sample paths, read bits off each sample |
+//! | [`MidCircuit`](MeasurementRegime::MidCircuit) | collapse feeds back into evolution | re-execute per shot |
+//!
+//! The classification is deliberately conservative: resets and
+//! classically-conditioned gates are always `MidCircuit`, because both make
+//! the evolution depend on a collapse outcome. A conservative answer is
+//! never *wrong* — it only forgoes the fast path.
+
+use crate::circuit::QuantumCircuit;
+use crate::op::Operation;
+
+/// The measurement structure of a circuit, from the shot engine's point of
+/// view.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MeasurementRegime {
+    /// No measurements, resets, or classically-conditioned gates: the final
+    /// state is deterministic and can be sampled non-destructively.
+    NoMeasurement,
+    /// Measurements exist but only as a trailing block (interleaved with
+    /// barriers at most): the unitary prefix runs once and every shot is a
+    /// single path traversal whose sampled bits *are* the measurement
+    /// outcomes — deferred-measurement made operational.
+    TerminalMeasurement,
+    /// A measurement or reset occurs before further evolution, or a gate is
+    /// classically conditioned: outcomes feed back, so each shot must
+    /// re-execute the circuit with its own random stream.
+    MidCircuit,
+}
+
+impl MeasurementRegime {
+    /// Stable lower-case label (telemetry fields, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            MeasurementRegime::NoMeasurement => "no-measurement",
+            MeasurementRegime::TerminalMeasurement => "terminal-measurement",
+            MeasurementRegime::MidCircuit => "mid-circuit",
+        }
+    }
+}
+
+impl std::fmt::Display for MeasurementRegime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The result of [`QuantumCircuit::measurement_analysis`]: the regime plus
+/// the facts the shot engine's fast paths need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeasurementAnalysis {
+    /// The sampling regime.
+    pub regime: MeasurementRegime,
+    /// Number of leading operations before the first measurement — in the
+    /// [`TerminalMeasurement`](MeasurementRegime::TerminalMeasurement)
+    /// regime this prefix is purely unitary (gates, swaps, barriers).
+    pub prefix_len: usize,
+    /// The trailing `(qubit, bit)` measurements in program order (meaningful
+    /// in the terminal regime; later writes to the same bit win, matching
+    /// per-shot execution order).
+    pub terminal_measurements: Vec<(usize, usize)>,
+    /// Whether any measurement writes classical bits (decides whether shots
+    /// histogram classical-register values or basis states).
+    pub has_measurements: bool,
+    /// Whether the circuit contains resets.
+    pub has_resets: bool,
+    /// Whether any gate carries a classical condition.
+    pub has_conditions: bool,
+}
+
+impl QuantumCircuit {
+    /// Classifies the circuit's measurement structure (see
+    /// [`MeasurementRegime`]).
+    pub fn measurement_analysis(&self) -> MeasurementAnalysis {
+        let mut has_measurements = false;
+        let mut has_resets = false;
+        let mut has_conditions = false;
+        let mut first_measure: Option<usize> = None;
+        // True while every op since the first measurement has been a
+        // measurement or barrier — the terminal-block invariant.
+        let mut tail_is_terminal = true;
+        for (i, op) in self.ops().iter().enumerate() {
+            match op {
+                Operation::Measure { .. } => {
+                    has_measurements = true;
+                    first_measure.get_or_insert(i);
+                }
+                Operation::Reset { .. } => has_resets = true,
+                Operation::Barrier => {}
+                Operation::Gate(g) => {
+                    if g.condition.is_some() {
+                        has_conditions = true;
+                    }
+                    if first_measure.is_some() {
+                        tail_is_terminal = false;
+                    }
+                }
+                Operation::Swap { .. } => {
+                    if first_measure.is_some() {
+                        tail_is_terminal = false;
+                    }
+                }
+            }
+        }
+        // A reset inside the tail also breaks the terminal block.
+        if has_resets {
+            if let Some(fm) = first_measure {
+                if self.ops()[fm..]
+                    .iter()
+                    .any(|op| matches!(op, Operation::Reset { .. }))
+                {
+                    tail_is_terminal = false;
+                }
+            }
+        }
+        let regime = if has_resets || has_conditions {
+            MeasurementRegime::MidCircuit
+        } else if !has_measurements {
+            MeasurementRegime::NoMeasurement
+        } else if tail_is_terminal {
+            MeasurementRegime::TerminalMeasurement
+        } else {
+            MeasurementRegime::MidCircuit
+        };
+        let prefix_len = first_measure.unwrap_or(self.len());
+        let terminal_measurements = if regime == MeasurementRegime::TerminalMeasurement {
+            self.ops()[prefix_len..]
+                .iter()
+                .filter_map(|op| match op {
+                    Operation::Measure { qubit, bit } => Some((*qubit, *bit)),
+                    _ => None,
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        MeasurementAnalysis {
+            regime,
+            prefix_len,
+            terminal_measurements,
+            has_measurements,
+            has_resets,
+            has_conditions,
+        }
+    }
+
+    /// Shorthand for `measurement_analysis().regime`.
+    pub fn measurement_regime(&self) -> MeasurementRegime {
+        self.measurement_analysis().regime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn unitary_circuits_have_no_measurement() {
+        for qc in [library::ghz(5), library::qft(4, true), library::grover(3, 5)] {
+            let a = qc.measurement_analysis();
+            assert_eq!(a.regime, MeasurementRegime::NoMeasurement, "{}", qc.name());
+            assert_eq!(a.prefix_len, qc.len());
+            assert!(!a.has_measurements);
+        }
+    }
+
+    #[test]
+    fn trailing_measure_all_is_terminal() {
+        let mut qc = library::ghz(4);
+        let gates = qc.len();
+        qc.barrier().measure_all();
+        let a = qc.measurement_analysis();
+        assert_eq!(a.regime, MeasurementRegime::TerminalMeasurement);
+        assert_eq!(a.prefix_len, gates + 1, "barrier belongs to the prefix");
+        assert_eq!(
+            a.terminal_measurements,
+            vec![(0, 0), (1, 1), (2, 2), (3, 3)]
+        );
+    }
+
+    #[test]
+    fn barriers_between_terminal_measurements_are_allowed() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.add_creg("c", 2);
+        qc.h(0).measure(0, 0).barrier().measure(1, 1);
+        assert_eq!(
+            qc.measurement_regime(),
+            MeasurementRegime::TerminalMeasurement
+        );
+    }
+
+    #[test]
+    fn gate_after_measurement_is_mid_circuit() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.add_creg("c", 1);
+        qc.h(0).measure(0, 0).h(1);
+        assert_eq!(qc.measurement_regime(), MeasurementRegime::MidCircuit);
+    }
+
+    #[test]
+    fn swap_after_measurement_is_mid_circuit() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.add_creg("c", 1);
+        qc.measure(0, 0).swap(0, 1);
+        assert_eq!(qc.measurement_regime(), MeasurementRegime::MidCircuit);
+    }
+
+    #[test]
+    fn resets_and_conditions_are_mid_circuit() {
+        let mut with_reset = QuantumCircuit::new(2);
+        with_reset.h(0).reset(0);
+        let a = with_reset.measurement_analysis();
+        assert_eq!(a.regime, MeasurementRegime::MidCircuit);
+        assert!(a.has_resets && !a.has_measurements);
+
+        let teleport = library::teleportation(0.3);
+        let a = teleport.measurement_analysis();
+        assert_eq!(a.regime, MeasurementRegime::MidCircuit);
+        assert!(a.has_conditions);
+    }
+
+    #[test]
+    fn reset_in_measurement_tail_is_mid_circuit() {
+        let mut qc = QuantumCircuit::new(2);
+        qc.add_creg("c", 2);
+        qc.h(0).measure(0, 0).reset(1).measure(1, 1);
+        assert_eq!(qc.measurement_regime(), MeasurementRegime::MidCircuit);
+    }
+}

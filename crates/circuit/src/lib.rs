@@ -35,6 +35,7 @@
 
 pub mod compile;
 pub mod optimize;
+mod analysis;
 mod circuit;
 mod error;
 mod gate;
@@ -43,6 +44,7 @@ mod op;
 pub mod qasm;
 pub mod real;
 
+pub use analysis::{MeasurementAnalysis, MeasurementRegime};
 pub use circuit::{ClassicalRegister, QuantumCircuit, QuantumRegister};
 pub use error::CircuitError;
 pub use gate::StandardGate;

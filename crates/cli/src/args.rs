@@ -10,9 +10,9 @@ pub struct Args {
 
 /// Flags that take a value (everything else is boolean).
 const VALUE_FLAGS: &[&str] = &[
-    "--seed", "--shots", "--style", "--svg", "--dot", "--html", "--strategy",
-    "--stimuli", "-o", "--threshold", "--node-limit", "--timeout-ms",
-    "--metrics-out", "--trace-out",
+    "--seed", "--shots", "--threads", "--style", "--svg", "--dot", "--html",
+    "--strategy", "--stimuli", "-o", "--threshold", "--node-limit",
+    "--timeout-ms", "--metrics-out", "--trace-out",
 ];
 
 impl Args {

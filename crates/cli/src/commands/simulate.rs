@@ -14,7 +14,15 @@ bits.
 
 OPTIONS:
   --seed N          RNG seed for measurements/sampling (default 1)
-  --shots N         sample N basis states from the final state (default 0)
+  --shots N         draw N shots through the shot engine (default 0).
+                    Purely unitary and terminal-measurement circuits run
+                    once and sample the final diagram; circuits with
+                    mid-circuit measurement, reset, or classical control
+                    re-execute per shot. Measured circuits histogram the
+                    classical register values, unmeasured ones basis states.
+  --threads N       worker threads for per-shot re-execution (default:
+                    one per CPU; irrelevant for the single-run regimes).
+                    Histograms are bit-identical for every thread count.
   --state           print the amplitude table of the final state
   --threshold P     hide amplitudes below probability P (default 1e-9)
   --node-limit N    cap live DD nodes; under pressure the run GCs, then
@@ -37,9 +45,9 @@ EXIT STATUS: 0 on success, 1 on bad input, 3 when a resource budget
 (--node-limit, --timeout-ms) is exhausted.";
 
 const FLAGS: &[&str] = &[
-    "--seed", "--shots", "--state", "--threshold", "--node-limit", "--timeout-ms",
-    "--stats", "--stats-json", "--svg", "--dot", "--html", "--style",
-    "--profile", "--metrics-out", "--trace-out",
+    "--seed", "--shots", "--threads", "--state", "--threshold", "--node-limit",
+    "--timeout-ms", "--stats", "--stats-json", "--svg", "--dot", "--html",
+    "--style", "--profile", "--metrics-out", "--trace-out",
 ];
 
 pub fn run(argv: &[String]) -> Result<(), CmdError> {
@@ -210,13 +218,43 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
     }
 
     if shots > 0 {
-        let counts = sim.sample(shots);
-        let mut entries: Vec<_> = counts.into_iter().collect();
+        // Shots run through the shot engine, not by sampling the final
+        // state of the run above: for circuits with mid-circuit
+        // measurement, reset, or classical control, sampling one final
+        // state is *wrong* — each shot must re-execute the circuit.
+        let mut opts = qdd_sim::ShotOptions::new(shots, seed);
+        opts.threads = args.number("--threads", 0)?;
+        opts.config = config;
+        let report = match qdd_sim::shots::run(&circuit, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = crate::telemetry::finish(&args, telemetry_on);
+                return Err(CmdError::from_sim(&e));
+            }
+        };
+        let mut entries: Vec<_> = report.histogram.into_iter().collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        println!("{shots} shots:");
-        let n = circuit.num_qubits();
-        for (basis, count) in entries.iter().take(16) {
-            println!("  |{basis:0n$b}⟩ : {count}");
+        if report.threads_used > 1 {
+            println!(
+                "{shots} shots: {} regime, {} threads",
+                report.regime, report.threads_used
+            );
+        } else {
+            println!("{shots} shots: {} regime", report.regime);
+        }
+        let width = match report.kind {
+            qdd_sim::HistogramKind::BasisStates => circuit.num_qubits(),
+            qdd_sim::HistogramKind::ClassicalBits => circuit.num_clbits(),
+        };
+        for (value, count) in entries.iter().take(16) {
+            match report.kind {
+                qdd_sim::HistogramKind::BasisStates => {
+                    println!("  |{value:0width$b}⟩ : {count}");
+                }
+                qdd_sim::HistogramKind::ClassicalBits => {
+                    println!("  {value:0width$b} : {count}");
+                }
+            }
         }
         if entries.len() > 16 {
             println!("  … {} more outcomes", entries.len() - 16);

@@ -68,6 +68,45 @@ fn simulate_prints_state_and_shots() {
 }
 
 #[test]
+fn simulate_shots_route_through_the_shot_engine() {
+    // Mid-circuit measurement + classical control: `--shots` must
+    // re-execute per shot and histogram the classical register, not sample
+    // one final state. With H;measure;if(c==1)x the qubit always ends in
+    // |0⟩ — final-state sampling would report a single outcome 0, while the
+    // recorded bit is a fair coin.
+    let file = temp_file(
+        "midcircuit.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[1];\ncreg c[1];\n\
+         h q[0];\nmeasure q[0] -> c[0];\nif (c==1) x q[0];\n",
+    );
+    let out = qdd(&[
+        "simulate",
+        file.to_str().unwrap(),
+        "--shots",
+        "400",
+        "--seed",
+        "7",
+        "--threads",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("400 shots: mid-circuit regime"), "{text}");
+    // Both classical outcomes must appear with roughly fair frequency.
+    let count_of = |bits: &str| -> u64 {
+        text.lines()
+            .find(|l| l.trim_start().starts_with(&format!("{bits} : ")))
+            .and_then(|l| l.rsplit(':').next())
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let (zeros, ones) = (count_of("0"), count_of("1"));
+    assert_eq!(zeros + ones, 400, "histogram must cover all shots: {text}");
+    assert!(zeros > 120 && ones > 120, "biased histogram: {text}");
+    std::fs::remove_file(file).ok();
+}
+
+#[test]
 fn simulate_writes_artifacts() {
     let file = bell_qasm();
     let svg = std::env::temp_dir().join(format!("qdd_cli_{}.svg", std::process::id()));

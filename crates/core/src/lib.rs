@@ -56,6 +56,7 @@ mod normalize;
 mod observable;
 mod ops;
 mod package;
+mod sample;
 mod serialize;
 mod traverse;
 mod types;
@@ -68,6 +69,7 @@ pub use measure::MeasurementOutcome;
 pub use node::{MNode, Node, VNode};
 pub use observable::{ParsePauliError, Pauli, PauliString};
 pub use package::{DdPackage, GcReport, PackageConfig, PackageStats, VectorNormalization};
+pub use sample::SamplingTableau;
 pub use serialize::SerializeError;
 pub use traverse::Traversable;
 pub use types::{Edge, MatEdge, MNodeId, NodeId, Qubit, VecEdge, VNodeId};

@@ -235,12 +235,35 @@ impl DenseSimulator {
         }
     }
 
-    /// Samples `shots` basis states from the current distribution.
+    /// Samples `shots` basis states from the current distribution, drawing
+    /// uniforms from the simulator's internal RNG.
     pub fn sample(&mut self, shots: u64) -> FxHashMap<u64, u64> {
         let probs: Vec<f64> = self.state.iter().map(|a| a.norm_sqr()).collect();
+        Self::sample_distribution(&probs, shots, &mut self.rng)
+    }
+
+    /// Samples `shots` basis states drawing uniforms from a caller-provided
+    /// RNG, leaving the internal stream untouched — lets a caller that owns
+    /// the seeding discipline (e.g. the DD simulator after a dense
+    /// degradation) keep one stream across backends.
+    pub fn sample_with_rng<R: Rng + ?Sized>(
+        &self,
+        shots: u64,
+        rng: &mut R,
+    ) -> FxHashMap<u64, u64> {
+        let probs: Vec<f64> = self.state.iter().map(|a| a.norm_sqr()).collect();
+        Self::sample_distribution(&probs, shots, rng)
+    }
+
+    /// Inverse-CDF sampling over an explicit probability table.
+    fn sample_distribution<R: Rng + ?Sized>(
+        probs: &[f64],
+        shots: u64,
+        rng: &mut R,
+    ) -> FxHashMap<u64, u64> {
         let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
         for _ in 0..shots {
-            let mut r = self.rng.gen::<f64>();
+            let mut r = rng.gen::<f64>();
             let mut picked = probs.len() - 1;
             for (i, p) in probs.iter().enumerate() {
                 if r < *p {

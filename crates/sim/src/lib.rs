@@ -31,11 +31,13 @@
 
 mod dense;
 mod error;
+pub mod shots;
 mod simulator;
 mod stepper;
 
 pub use dense::{DenseSimulator, MAX_DENSE_QUBITS};
 pub use error::SimError;
+pub use shots::{shot_seed, HistogramKind, ShotOptions, ShotReport};
 pub use simulator::{DdSimulator, SimStats};
 pub use stepper::{ChoiceKind, PendingChoice, StepOutcome, SteppableSimulation};
 

@@ -1,0 +1,397 @@
+//! The shot engine: correct, parallel, batched shot sampling.
+//!
+//! `--shots N` means "run the circuit `N` times on ideal hardware and
+//! histogram what the classical registers read". The engine produces exactly
+//! that distribution while doing as little work as each circuit *requires*,
+//! dispatching on the circuit's [`MeasurementRegime`]:
+//!
+//! * **No measurement** — the final state is deterministic; run the circuit
+//!   once and draw all shots by randomized path traversal over the shared
+//!   final DD (paper §III-B, ref \[16\]), memoized through a
+//!   [`SamplingTableau`](qdd_core::SamplingTableau) so each shot is a
+//!   hash-free index walk.
+//! * **Terminal measurement** — by the deferred-measurement principle a
+//!   trailing measurement block commutes with nothing after it (there *is*
+//!   nothing after it); run the unitary prefix once, sample basis states
+//!   from the final DD, and read each shot's classical bits directly off the
+//!   sampled index.
+//! * **Mid-circuit** — collapse feeds back into the evolution (conditioned
+//!   gates, resets, measure-then-evolve), so each shot re-executes the
+//!   circuit. Shots fan out across [`std::thread`] workers, each owning its
+//!   own `DdPackage` and circuit clone (packages are not `Sync`), and each
+//!   **shot** — not worker — gets its own RNG stream derived with
+//!   [`shot_seed`]. Outcomes therefore depend only on `(base seed, shot
+//!   index)`, making the merged histogram bit-identical regardless of
+//!   thread count. Within a worker, shots reuse one simulator via
+//!   [`DdSimulator::restart`], keeping the gate-DD cache and unique tables
+//!   warm across re-executions — the batching that makes per-shot
+//!   re-execution affordable.
+//!
+//! Resource governance propagates: the [`PackageConfig`] limits apply inside
+//! every worker, and [`Limits::deadline`](qdd_core::Limits::deadline) is
+//! additionally enforced as a wall-clock budget for the whole sampling job
+//! (workers stop between shots once it elapses).
+
+use crate::error::SimError;
+use crate::simulator::DdSimulator;
+use crate::creg_value;
+use qdd_circuit::{MeasurementAnalysis, MeasurementRegime, QuantumCircuit};
+use qdd_complex::FxHashMap;
+use qdd_core::{DdError, PackageConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// SplitMix64 increment (the 64-bit golden ratio).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a bijective avalanche mix of the state word.
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of shot `shot` under base seed `base`: the `shot`-th output
+/// of the SplitMix64 stream starting at state `base`.
+///
+/// Unlike the old `base + shot` scheme, nearby base seeds produce unrelated
+/// shot streams (`shot_seed(s, i)` and `shot_seed(s + 1, j)` share no
+/// structure) and adjacent shots are decorrelated by the avalanche mix.
+/// Because the seed depends only on `(base, shot)`, any partition of shots
+/// across workers reproduces the same per-shot outcomes.
+pub fn shot_seed(base: u64, shot: u64) -> u64 {
+    splitmix64_mix(base.wrapping_add(GAMMA.wrapping_mul(shot.wrapping_add(1))))
+}
+
+/// What the histogram keys of a [`ShotReport`] mean.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HistogramKind {
+    /// Keys are basis-state indices of the final state (bit `q` ↔ qubit
+    /// `q`) — circuits without measurements.
+    BasisStates,
+    /// Keys are the value of the concatenated classical bits (bit `i` ↔
+    /// global classical bit `i`) — circuits with measurements.
+    ClassicalBits,
+}
+
+/// Configuration of one sampling job.
+#[derive(Clone, Debug)]
+pub struct ShotOptions {
+    /// Number of shots to draw.
+    pub shots: u64,
+    /// Base RNG seed; every per-shot stream derives from it via
+    /// [`shot_seed`].
+    pub seed: u64,
+    /// Worker threads for the mid-circuit regime (`0` = one per available
+    /// CPU). The fast-path regimes are single-threaded by construction —
+    /// one diagram serves every shot.
+    pub threads: usize,
+    /// Package configuration (tolerance, caches, [`qdd_core::Limits`])
+    /// applied inside every worker.
+    pub config: PackageConfig,
+    /// Whether workers may degrade to dense simulation under node-budget
+    /// pressure (mirrors [`DdSimulator::set_dense_fallback`]).
+    pub dense_fallback: bool,
+}
+
+impl Default for ShotOptions {
+    fn default() -> Self {
+        ShotOptions {
+            shots: 1024,
+            seed: 1,
+            threads: 0,
+            config: PackageConfig::default(),
+            dense_fallback: true,
+        }
+    }
+}
+
+impl ShotOptions {
+    /// Convenience constructor for the common `(shots, seed)` case.
+    pub fn new(shots: u64, seed: u64) -> Self {
+        ShotOptions {
+            shots,
+            seed,
+            ..ShotOptions::default()
+        }
+    }
+}
+
+/// The result of a sampling job.
+#[derive(Clone, Debug)]
+pub struct ShotReport {
+    /// Outcome → count; see [`ShotReport::kind`] for the key encoding.
+    pub histogram: FxHashMap<u64, u64>,
+    /// The regime the circuit was classified into.
+    pub regime: MeasurementRegime,
+    /// What the histogram keys mean.
+    pub kind: HistogramKind,
+    /// Total shots drawn (the histogram counts sum to this).
+    pub shots: u64,
+    /// Worker threads actually used (1 for the fast-path regimes).
+    pub threads_used: usize,
+    /// Shots completed per worker (diagnostics; sums to `shots`).
+    pub worker_shots: Vec<u64>,
+    /// Wall time of the whole job.
+    pub elapsed: Duration,
+}
+
+/// Runs a sampling job over `circuit`, dispatching on its measurement
+/// regime (module docs).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the underlying simulations, including
+/// resource-budget errors from the configured
+/// [`Limits`](qdd_core::Limits). In the mid-circuit regime the first
+/// failing shot wins (lowest shot index); remaining workers stop at the
+/// next shot boundary.
+pub fn run(circuit: &QuantumCircuit, opts: &ShotOptions) -> Result<ShotReport, SimError> {
+    let t0 = Instant::now();
+    let analysis = circuit.measurement_analysis();
+    let mut span = qdd_telemetry::span("shots.engine");
+    span.field("regime", analysis.regime.name());
+    span.field("shots", opts.shots);
+    let regime_gauge = match analysis.regime {
+        MeasurementRegime::NoMeasurement => 0.0,
+        MeasurementRegime::TerminalMeasurement => 1.0,
+        MeasurementRegime::MidCircuit => 2.0,
+    };
+    qdd_telemetry::gauge_set("shots.regime", regime_gauge);
+    let mut report = match analysis.regime {
+        MeasurementRegime::MidCircuit => run_mid_circuit(circuit, &analysis, opts),
+        _ => run_shared_state(circuit, &analysis, opts),
+    }?;
+    report.elapsed = t0.elapsed();
+    span.field("threads", report.threads_used);
+    qdd_telemetry::counter_add("shots.sampled", report.shots);
+    for (w, &n) in report.worker_shots.iter().enumerate() {
+        qdd_telemetry::emit("shots.worker")
+            .field("worker", w)
+            .field("shots", n);
+    }
+    Ok(report)
+}
+
+/// No-measurement / terminal-measurement fast path: one run of the unitary
+/// prefix, then all shots from the shared final diagram.
+fn run_shared_state(
+    circuit: &QuantumCircuit,
+    analysis: &MeasurementAnalysis,
+    opts: &ShotOptions,
+) -> Result<ShotReport, SimError> {
+    let mut sim = DdSimulator::with_config(circuit.clone(), opts.seed, opts.config);
+    sim.set_dense_fallback(opts.dense_fallback);
+    sim.run_prefix(analysis.prefix_len)?;
+    // Sampling consumes the simulator's seeded stream whether the prefix
+    // stayed on diagrams or degraded to dense — backend-transparent
+    // seeding. The tableau walk is bit-identical to `sample_once`, so the
+    // DD fast path reproduces exactly what naive per-shot traversal of the
+    // same diagram would draw.
+    let basis_counts = if sim.degraded_to_dense() {
+        sim.sample(opts.shots)
+    } else {
+        let tableau = sim.package().sampling_tableau(sim.state());
+        qdd_telemetry::gauge_set("shots.tableau_nodes", tableau.node_count() as f64);
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        tableau.sample(opts.shots, &mut rng)
+    };
+    let (histogram, kind) = if analysis.regime == MeasurementRegime::TerminalMeasurement {
+        // Fold the basis histogram through the trailing measurement map:
+        // each sampled index *is* the joint outcome of the terminal block.
+        let nbits = circuit.num_clbits();
+        let mut folded: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut bits = vec![false; nbits];
+        for (&basis, &count) in &basis_counts {
+            for &(qubit, bit) in &analysis.terminal_measurements {
+                bits[bit] = (basis >> qubit) & 1 == 1;
+            }
+            *folded.entry(creg_value(&bits, 0, nbits)).or_insert(0) += count;
+            bits.iter_mut().for_each(|b| *b = false);
+        }
+        (folded, HistogramKind::ClassicalBits)
+    } else {
+        (basis_counts, HistogramKind::BasisStates)
+    };
+    Ok(ShotReport {
+        histogram,
+        regime: analysis.regime,
+        kind,
+        shots: opts.shots,
+        threads_used: 1,
+        worker_shots: vec![opts.shots],
+        elapsed: Duration::ZERO,
+    })
+}
+
+/// What one worker returns: its partial histogram and completed-shot count,
+/// or the index of the shot that failed and why.
+type WorkerResult = Result<(FxHashMap<u64, u64>, u64), (u64, SimError)>;
+
+/// Mid-circuit regime: per-shot re-execution, fanned out over workers.
+fn run_mid_circuit(
+    circuit: &QuantumCircuit,
+    analysis: &MeasurementAnalysis,
+    opts: &ShotOptions,
+) -> Result<ShotReport, SimError> {
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    };
+    let threads = threads.clamp(1, opts.shots.max(1) as usize);
+    let cancel = AtomicBool::new(false);
+    let start = Instant::now();
+    let per_worker = opts.shots / threads as u64;
+    let remainder = opts.shots % threads as u64;
+    // Contiguous ranges; worker w gets [lo, hi). The partition does not
+    // affect outcomes (per-shot seeds), only load balance.
+    let ranges: Vec<(u64, u64)> = (0..threads as u64)
+        .scan(0u64, |lo, w| {
+            let len = per_worker + u64::from(w < remainder);
+            let range = (*lo, *lo + len);
+            *lo += len;
+            Some(range)
+        })
+        .collect();
+
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let cancel = &cancel;
+                scope.spawn(move || shot_worker(circuit, analysis, opts, lo, hi, cancel, start))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shot worker panicked"))
+            .collect()
+    });
+
+    let mut histogram: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut worker_shots = Vec::with_capacity(results.len());
+    let mut first_error: Option<(u64, SimError)> = None;
+    for r in results {
+        match r {
+            Ok((counts, done)) => {
+                worker_shots.push(done);
+                for (value, count) in counts {
+                    *histogram.entry(value).or_insert(0) += count;
+                }
+            }
+            Err((shot, e)) => {
+                if first_error.as_ref().is_none_or(|(s, _)| shot < *s) {
+                    first_error = Some((shot, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    let kind = if analysis.has_measurements {
+        HistogramKind::ClassicalBits
+    } else {
+        HistogramKind::BasisStates
+    };
+    Ok(ShotReport {
+        histogram,
+        regime: MeasurementRegime::MidCircuit,
+        kind,
+        shots: opts.shots,
+        threads_used: threads,
+        worker_shots,
+        elapsed: Duration::ZERO,
+    })
+}
+
+/// One worker: re-executes the circuit for shots `lo..hi`, reusing a single
+/// simulator (warm gate-DD cache, no per-shot package construction).
+fn shot_worker(
+    circuit: &QuantumCircuit,
+    analysis: &MeasurementAnalysis,
+    opts: &ShotOptions,
+    lo: u64,
+    hi: u64,
+    cancel: &AtomicBool,
+    start: Instant,
+) -> WorkerResult {
+    let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut done = 0u64;
+    let mut sim: Option<DdSimulator> = None;
+    for shot in lo..hi {
+        if cancel.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(budget) = opts.config.limits.deadline {
+            if start.elapsed() >= budget {
+                cancel.store(true, Ordering::Relaxed);
+                let excess_ms = (start.elapsed() - budget).as_millis() as u64;
+                return Err((shot, SimError::Dd(DdError::DeadlineExceeded { excess_ms })));
+            }
+        }
+        let seed = shot_seed(opts.seed, shot);
+        let sim = match &mut sim {
+            Some(sim) => {
+                sim.restart(seed).map_err(|e| abort(cancel, shot, e))?;
+                sim
+            }
+            none => none.insert({
+                let mut s =
+                    DdSimulator::with_config(circuit.clone(), seed, opts.config);
+                s.set_dense_fallback(opts.dense_fallback);
+                s
+            }),
+        };
+        sim.run().map_err(|e| abort(cancel, shot, e))?;
+        let value = if analysis.has_measurements {
+            creg_value(sim.classical_bits(), 0, sim.classical_bits().len())
+        } else {
+            // Reset-only circuits: the trajectory is random but the final
+            // state still needs one basis-state draw from this shot's
+            // stream.
+            sim.sample(1)
+                .into_iter()
+                .next()
+                .map(|(basis, _)| basis)
+                .unwrap_or(0)
+        };
+        *counts.entry(value).or_insert(0) += 1;
+        done += 1;
+    }
+    Ok((counts, done))
+}
+
+/// Flags cancellation and shapes a worker error.
+fn abort(cancel: &AtomicBool, shot: u64, e: SimError) -> (u64, SimError) {
+    cancel.store(true, Ordering::Relaxed);
+    (shot, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shot_seeds_are_decorrelated_across_bases() {
+        // The old `seed + shot` scheme made runs with base seeds s and s+1
+        // share all but one stream; the SplitMix64 derivation must not.
+        let a: Vec<u64> = (0..64).map(|i| shot_seed(17, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| shot_seed(18, i)).collect();
+        let overlap = a.iter().filter(|s| b.contains(s)).count();
+        assert_eq!(overlap, 0, "adjacent base seeds must not share shot seeds");
+    }
+
+    #[test]
+    fn shot_seeds_are_distinct_within_a_run() {
+        let mut seeds: Vec<u64> = (0..10_000).map(|i| shot_seed(1, i)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10_000);
+    }
+}

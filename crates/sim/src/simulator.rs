@@ -199,10 +199,24 @@ impl DdSimulator {
     /// [`DdError::DeadlineExceeded`] / [`DdError::ResourceExhausted`] from
     /// the resource governor.
     pub fn run(&mut self) -> Result<VecEdge, SimError> {
+        self.run_until(self.circuit.len())
+    }
+
+    /// Runs the circuit's first `prefix_len` operations (from the current
+    /// cursor) — the shot engine's "execute the unitary prefix once" step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] exactly as [`run`](Self::run) does.
+    pub fn run_prefix(&mut self, prefix_len: usize) -> Result<VecEdge, SimError> {
+        self.run_until(prefix_len.min(self.circuit.len()))
+    }
+
+    fn run_until(&mut self, end: usize) -> Result<VecEdge, SimError> {
         let mut span = qdd_telemetry::span("sim.run");
         self.dd.arm_deadline();
         let mut outcome = Ok(());
-        while self.cursor < self.circuit.len() {
+        while self.cursor < end {
             if let Err(e) = self.step() {
                 outcome = Err(e);
                 break;
@@ -213,6 +227,28 @@ impl DdSimulator {
         span.field("peak_nodes", self.stats.peak_nodes);
         self.dd.publish_telemetry();
         outcome.map(|()| self.state)
+    }
+
+    /// Rewinds the simulator to a fresh `|0…0⟩` run of the same circuit
+    /// with a new RNG seed, **keeping the decision-diagram package** — its
+    /// unique tables, interned weights, and gate-DD cache stay warm, which
+    /// is what makes batched per-shot re-execution cheap. The caches are
+    /// result-transparent, so a restarted run is bit-identical to a fresh
+    /// simulator constructed with the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DdError`] if re-preparing `|0…0⟩` fails (node budget
+    /// fully consumed by retained live states).
+    pub fn restart(&mut self, seed: u64) -> Result<(), SimError> {
+        let fresh = self.dd.zero_state(self.circuit.num_qubits())?;
+        self.set_state(fresh);
+        self.classical.iter_mut().for_each(|b| *b = false);
+        self.cursor = 0;
+        self.rng = SmallRng::seed_from_u64(seed);
+        self.dense = None;
+        self.stats = SimStats::default();
+        Ok(())
     }
 
     /// Applies the next operation; returns `false` when the circuit is
@@ -428,9 +464,13 @@ impl DdSimulator {
 
     /// Samples `shots` basis states from the **current** state
     /// (non-destructively, paper ref \[16\]).
+    ///
+    /// Uniform draws always come from the simulator's seeded RNG — also
+    /// after a dense degradation, so a given seed yields the same stream
+    /// position regardless of which backend ended up serving the run.
     pub fn sample(&mut self, shots: u64) -> FxHashMap<u64, u64> {
-        if let Some(dense) = self.dense.as_mut() {
-            return dense.sample(shots);
+        if let Some(dense) = &self.dense {
+            return dense.sample_with_rng(shots, &mut self.rng);
         }
         self.dd.sample(self.state, shots, &mut self.rng)
     }
@@ -471,9 +511,19 @@ impl DdSimulator {
         Ok(sim)
     }
 
-    /// Repeats the full circuit `shots` times (fresh state each time) and
-    /// histograms the final **classical** bits — needed when mid-circuit
-    /// measurements make single-run sampling insufficient.
+    /// Repeats the full circuit `shots` times (fresh simulator each time)
+    /// and histograms each run's outcome — the serial reference
+    /// implementation the shot engine
+    /// ([`shots::run`](crate::shots::run)) is measured and verified
+    /// against. Circuits **with** measurements histogram the final
+    /// classical bits; circuits without histogram one basis-state draw from
+    /// each run's final state (previously every measurement-free run was
+    /// binned under classical value `0`).
+    ///
+    /// Shot `i` runs under [`shot_seed(seed, i)`](crate::shots::shot_seed),
+    /// giving every shot a decorrelated stream (the former `seed + i`
+    /// scheme made neighbouring base seeds share almost all of their
+    /// shots).
     ///
     /// # Errors
     ///
@@ -483,11 +533,24 @@ impl DdSimulator {
         shots: u64,
         seed: u64,
     ) -> Result<FxHashMap<u64, u64>, SimError> {
+        let has_measurements = circuit
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Operation::Measure { .. }));
         let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
         for shot in 0..shots {
-            let mut sim = Self::with_seed(circuit.clone(), seed.wrapping_add(shot));
+            let mut sim =
+                Self::with_seed(circuit.clone(), crate::shots::shot_seed(seed, shot));
             sim.run()?;
-            let value = creg_value(&sim.classical, 0, sim.classical.len());
+            let value = if has_measurements {
+                creg_value(&sim.classical, 0, sim.classical.len())
+            } else {
+                sim.sample(1)
+                    .into_iter()
+                    .next()
+                    .map(|(basis, _)| basis)
+                    .unwrap_or(0)
+            };
             *counts.entry(value).or_insert(0) += 1;
         }
         Ok(counts)

@@ -1,0 +1,245 @@
+//! Integration tests of the shot engine: correctness of the regime
+//! dispatch, statistical agreement of the fast paths with per-shot
+//! re-execution, and thread-count invariance of the mid-circuit path.
+
+use qdd_circuit::{library, MeasurementRegime, QuantumCircuit};
+use qdd_complex::FxHashMap;
+use qdd_core::{DdError, Limits, PackageConfig};
+use qdd_sim::shots::{self, HistogramKind, ShotOptions};
+use qdd_sim::{DdSimulator, SimError};
+
+/// Teleportation with deferred (quantum-controlled) corrections: same
+/// outcome distribution as [`library::teleportation`], but every
+/// measurement is terminal — the circuit the terminal fast path must agree
+/// with per-shot re-execution on.
+fn deferred_teleportation(theta: f64) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(3);
+    qc.add_creg("m", 3);
+    qc.ry(theta, 0); // payload state on q0
+    qc.h(1).cx(1, 2); // Bell pair q1–q2
+    qc.cx(0, 1).h(0); // Bell-basis change
+    qc.cx(1, 2).cz(0, 2); // corrections, deferred past the measurements
+    qc.measure(0, 0).measure(1, 1).measure(2, 2);
+    qc
+}
+
+/// Two-sample χ² statistic between histograms (both keyed by outcome).
+fn chi_square(a: &FxHashMap<u64, u64>, b: &FxHashMap<u64, u64>) -> f64 {
+    let n: u64 = a.values().sum();
+    let m: u64 = b.values().sum();
+    let (kn, km) = ((m as f64 / n as f64).sqrt(), (n as f64 / m as f64).sqrt());
+    let keys: std::collections::BTreeSet<u64> = a.keys().chain(b.keys()).copied().collect();
+    keys.iter()
+        .map(|k| {
+            let (x, y) = (
+                *a.get(k).unwrap_or(&0) as f64,
+                *b.get(k).unwrap_or(&0) as f64,
+            );
+            (x * kn - y * km).powi(2) / (x + y)
+        })
+        .sum()
+}
+
+#[test]
+fn no_measurement_regime_samples_final_state() {
+    let report = shots::run(&library::ghz(4), &ShotOptions::new(4000, 7)).unwrap();
+    assert_eq!(report.regime, MeasurementRegime::NoMeasurement);
+    assert_eq!(report.kind, HistogramKind::BasisStates);
+    assert_eq!(report.threads_used, 1);
+    assert_eq!(report.histogram.values().sum::<u64>(), 4000);
+    assert!(report.histogram.keys().all(|&k| k == 0 || k == 0b1111));
+    let zeros = *report.histogram.get(&0).unwrap_or(&0) as f64;
+    assert!((zeros / 4000.0 - 0.5).abs() < 0.05);
+}
+
+#[test]
+fn terminal_regime_reads_bits_off_samples() {
+    let mut qc = library::ghz(3);
+    qc.measure_all();
+    let report = shots::run(&qc, &ShotOptions::new(3000, 11)).unwrap();
+    assert_eq!(report.regime, MeasurementRegime::TerminalMeasurement);
+    assert_eq!(report.kind, HistogramKind::ClassicalBits);
+    assert!(report.histogram.keys().all(|&k| k == 0 || k == 0b111));
+    assert_eq!(report.histogram.values().sum::<u64>(), 3000);
+}
+
+#[test]
+fn terminal_fast_path_agrees_with_per_shot_reexecution() {
+    // χ²-style agreement on a teleportation-style circuit: the fast path
+    // (one prefix run + memoized path sampling + bit mapping) and honest
+    // per-shot re-execution must draw from the same distribution.
+    let qc = deferred_teleportation(1.1);
+    assert_eq!(qc.measurement_regime(), MeasurementRegime::TerminalMeasurement);
+    let fast = shots::run(&qc, &ShotOptions::new(6000, 5)).unwrap();
+    let reference = DdSimulator::run_shots(&qc, 6000, 1234).unwrap();
+    // 8 outcomes → 7 degrees of freedom; χ² < 24.3 keeps p > 0.001.
+    let x2 = chi_square(&fast.histogram, &reference);
+    assert!(x2 < 24.3, "χ² = {x2} — fast path diverges from re-execution");
+    // And against the mid-circuit engine on the *classically controlled*
+    // teleportation (payload lands on q0; measure it into a third bit):
+    // same payload, same marginal.
+    let mut mid_qc = library::teleportation(1.1);
+    mid_qc.add_creg("out", 1);
+    mid_qc.measure(0, 2);
+    let mid = shots::run(&mid_qc, &ShotOptions::new(6000, 9)).unwrap();
+    let marginal = |h: &FxHashMap<u64, u64>| -> f64 {
+        let ones: u64 = h.iter().filter(|(k, _)| *k >> 2 & 1 == 1).map(|(_, c)| c).sum();
+        ones as f64 / h.values().sum::<u64>() as f64
+    };
+    let expected = (1.1f64 / 2.0).sin().powi(2);
+    assert!((marginal(&fast.histogram) - expected).abs() < 0.03);
+    assert!((marginal(&mid.histogram) - expected).abs() < 0.03);
+}
+
+#[test]
+fn mid_circuit_engine_matches_run_shots_bit_for_bit() {
+    // Same per-shot seeds ⇒ the engine (batched, restart-reused simulators)
+    // must reproduce the serial reference exactly, not just statistically.
+    let qc = library::teleportation(0.7);
+    assert_eq!(qc.measurement_regime(), MeasurementRegime::MidCircuit);
+    let reference = DdSimulator::run_shots(&qc, 500, 42).unwrap();
+    let mut opts = ShotOptions::new(500, 42);
+    opts.threads = 1;
+    let report = shots::run(&qc, &opts).unwrap();
+    assert_eq!(report.regime, MeasurementRegime::MidCircuit);
+    assert_eq!(report.kind, HistogramKind::ClassicalBits);
+    assert_eq!(report.histogram, reference);
+}
+
+#[test]
+fn mid_circuit_histograms_are_thread_count_invariant() {
+    // Per-shot seed derivation makes the merged histogram a pure function
+    // of (base seed, shot count) — any worker partition, same bits.
+    let qc = library::teleportation(0.4);
+    let single = {
+        let mut o = ShotOptions::new(600, 99);
+        o.threads = 1;
+        shots::run(&qc, &o).unwrap()
+    };
+    for threads in [2, 3, 8] {
+        let mut o = ShotOptions::new(600, 99);
+        o.threads = threads;
+        let multi = shots::run(&qc, &o).unwrap();
+        assert_eq!(
+            multi.histogram, single.histogram,
+            "{threads}-thread histogram differs from 1-thread"
+        );
+        assert_eq!(multi.threads_used, threads);
+        assert_eq!(multi.worker_shots.iter().sum::<u64>(), 600);
+    }
+}
+
+#[test]
+fn reset_only_circuits_histogram_basis_states() {
+    // Mid-circuit regime without measurements (reset feedback): shots must
+    // histogram final basis states, not collapse to classical value 0.
+    let mut qc = QuantumCircuit::new(2);
+    qc.h(0).reset(0).h(1);
+    assert_eq!(qc.measurement_regime(), MeasurementRegime::MidCircuit);
+    let mut opts = ShotOptions::new(800, 21);
+    opts.threads = 2;
+    let report = shots::run(&qc, &opts).unwrap();
+    assert_eq!(report.kind, HistogramKind::BasisStates);
+    // q0 always reset to |0⟩, q1 uniform: outcomes 0b00 and 0b10 only.
+    assert!(report.histogram.keys().all(|&k| k == 0b00 || k == 0b10));
+    let ones = *report.histogram.get(&0b10).unwrap_or(&0) as f64;
+    assert!((ones / 800.0 - 0.5).abs() < 0.06);
+    // And it matches the serial reference bit-for-bit.
+    let reference = DdSimulator::run_shots(&qc, 800, 21).unwrap();
+    assert_eq!(report.histogram, reference);
+}
+
+#[test]
+fn run_shots_no_longer_bins_unmeasured_circuits_to_zero() {
+    // Regression for the histogramming bug: a measurement-free circuit used
+    // to have every shot counted under classical value 0.
+    let counts = DdSimulator::run_shots(&library::ghz(2), 200, 3).unwrap();
+    assert!(counts.len() > 1, "all shots binned together: {counts:?}");
+    assert!(counts.keys().all(|&k| k == 0b00 || k == 0b11));
+}
+
+#[test]
+fn shot_streams_are_decorrelated_across_base_seeds() {
+    // Regression for the seed.wrapping_add(shot) bug: runs under base seeds
+    // s and s+1 used to share all but one of their per-shot streams. Now
+    // the overlap of drawn outcomes sequences must look independent.
+    let mut qc = QuantumCircuit::new(1);
+    qc.add_creg("c", 1);
+    qc.h(0).measure(0, 0).gate_if(
+        qdd_circuit::StandardGate::X,
+        vec![],
+        0,
+        qdd_circuit::Condition { creg: 0, value: 1 },
+    );
+    let a = DdSimulator::run_shots(&qc, 400, 50).unwrap();
+    let b = DdSimulator::run_shots(&qc, 400, 51).unwrap();
+    // Both fair-coin histograms; equality of full 400-draw sequences would
+    // be astronomically unlikely under independence *per-shot*, but counts
+    // are coarse — so check the underlying seeds directly too.
+    let shared = (0..400)
+        .filter(|&i| shots::shot_seed(50, i) == shots::shot_seed(51, i))
+        .count();
+    assert_eq!(shared, 0, "adjacent base seeds share per-shot seeds");
+    assert!((a.values().sum::<u64>(), b.values().sum::<u64>()) == (400, 400));
+}
+
+#[test]
+fn deadline_propagates_through_the_engine() {
+    let config = PackageConfig {
+        limits: Limits {
+            deadline: Some(std::time::Duration::ZERO),
+            ..Limits::default()
+        },
+        ..PackageConfig::default()
+    };
+    let mut opts = ShotOptions::new(100, 1);
+    opts.config = config;
+    opts.threads = 2;
+    let err = shots::run(&library::teleportation(0.3), &opts).unwrap_err();
+    assert!(matches!(err, SimError::Dd(DdError::DeadlineExceeded { .. })));
+}
+
+#[test]
+fn node_budget_error_propagates_without_fallback() {
+    let config = PackageConfig {
+        limits: Limits {
+            max_nodes: Some(8),
+            ..Limits::default()
+        },
+        ..PackageConfig::default()
+    };
+    let mut opts = ShotOptions::new(50, 1);
+    opts.config = config;
+    opts.dense_fallback = false;
+    let err = shots::run(&library::qft(8, true), &opts).unwrap_err();
+    assert!(matches!(err, SimError::Dd(DdError::ResourceExhausted { .. })));
+}
+
+#[test]
+fn dense_degraded_fast_path_is_seed_deterministic() {
+    // Under a tight node budget the fast path degrades to the dense
+    // backend; sampling must still come from the engine's seeded stream,
+    // so identical options ⇒ identical histograms.
+    let config = PackageConfig {
+        limits: Limits {
+            max_nodes: Some(16),
+            ..Limits::default()
+        },
+        ..PackageConfig::default()
+    };
+    let mut qc = QuantumCircuit::new(6);
+    for layer in 0..3 {
+        for q in 0..6 {
+            qc.ry(0.37 + 0.11 * (layer * 6 + q) as f64, q);
+        }
+        for q in 0..5 {
+            qc.cx(q, q + 1);
+        }
+    }
+    let mut opts = ShotOptions::new(400, 13);
+    opts.config = config;
+    let a = shots::run(&qc, &opts).unwrap();
+    let b = shots::run(&qc, &opts).unwrap();
+    assert_eq!(a.histogram, b.histogram);
+    assert_eq!(a.histogram.values().sum::<u64>(), 400);
+}

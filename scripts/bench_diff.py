@@ -62,6 +62,15 @@ def diff_metrics(name, b, c, hit_rate_threshold, warnings):
         if growth > 25.0:
             warnings.append(
                 f"{name}: peak nodes grew {bp} -> {cp} ({growth:+.0f}%)")
+    # Sampling throughput (higher is better — the inverse of wall time, so
+    # a *drop* is the regression direction).
+    bs, cs = b.get("shots_per_sec", 0.0), c.get("shots_per_sec", 0.0)
+    if bs > 0 and cs > 0:
+        drop = (bs - cs) / bs * 100.0
+        if drop > 15.0:
+            warnings.append(
+                f"{name}: sampling throughput fell {bs:,.0f} -> {cs:,.0f} "
+                f"shots/s ({drop:.0f}% drop)")
     # GC pause totals from the embedded telemetry snapshot, when both sides
     # carry one (older baselines predate the `metrics` field).
     bgc = gc_total_ms(b)
@@ -112,7 +121,12 @@ def main():
         if delta > args.threshold and max(b, c) >= MIN_MEANINGFUL_MS:
             flag = "  <-- REGRESSION"
             regressions.append((name, b, c, delta))
-        print(f"{name:<28} {b:>10.3f} {c:>10.3f} {delta:>+7.1f}%{flag}")
+        extra = ""
+        bs = base[key].get("shots_per_sec", 0.0)
+        cs = cur[key].get("shots_per_sec", 0.0)
+        if bs > 0 and cs > 0:
+            extra = f"  ({bs:,.0f} -> {cs:,.0f} shots/s)"
+        print(f"{name:<28} {b:>10.3f} {c:>10.3f} {delta:>+7.1f}%{flag}{extra}")
 
     missing = sorted(set(base) - set(cur))
     if missing:
