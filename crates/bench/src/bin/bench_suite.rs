@@ -17,7 +17,7 @@
 //!   --reps N                   timing repetitions per workload (default 3)
 
 use qdd_bench::fmt_duration;
-use qdd_bench::workloads::Family;
+use qdd_bench::workloads::{self, Family};
 use qdd_sim::DdSimulator;
 use qdd_verify::{EquivalenceChecker, Strategy};
 use std::fmt::Write as _;
@@ -40,6 +40,9 @@ struct Record {
     gate_cache_hits: u64,
     /// Sampling throughput (0.0 for non-sampling phases).
     shots_per_sec: f64,
+    /// Fidelity lower bound achieved by the run (1.0 for exact phases; the
+    /// `approx` family records what its node budget cost in state quality).
+    fidelity: f64,
     /// Telemetry snapshot of one extra untimed repetition (span timings,
     /// GC pauses, table hit rates) — the *why* behind `wall_ms` moves.
     /// Timed repetitions always run with telemetry disabled.
@@ -63,7 +66,7 @@ impl Record {
              \"wall_ms\": {:.3}, \"peak_nodes\": {}, \
              \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
              \"gate_cache_lookups\": {}, \"gate_cache_hits\": {}, \"gate_cache_hit_rate\": {:.4}, \
-             \"shots_per_sec\": {:.1}, \"complex_entries\": {}}}",
+             \"shots_per_sec\": {:.1}, \"fidelity\": {:.6}, \"complex_entries\": {}}}",
             self.family,
             self.phase,
             self.n,
@@ -77,6 +80,7 @@ impl Record {
             self.gate_cache_hits,
             Self::hit_rate(self.gate_cache_lookups, self.gate_cache_hits),
             self.shots_per_sec,
+            self.fidelity,
             self.complex_entries,
         );
         // Splice in the (already serialized) telemetry snapshot.
@@ -180,6 +184,7 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
         gate_cache_lookups: stats.gate_cache_lookups,
         gate_cache_hits: stats.gate_cache_hits,
         shots_per_sec: 0.0,
+        fidelity: 1.0,
         metrics,
     }
 }
@@ -222,6 +227,60 @@ fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
         gate_cache_lookups: stats.gate_cache_lookups,
         gate_cache_hits: stats.gate_cache_hits,
         shots_per_sec: 0.0,
+        fidelity: 1.0,
+        metrics,
+    }
+}
+
+/// The `approx` family: workloads at node caps that exhaust the exact
+/// engine (the dense fallback is disabled so the run stands or falls with
+/// the approximation rung), recording the nodes saved against the fidelity
+/// paid. One timed repetition: the interesting outputs — fidelity bound,
+/// peak nodes, rounds — are deterministic, and wall time is secondary.
+fn bench_approx(
+    phase: &'static str,
+    circuit: qdd_circuit::QuantumCircuit,
+    cap: usize,
+    floor: f64,
+) -> Record {
+    let config = qdd_core::PackageConfig {
+        limits: qdd_core::Limits {
+            max_nodes: Some(cap),
+            min_fidelity: Some(floor),
+            ..qdd_core::Limits::default()
+        },
+        ..qdd_core::PackageConfig::default()
+    };
+    let t0 = Instant::now();
+    let mut sim = DdSimulator::with_config(circuit.clone(), 1, config);
+    sim.set_dense_fallback(false);
+    sim.run().expect("approximation must complete this workload");
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        sim.stats().approx_rounds > 0,
+        "{phase}: the cap must actually trigger the approximation rung"
+    );
+    assert!(sim.stats().fidelity_lower_bound >= floor);
+    let stats = sim.package().stats();
+    let metrics = collect_metrics(|| {
+        let mut sim = DdSimulator::with_config(circuit.clone(), 1, config);
+        sim.set_dense_fallback(false);
+        sim.run().expect("approximation must complete this workload");
+    });
+    Record {
+        family: "approx",
+        phase,
+        n: circuit.num_qubits(),
+        gates: circuit.gate_count(),
+        wall_ms: wall,
+        peak_nodes: sim.stats().peak_nodes,
+        cache_lookups: stats.cache_lookups,
+        cache_hits: stats.cache_hits,
+        complex_entries: stats.complex_entries,
+        gate_cache_lookups: stats.gate_cache_lookups,
+        gate_cache_hits: stats.gate_cache_hits,
+        shots_per_sec: 0.0,
+        fidelity: sim.stats().fidelity_lower_bound,
         metrics,
     }
 }
@@ -262,6 +321,7 @@ fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool) -> R
         gate_cache_lookups: 0,
         gate_cache_hits: 0,
         shots_per_sec: shots as f64 / (best / 1e3),
+        fidelity: 1.0,
         metrics,
     }
 }
@@ -313,6 +373,7 @@ fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize) -> Record 
         gate_cache_lookups: 0,
         gate_cache_hits: 0,
         shots_per_sec: shots as f64 / (best / 1e3),
+        fidelity: 1.0,
         metrics,
     }
 }
@@ -412,6 +473,31 @@ fn main() {
             r.n,
             fmt_duration(std::time::Duration::from_secs_f64(r.wall_ms / 1e3)),
             r.shots_per_sec
+        );
+        records.push(r);
+    }
+
+    // The approx family: graceful-degradation quality tracking. Caps are
+    // pinned where the exact engine exhausts (see tests/robustness.rs and
+    // the CI gating step) so the records measure the approximation rung.
+    let approx_workloads: Vec<(&'static str, qdd_circuit::QuantumCircuit, usize, f64)> =
+        if small {
+            vec![("random-entangled", workloads::random_entangled(8, 3), 160, 0.5)]
+        } else {
+            vec![
+                ("random-entangled", workloads::random_entangled(8, 3), 160, 0.5),
+                ("clifford-t", Family::CliffordT.circuit(15), 88_000, 0.85),
+            ]
+        };
+    for (phase, qc, cap, floor) in approx_workloads {
+        let r = bench_approx(phase, qc, cap, floor);
+        println!(
+            "approx  {:>10}  n={:<2}  {:>10}  fidelity ≥ {:.4}, peak {} nodes",
+            r.phase,
+            r.n,
+            fmt_duration(std::time::Duration::from_secs_f64(r.wall_ms / 1e3)),
+            r.fidelity,
+            r.peak_nodes
         );
         records.push(r);
     }

@@ -59,6 +59,23 @@ impl Family {
     }
 }
 
+/// Entangling ry/cx layers with incommensurate rotation angles: the state
+/// has no product structure, so its diagram grows exponentially in the
+/// register — the adversarial workload for a node budget, and the
+/// `approx` bench family's non-Clifford member.
+pub fn random_entangled(n: usize, layers: usize) -> QuantumCircuit {
+    let mut qc = QuantumCircuit::new(n);
+    for layer in 0..layers {
+        for q in 0..n {
+            qc.ry(0.37 + 0.11 * (layer * n + q) as f64, q);
+        }
+        for q in 0..n - 1 {
+            qc.cx(q, q + 1);
+        }
+    }
+    qc
+}
+
 /// The paper's verification pair: QFT with swaps vs its Fig. 5(b)-style
 /// compiled form.
 pub fn qft_pair(n: usize) -> (QuantumCircuit, QuantumCircuit) {

@@ -26,8 +26,17 @@ OPTIONS:
   --state           print the amplitude table of the final state
   --threshold P     hide amplitudes below probability P (default 1e-9)
   --node-limit N    cap live DD nodes; under pressure the run GCs, then
-                    degrades to dense simulation (≤ 24 qubits), then fails
+                    approximates (with --min-fidelity), then degrades to
+                    dense simulation (≤ 24 qubits), then fails
   --timeout-ms N    wall-clock budget for the run
+  --min-fidelity F  allow fidelity-bounded approximation under resource
+                    pressure, keeping the state's fidelity to the exact
+                    run at least F (in (0, 1]); runs that approximated
+                    exit with code 4
+  --approx-policy P approximation strategy: budget (default; prune the
+                    cheapest subtrees within the fidelity budget) or
+                    threshold:EPS (zero edges contributing < EPS).
+                    Requires --min-fidelity
   --stats           print the full engine statistics snapshot (per-table
                     hit rates, gate-DD cache, complex-table interning,
                     GC activity, peak nodes)
@@ -41,16 +50,22 @@ OPTIONS:
   --html PATH       write a step-by-step HTML explorer of the whole run
   --style STYLE     classic | colored | modern  (default classic)
 
-EXIT STATUS: 0 on success, 1 on bad input, 3 when a resource budget
-(--node-limit, --timeout-ms) is exhausted.";
+EXIT STATUS: 0 on success (exact result), 1 on bad input, 3 when a
+resource budget (--node-limit, --timeout-ms) is exhausted, 4 when the run
+completed but the result is approximate (--min-fidelity pruning fired).";
 
 const FLAGS: &[&str] = &[
     "--seed", "--shots", "--threads", "--state", "--threshold", "--node-limit",
     "--timeout-ms", "--stats", "--stats-json", "--svg", "--dot", "--html",
-    "--style", "--profile", "--metrics-out", "--trace-out",
+    "--style", "--profile", "--metrics-out", "--trace-out", "--min-fidelity",
+    "--approx-policy",
 ];
 
-pub fn run(argv: &[String]) -> Result<(), CmdError> {
+/// Exit code reported to `main` when the run finished but the state was
+/// approximated under resource pressure.
+pub const EXIT_APPROXIMATE: u8 = 4;
+
+pub fn run(argv: &[String]) -> Result<u8, CmdError> {
     let args = Args::parse(argv, FLAGS)?;
     let [path] = args.positional.as_slice() else {
         return Err(CmdError::Input(format!(
@@ -107,10 +122,27 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
     };
     let mut sim = qdd_sim::DdSimulator::with_config(circuit.clone(), seed, config);
     if let Err(e) = sim.run() {
+        // A blown deadline returns immediately without climbing the ladder
+        // (time spent cannot be GC'd back), so the trail would be fiction.
+        if !matches!(
+            e,
+            qdd_sim::SimError::Dd(qdd_core::DdError::DeadlineExceeded { .. })
+        ) {
+            print_degradation_trail(&sim, &circuit, &limits);
+        }
         // Still write the requested telemetry outputs: the trace of a run
         // that hit its budget is exactly what a post-mortem needs.
         let _ = crate::telemetry::finish(&args, telemetry_on);
         return Err(CmdError::from_sim(&e));
+    }
+    if sim.stats().is_approximate() {
+        println!(
+            "budget pressure: approximated in {} rounds, fidelity ≥ {:.6} \
+             ({} nodes pruned)",
+            sim.stats().approx_rounds,
+            sim.stats().fidelity_lower_bound,
+            sim.stats().approx_nodes_removed
+        );
     }
     if sim.degraded_to_dense() {
         println!(
@@ -176,6 +208,15 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             "  GC: {} runs ({} under pressure)",
             pkg.gc_runs, pkg.gc_pressure_runs
         );
+        if sim.stats().approx_rounds > 0 {
+            println!(
+                "  approximation: {} rounds, {} nodes pruned, \
+                 fidelity lower bound {:.6}",
+                sim.stats().approx_rounds,
+                sim.stats().approx_nodes_removed,
+                sim.stats().fidelity_lower_bound
+            );
+        }
         if pkg.compute_evictions > 0 || pkg.compute_clears > 0 {
             println!(
                 "  pressure: {} entries dropped by collisions, {} table clears",
@@ -217,6 +258,10 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         }
     }
 
+    // Exit code 4 signals "completed, but the result is approximate". The
+    // shot path below can only tighten this with the workers' merged bound.
+    let mut approximate = sim.stats().is_approximate();
+
     if shots > 0 {
         // Shots run through the shot engine, not by sampling the final
         // state of the run above: for circuits with mid-circuit
@@ -232,6 +277,13 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
                 return Err(CmdError::from_sim(&e));
             }
         };
+        if report.is_approximate() {
+            approximate = true;
+            println!(
+                "shots are approximate: per-shot fidelity ≥ {:.6}",
+                report.fidelity_lower_bound
+            );
+        }
         let mut entries: Vec<_> = report.histogram.into_iter().collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         if report.threads_used > 1 {
@@ -275,7 +327,45 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         println!("wrote {dot_path}");
     }
     crate::telemetry::finish(&args, telemetry_on)?;
-    Ok(())
+    Ok(if approximate { EXIT_APPROXIMATE } else { 0 })
+}
+
+/// Reports which degradation rungs ran before a resource failure, so the
+/// error's "what now?" is answerable from the transcript alone: raise the
+/// budget, lower `--min-fidelity`, or accept that the circuit is too big.
+fn print_degradation_trail(
+    sim: &qdd_sim::DdSimulator,
+    circuit: &qdd_circuit::QuantumCircuit,
+    limits: &qdd_core::Limits,
+) {
+    let stats = sim.stats();
+    eprintln!("degradation ladder exhausted:");
+    eprintln!(
+        "  1. pressure GC: {} forced collection{}",
+        stats.gc_pressure_runs,
+        if stats.gc_pressure_runs == 1 { "" } else { "s" }
+    );
+    match limits.min_fidelity {
+        Some(f) if stats.approx_rounds > 0 => eprintln!(
+            "  2. approximation: {} rounds within --min-fidelity {f} \
+             (bound {:.6}), still over budget",
+            stats.approx_rounds, stats.fidelity_lower_bound
+        ),
+        Some(f) => eprintln!(
+            "  2. approximation: no subtree prunable within --min-fidelity {f}"
+        ),
+        None => eprintln!("  2. approximation: skipped (no --min-fidelity)"),
+    }
+    let n = circuit.num_qubits();
+    if n > qdd_sim::MAX_DENSE_QUBITS {
+        eprintln!(
+            "  3. dense fallback: unavailable ({n} qubits exceeds the \
+             {}-qubit dense cap)",
+            qdd_sim::MAX_DENSE_QUBITS
+        );
+    } else {
+        eprintln!("  3. dense fallback: failed");
+    }
 }
 
 /// Serializes the full post-run statistics snapshot (`--stats-json`) as one
@@ -309,12 +399,17 @@ fn stats_json(circuit: &qdd_circuit::QuantumCircuit, sim: &qdd_sim::DdSimulator)
     let _ = write!(
         out,
         ",\"run\":{{\"applied_ops\":{},\"peak_nodes\":{},\"final_nodes\":{},\
-         \"dense_fallback\":{},\"gc_pressure_runs\":{}}}",
+         \"dense_fallback\":{},\"gc_pressure_runs\":{},\
+         \"fidelity_lower_bound\":{:.9},\"approx_rounds\":{},\
+         \"approx_nodes_removed\":{}}}",
         run.applied_ops,
         run.peak_nodes,
         sim.node_count(),
         run.dense_fallback,
-        run.gc_pressure_runs
+        run.gc_pressure_runs,
+        run.fidelity_lower_bound,
+        run.approx_rounds,
+        run.approx_nodes_removed
     );
     let _ = write!(
         out,

@@ -32,6 +32,8 @@ Run `qdd help <command>` for per-command options.";
 
 /// Exit code for resource exhaustion (node budget or deadline), distinct
 /// from 1 (bad input / failure) so scripts can retry with a larger budget.
+/// Successful-but-approximated runs exit with
+/// [`commands::simulate::EXIT_APPROXIMATE`] (4).
 const EXIT_RESOURCE: u8 = 3;
 
 fn main() -> ExitCode {
@@ -41,11 +43,11 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &argv[1..];
-    let result: Result<(), commands::CmdError> = match command.as_str() {
+    let result: Result<u8, commands::CmdError> = match command.as_str() {
         "simulate" => commands::simulate::run(rest),
-        "verify" => commands::verify::run(rest),
-        "render" => commands::render::run(rest).map_err(Into::into),
-        "circuit" => commands::circuit::run(rest).map_err(Into::into),
+        "verify" => commands::verify::run(rest).map(|()| 0),
+        "render" => commands::render::run(rest).map(|()| 0).map_err(Into::into),
+        "circuit" => commands::circuit::run(rest).map(|()| 0).map_err(Into::into),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("simulate") => println!("{}", commands::simulate::HELP),
@@ -54,14 +56,14 @@ fn main() -> ExitCode {
                 Some("circuit") => println!("{}", commands::circuit::HELP),
                 _ => println!("{USAGE}"),
             }
-            Ok(())
+            Ok(0)
         }
         other => Err(commands::CmdError::Input(format!(
             "unknown command `{other}`\n\n{USAGE}"
         ))),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(commands::CmdError::Input(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE

@@ -199,6 +199,81 @@ fn circuit_ascii_art_and_optimize() {
     std::fs::remove_file(file).ok();
 }
 
+/// Entangling ry/cx layers with incommensurate angles — the adversarial
+/// workload for a node budget (mirrors the robustness suite's generator).
+fn adversarial_qasm(n: usize, layers: usize) -> String {
+    let mut s = format!("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[{n}];\n");
+    for layer in 0..layers {
+        for q in 0..n {
+            let theta = 0.37 + 0.11 * (layer * n + q) as f64;
+            s.push_str(&format!("ry({theta}) q[{q}];\n"));
+        }
+        for q in 0..n - 1 {
+            s.push_str(&format!("cx q[{q}],q[{}];\n", q + 1));
+        }
+    }
+    s
+}
+
+#[test]
+fn simulate_exits_four_when_approximated() {
+    let file = temp_file("approx.qasm", &adversarial_qasm(8, 3));
+    let out = qdd(&[
+        "simulate",
+        file.to_str().unwrap(),
+        "--node-limit",
+        "160",
+        "--min-fidelity",
+        "0.5",
+        "--stats-json",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "approximate completion must exit 4\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("approximated in"), "{text}");
+    // The stats JSON carries the bound; it must sit in [0.5, 1).
+    let json = text
+        .lines()
+        .find(|l| l.starts_with("{\"schema\":\"qdd-stats-v1\""))
+        .expect("stats JSON line");
+    let bound: f64 = json
+        .split("\"fidelity_lower_bound\":")
+        .nth(1)
+        .and_then(|rest| rest.split(&[',', '}'][..]).next())
+        .and_then(|v| v.trim().parse().ok())
+        .expect("fidelity_lower_bound in stats JSON");
+    assert!((0.5..1.0).contains(&bound), "bound {bound} out of range");
+    assert!(json.contains("\"dense_fallback\":false"), "{json}");
+    std::fs::remove_file(file).ok();
+}
+
+#[test]
+fn simulate_prints_degradation_trail_on_exhaustion() {
+    let file = temp_file("exhaust.qasm", &adversarial_qasm(26, 3));
+    let out = qdd(&[
+        "simulate",
+        file.to_str().unwrap(),
+        "--node-limit",
+        "10000",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "resource exhaustion must exit 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degradation ladder exhausted"), "{err}");
+    assert!(err.contains("skipped (no --min-fidelity)"), "{err}");
+    assert!(
+        err.contains("26 qubits exceeds the 24-qubit dense cap"),
+        "{err}"
+    );
+    // The typed error names the budget that tripped and its limit.
+    assert!(err.contains("max_nodes = 10000"), "{err}");
+    std::fs::remove_file(file).ok();
+}
+
 #[test]
 fn real_files_load() {
     let file = temp_file("t.real", ".numvars 2\n.begin\nt1 x1\nt2 x1 x2\n.end\n");

@@ -13,6 +13,23 @@ pub enum ResourceKind {
     ComplexEntries,
     /// Operation recursion depth ([`Limits::recursion_depth`](crate::Limits::recursion_depth)).
     RecursionDepth,
+    /// Memoized operation results ([`Limits::max_compute_entries`](crate::Limits::max_compute_entries)).
+    /// Caches normally evict instead of erroring; reserved for drivers that
+    /// treat eviction pressure as a hard failure.
+    ComputeEntries,
+}
+
+impl ResourceKind {
+    /// The [`Limits`](crate::Limits) field that configures this budget —
+    /// so an exhaustion message tells the user which knob to turn.
+    pub fn limit_name(&self) -> &'static str {
+        match self {
+            ResourceKind::Nodes => "max_nodes",
+            ResourceKind::ComplexEntries => "max_complex_entries",
+            ResourceKind::RecursionDepth => "recursion_depth",
+            ResourceKind::ComputeEntries => "max_compute_entries",
+        }
+    }
 }
 
 impl fmt::Display for ResourceKind {
@@ -21,6 +38,7 @@ impl fmt::Display for ResourceKind {
             ResourceKind::Nodes => "node budget",
             ResourceKind::ComplexEntries => "complex-table budget",
             ResourceKind::RecursionDepth => "recursion depth limit",
+            ResourceKind::ComputeEntries => "compute-table budget",
         })
     }
 }
@@ -137,7 +155,11 @@ impl fmt::Display for DdError {
                 write!(f, "dense export of {num_qubits} qubits exceeds the {max}-qubit limit")
             }
             DdError::ResourceExhausted { kind, limit, used } => {
-                write!(f, "{kind} exhausted: {used} used, limit {limit}")
+                write!(
+                    f,
+                    "{kind} exhausted: {used} used, configured limit {} = {limit}",
+                    kind.limit_name()
+                )
             }
             DdError::DeadlineExceeded { excess_ms } => {
                 write!(f, "deadline exceeded by {excess_ms} ms")
@@ -172,8 +194,22 @@ mod tests {
             limit: 10_000,
             used: 10_001,
         };
-        assert_eq!(e.to_string(), "node budget exhausted: 10001 used, limit 10000");
+        assert_eq!(
+            e.to_string(),
+            "node budget exhausted: 10001 used, configured limit max_nodes = 10000"
+        );
         assert!(e.is_resource());
+        // Every kind names the Limits field that configures it.
+        for (kind, name) in [
+            (ResourceKind::Nodes, "max_nodes"),
+            (ResourceKind::ComplexEntries, "max_complex_entries"),
+            (ResourceKind::RecursionDepth, "recursion_depth"),
+            (ResourceKind::ComputeEntries, "max_compute_entries"),
+        ] {
+            assert_eq!(kind.limit_name(), name);
+            let msg = DdError::ResourceExhausted { kind, limit: 1, used: 2 }.to_string();
+            assert!(msg.contains(name), "{msg:?} lacks {name}");
+        }
         let d = DdError::DeadlineExceeded { excess_ms: 7 };
         assert_eq!(d.to_string(), "deadline exceeded by 7 ms");
         assert!(d.is_resource());

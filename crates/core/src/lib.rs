@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+mod approx;
 mod compute;
 mod error;
 mod export;
@@ -61,10 +62,11 @@ mod serialize;
 mod traverse;
 mod types;
 
+pub use approx::ApproxReport;
 pub use compute::ComputeTableStat;
 pub use error::{DdError, ResourceKind};
 pub use gates::{Control, GateMatrix, Polarity};
-pub use limits::{Limits, DEFAULT_AUTO_GC_THRESHOLD, DEFAULT_COMPLEX_GC_THRESHOLD};
+pub use limits::{ApproxPolicy, Limits, DEFAULT_AUTO_GC_THRESHOLD, DEFAULT_COMPLEX_GC_THRESHOLD};
 pub use measure::MeasurementOutcome;
 pub use node::{MNode, Node, VNode};
 pub use observable::{ParsePauliError, Pauli, PauliString};

@@ -43,7 +43,7 @@ pub const DEFAULT_COMPLEX_GC_THRESHOLD: usize = 1 << 15;
 /// use qdd_core::Limits;
 /// let limits = Limits { max_nodes: Some(10_000), ..Limits::default() };
 /// ```
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Limits {
     /// Ceiling on live decision-diagram nodes (vector + matrix). Exceeding
     /// it makes node construction return
@@ -70,6 +70,36 @@ pub struct Limits {
     /// gate; past this point the interning index has outgrown the CPU
     /// caches and a collection pays for itself.
     pub complex_gc_threshold: usize,
+    /// Minimum acceptable state fidelity for approximation-based
+    /// degradation. `Some(f)` authorizes drivers to prune the state when a
+    /// hard budget trips, as long as the *cumulative* fidelity lower bound
+    /// across all pruning rounds stays ≥ `f`. `None` (the default) disables
+    /// the approximation rung entirely. Inert on its own — it only changes
+    /// behavior once another budget (nodes, complex entries) applies
+    /// pressure — so it does not affect [`Limits::is_unlimited`].
+    pub min_fidelity: Option<f64>,
+    /// Which of the paper's two approximation strategies the degradation
+    /// rung uses when [`Limits::min_fidelity`] is set.
+    pub approx_policy: ApproxPolicy,
+}
+
+/// Approximation strategy for the fidelity-bounded degradation rung
+/// (arXiv 2002.04904 implements both).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub enum ApproxPolicy {
+    /// One-shot fidelity-budget pruning: remove the cheapest subtrees until
+    /// the removed `|amplitude|²` mass reaches the round's fidelity budget.
+    /// The default; spends exactly as much fidelity as shrinking requires.
+    #[default]
+    FidelityBudget,
+    /// Threshold contraction: zero every edge whose contribution falls
+    /// below `epsilon`. Cheaper per pass but spends fidelity eagerly; a
+    /// round whose bound lands below the remaining budget is rejected.
+    Threshold {
+        /// Contribution cutoff in `|amplitude|²` mass; edges routing less
+        /// probability than this are zeroed.
+        epsilon: f64,
+    },
 }
 
 impl Default for Limits {
@@ -82,6 +112,8 @@ impl Default for Limits {
             recursion_depth: None,
             auto_gc_threshold: DEFAULT_AUTO_GC_THRESHOLD,
             complex_gc_threshold: DEFAULT_COMPLEX_GC_THRESHOLD,
+            min_fidelity: None,
+            approx_policy: ApproxPolicy::FidelityBudget,
         }
     }
 }
@@ -198,6 +230,10 @@ mod tests {
         // The GC threshold alone is a tuning knob, not a budget.
         let tuned = Limits { auto_gc_threshold: 10, ..Limits::default() };
         assert!(tuned.is_unlimited());
+        // min_fidelity alone is inert: without a budget applying pressure,
+        // the approximation rung never fires.
+        let approx = Limits { min_fidelity: Some(0.9), ..Limits::default() };
+        assert!(approx.is_unlimited());
     }
 
     #[test]

@@ -80,6 +80,9 @@ impl DdPackage {
 
     /// Whether a new node allocation fits the configured budgets.
     pub(crate) fn check_alloc_budget(&self) -> Result<(), DdError> {
+        if self.budget_bypass {
+            return Ok(());
+        }
         if let Some(max) = self.config.limits.max_nodes {
             let live = self.live_node_estimate();
             if live >= max {

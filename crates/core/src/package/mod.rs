@@ -108,6 +108,12 @@ pub struct DdPackage {
     births: u64,
     gc_runs: u64,
     governor: Governor,
+    /// When set, `check_alloc_budget` waves allocations through. Only the
+    /// approximation rebuild raises it: pruning must be able to run *while*
+    /// the allocator is exhausted (that is the whole point), transiently
+    /// overshooting the budget by at most the reachable set it is about to
+    /// shrink.
+    pub(crate) budget_bypass: bool,
 }
 
 impl DdPackage {
@@ -132,6 +138,7 @@ impl DdPackage {
             births: 0,
             gc_runs: 0,
             governor: Governor::default(),
+            budget_bypass: false,
         }
     }
 

@@ -136,6 +136,19 @@ pub struct ShotReport {
     pub worker_shots: Vec<u64>,
     /// Wall time of the whole job.
     pub elapsed: Duration,
+    /// Lower bound on the fidelity of the state(s) the histogram was drawn
+    /// from — `1.0` unless the approximation rung
+    /// ([`Limits::min_fidelity`](qdd_core::Limits::min_fidelity)) degraded
+    /// a run. In the mid-circuit regime this is the **minimum** across all
+    /// workers' shots: the weakest guarantee any sampled trajectory had.
+    pub fidelity_lower_bound: f64,
+}
+
+impl ShotReport {
+    /// Whether any contributing run was degraded by the approximation rung.
+    pub fn is_approximate(&self) -> bool {
+        self.fidelity_lower_bound < 1.0
+    }
 }
 
 /// Runs a sampling job over `circuit`, dispatching on its measurement
@@ -223,12 +236,15 @@ fn run_shared_state(
         threads_used: 1,
         worker_shots: vec![opts.shots],
         elapsed: Duration::ZERO,
+        // One shared state served every shot; its bound is the job's bound.
+        fidelity_lower_bound: sim.stats().fidelity_lower_bound,
     })
 }
 
-/// What one worker returns: its partial histogram and completed-shot count,
-/// or the index of the shot that failed and why.
-type WorkerResult = Result<(FxHashMap<u64, u64>, u64), (u64, SimError)>;
+/// What one worker returns: its partial histogram, completed-shot count,
+/// and the weakest fidelity lower bound among its shots — or the index of
+/// the shot that failed and why.
+type WorkerResult = Result<(FxHashMap<u64, u64>, u64, f64), (u64, SimError)>;
 
 /// Mid-circuit regime: per-shot re-execution, fanned out over workers.
 fn run_mid_circuit(
@@ -276,10 +292,12 @@ fn run_mid_circuit(
     let mut histogram: FxHashMap<u64, u64> = FxHashMap::default();
     let mut worker_shots = Vec::with_capacity(results.len());
     let mut first_error: Option<(u64, SimError)> = None;
+    let mut fidelity_lower_bound = 1.0f64;
     for r in results {
         match r {
-            Ok((counts, done)) => {
+            Ok((counts, done, bound)) => {
                 worker_shots.push(done);
+                fidelity_lower_bound = fidelity_lower_bound.min(bound);
                 for (value, count) in counts {
                     *histogram.entry(value).or_insert(0) += count;
                 }
@@ -307,6 +325,7 @@ fn run_mid_circuit(
         threads_used: threads,
         worker_shots,
         elapsed: Duration::ZERO,
+        fidelity_lower_bound,
     })
 }
 
@@ -323,6 +342,7 @@ fn shot_worker(
 ) -> WorkerResult {
     let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
     let mut done = 0u64;
+    let mut bound = 1.0f64;
     let mut sim: Option<DdSimulator> = None;
     for shot in lo..hi {
         if cancel.load(Ordering::Relaxed) {
@@ -363,8 +383,11 @@ fn shot_worker(
         };
         *counts.entry(value).or_insert(0) += 1;
         done += 1;
+        // restart() resets the per-run account, so fold each shot's bound
+        // in before the next one wipes it.
+        bound = bound.min(sim.stats().fidelity_lower_bound);
     }
-    Ok((counts, done))
+    Ok((counts, done, bound))
 }
 
 /// Flags cancellation and shapes a worker error.

@@ -5,12 +5,14 @@ use crate::dense::{DenseSimulator, MAX_DENSE_QUBITS};
 use crate::error::SimError;
 use qdd_circuit::{Operation, QuantumCircuit};
 use qdd_complex::{Complex, FxHashMap};
-use qdd_core::{DdError, DdPackage, MeasurementOutcome, PackageConfig, VecEdge};
+use qdd_core::{
+    ApproxPolicy, DdError, DdPackage, MeasurementOutcome, PackageConfig, ResourceKind, VecEdge,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Per-run statistics of a [`DdSimulator`].
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimStats {
     /// Node count of the state DD after each applied operation (not updated
     /// after a dense fallback).
@@ -33,6 +35,42 @@ pub struct SimStats {
     /// Whether the run degraded to dense state-vector simulation after the
     /// node budget stayed exhausted through a pressure GC.
     pub dense_fallback: bool,
+    /// Fidelity-bounded pruning rounds taken by the approximation rung.
+    pub approx_rounds: u64,
+    /// Total nodes shed across all approximation rounds.
+    pub approx_nodes_removed: u64,
+    /// Cumulative lower bound on `|⟨ψ_exact|ψ_run⟩|²` — the product of every
+    /// approximation round's bound. `1.0` means the result is exact.
+    pub fidelity_lower_bound: f64,
+}
+
+impl Default for SimStats {
+    fn default() -> Self {
+        SimStats {
+            nodes_per_step: Vec::new(),
+            peak_nodes: 0,
+            applied_ops: 0,
+            gc_pressure_runs: 0,
+            compute_evictions: 0,
+            gate_cache_lookups: 0,
+            gate_cache_hits: 0,
+            peak_live_nodes: 0,
+            dense_fallback: false,
+            approx_rounds: 0,
+            approx_nodes_removed: 0,
+            // An untouched run is exact; every pruning round multiplies
+            // its own bound in.
+            fidelity_lower_bound: 1.0,
+        }
+    }
+}
+
+impl SimStats {
+    /// Whether any approximation round degraded the state: the result is a
+    /// bounded-fidelity approximation, not an exact simulation.
+    pub fn is_approximate(&self) -> bool {
+        self.approx_rounds > 0
+    }
 }
 
 /// Stable label of an operation for telemetry events.
@@ -62,10 +100,17 @@ fn op_name(op: &Operation) -> &'static str {
 ///
 /// 1. When an operation exhausts the node budget, the simulator
 ///    garbage-collects under pressure and retries once.
-/// 2. If the budget is still exhausted and the register is small enough
+/// 2. If [`Limits::min_fidelity`](qdd_core::Limits::min_fidelity) is set,
+///    the state is pruned ([`DdPackage::prune_to_node_target`] or
+///    [`DdPackage::contract_threshold`], per the configured
+///    [`ApproxPolicy`]) and the operation retried — repeatedly, as long as
+///    the *cumulative* fidelity lower bound (the product of all rounds'
+///    bounds, tracked in [`SimStats::fidelity_lower_bound`]) stays at or
+///    above `min_fidelity`.
+/// 3. If the budget is still exhausted and the register is small enough
 ///    (≤ [`MAX_DENSE_QUBITS`]), the state is exported and the run continues
 ///    on a [`DenseSimulator`] (recorded in [`SimStats::dense_fallback`]).
-/// 3. Otherwise the error is returned. Deadline overruns are returned
+/// 4. Otherwise the error is returned. Deadline overruns are returned
 ///    immediately — more memory strategies cannot buy back time.
 #[derive(Debug)]
 pub struct DdSimulator {
@@ -241,7 +286,18 @@ impl DdSimulator {
     /// Propagates [`DdError`] if re-preparing `|0…0⟩` fails (node budget
     /// fully consumed by retained live states).
     pub fn restart(&mut self, seed: u64) -> Result<(), SimError> {
-        let fresh = self.dd.zero_state(self.circuit.num_qubits())?;
+        let fresh = match self.dd.zero_state(self.circuit.num_qubits()) {
+            Ok(s) => s,
+            // A run that ended at its node cap (e.g. through the
+            // approximation rung) can leave no headroom even for the fresh
+            // |0…0⟩ chain; everything but the about-to-be-dropped final
+            // state is garbage here, so collect under pressure and retry.
+            Err(e) if e.is_resource() => {
+                self.dd.gc_under_pressure();
+                self.dd.zero_state(self.circuit.num_qubits())?
+            }
+            Err(e) => return Err(e.into()),
+        };
         self.set_state(fresh);
         self.classical.iter_mut().for_each(|b| *b = false);
         self.cursor = 0;
@@ -318,7 +374,8 @@ impl DdSimulator {
     }
 
     /// One operation through the degradation ladder: apply, and on node
-    /// exhaustion GC-under-pressure + retry, then fall back to dense.
+    /// exhaustion GC-under-pressure + retry, then fidelity-bounded
+    /// approximation (when authorized), then fall back to dense.
     fn apply_governed(&mut self, op: &Operation) -> Result<(), SimError> {
         match self.apply_operation(op) {
             Err(SimError::Dd(DdError::ResourceExhausted { .. })) => {}
@@ -327,18 +384,32 @@ impl DdSimulator {
         // Rung 1: reclaim dead nodes (the failed attempt's partial results
         // are unreferenced) and retry once.
         self.dd.gc_under_pressure();
-        let err = match self.apply_operation(op) {
+        let mut err = match self.apply_operation(op) {
             Err(SimError::Dd(e @ DdError::ResourceExhausted { .. })) => e,
             other => return other,
         };
-        // Rung 2: continue densely when the register permits it.
+        // Rung 2: prune the state's cheapest mass and retry, as long as the
+        // cumulative fidelity bound has budget left and each round makes
+        // progress. Each round targets half the current node count, so the
+        // loop is finitely bounded even under a generous fidelity budget.
+        while self.approximation_applies(&err) {
+            if !self.approximate_round() {
+                break;
+            }
+            match self.apply_operation(op) {
+                Err(SimError::Dd(e @ DdError::ResourceExhausted { .. })) => err = e,
+                other => return other,
+            }
+        }
+        // Rung 3: continue densely when the register permits it. The qubit
+        // cap is checked *before* any dense allocation is attempted.
         let n = self.circuit.num_qubits();
         if !self.dense_fallback_enabled || n > MAX_DENSE_QUBITS {
             return Err(SimError::Dd(err));
         }
         qdd_telemetry::emit("sim.dense_fallback").field("qubits", n);
         qdd_telemetry::counter_add("sim.dense_fallbacks", 1);
-        let amps = self.dd.to_dense_vector(self.state, n);
+        let amps = self.dd.try_to_dense_vector(self.state, n)?;
         let seed = self.rng.gen::<u64>();
         let mut dense = DenseSimulator::from_parts(n, amps, self.classical.clone(), seed)?;
         dense.apply_operation(&self.circuit, op)?;
@@ -346,6 +417,85 @@ impl DdSimulator {
         self.stats.dense_fallback = true;
         self.sync_dense_classical();
         Ok(())
+    }
+
+    /// Whether the approximation rung may fire for this failure: it needs
+    /// an authorized fidelity budget, and only helps against budgets that
+    /// scale with diagram size (nodes, interned weights) — recursion-depth
+    /// exhaustion is immune to a smaller state of the same width.
+    fn approximation_applies(&self, err: &DdError) -> bool {
+        self.dd.limits().min_fidelity.is_some()
+            // Node contributions are probability masses only under L2; the
+            // ablation rules opt out of the approximation rung.
+            && self.dd.config().vector_normalization == qdd_core::VectorNormalization::L2
+            && matches!(
+                err,
+                DdError::ResourceExhausted {
+                    kind: ResourceKind::Nodes | ResourceKind::ComplexEntries,
+                    ..
+                }
+            )
+    }
+
+    /// One approximation round: prune per policy, adopt the smaller state,
+    /// fold the round's bound into the cumulative account, leave a
+    /// telemetry trail. Returns `false` when no (further) round is possible
+    /// — budget spent, pruning made no progress, or pruning itself starved
+    /// — signalling the ladder to move on to the dense rung.
+    fn approximate_round(&mut self) -> bool {
+        let limits = *self.dd.limits();
+        let Some(min_fidelity) = limits.min_fidelity else {
+            return false;
+        };
+        // The cumulative bound is a product, so this round may spend at
+        // most min_fidelity / bound_so_far before the account overdraws.
+        let round_min = (min_fidelity / self.stats.fidelity_lower_bound).min(1.0);
+        if round_min >= 1.0 - 1e-12 {
+            return false;
+        }
+        let node_target = self.dd.vec_node_count(self.state) / 2;
+        let result = match limits.approx_policy {
+            ApproxPolicy::FidelityBudget => {
+                self.dd
+                    .prune_to_node_target(self.state, round_min, Some(node_target))
+            }
+            ApproxPolicy::Threshold { epsilon } => {
+                self.dd.contract_threshold(self.state, epsilon)
+            }
+        };
+        let (pruned, report) = match result {
+            Ok(v) => v,
+            // Pruning under a starved allocator (or an over-eager
+            // threshold) cannot help; the dense rung still can.
+            Err(_) => return false,
+        };
+        if report.rounds == 0 || report.fidelity_lower_bound < round_min {
+            // No progress, or (threshold policy) the round would overdraw
+            // the fidelity account: reject it. The rejected diagram is
+            // unreferenced and reclaimed by the next collection.
+            return false;
+        }
+        self.set_state(pruned);
+        self.stats.fidelity_lower_bound *= report.fidelity_lower_bound;
+        self.stats.approx_rounds += 1;
+        self.stats.approx_nodes_removed += report.nodes_removed() as u64;
+        qdd_telemetry::emit("degrade.approximate")
+            .field("round", self.stats.approx_rounds)
+            .field("nodes_before", report.nodes_before)
+            .field("nodes_after", report.nodes_after)
+            .field("round_bound", report.fidelity_lower_bound)
+            .field("fidelity_lower_bound", self.stats.fidelity_lower_bound);
+        qdd_telemetry::counter_add("approx.rounds", 1);
+        qdd_telemetry::gauge_set(
+            "approx.fidelity_lower_bound",
+            self.stats.fidelity_lower_bound,
+        );
+        qdd_telemetry::gauge_set("approx.nodes_removed", self.stats.approx_nodes_removed as f64);
+        // Reclaim the pruned-away subtrees before the retry. A *plain*
+        // collection, deliberately: pressure GC already had its rung, and
+        // its event must precede ours in the ladder-order telemetry.
+        self.dd.garbage_collect();
+        true
     }
 
     fn apply_dense(&mut self, op: &Operation) -> Result<(), SimError> {
@@ -860,6 +1010,113 @@ mod tests {
         assert!(p1 < 1e-12, "collapse onto |0⟩ must zero the |1⟩ branch");
     }
 
+    fn approx_sim(qc: QuantumCircuit, max_nodes: usize, min_fidelity: f64) -> DdSimulator {
+        let config = PackageConfig {
+            limits: qdd_core::Limits {
+                max_nodes: Some(max_nodes),
+                min_fidelity: Some(min_fidelity),
+                ..qdd_core::Limits::default()
+            },
+            ..PackageConfig::default()
+        };
+        DdSimulator::with_config(qc, 1, config)
+    }
+
+    #[test]
+    fn approximation_rung_completes_within_budget_and_bound() {
+        let mut sim = approx_sim(entangling_workload(8, 3), 160, 0.5);
+        sim.set_dense_fallback(false);
+        sim.run().unwrap();
+        let stats = sim.stats();
+        assert!(stats.is_approximate(), "the rung must have fired: {stats:?}");
+        assert!(stats.approx_rounds > 0);
+        assert!(stats.approx_nodes_removed > 0);
+        assert!(
+            stats.fidelity_lower_bound >= 0.5 && stats.fidelity_lower_bound < 1.0,
+            "cumulative bound {} outside [0.5, 1)",
+            stats.fidelity_lower_bound
+        );
+        assert!(!sim.degraded_to_dense(), "approximation must suffice here");
+        // The approximated run respects the budget and stays normalized.
+        assert!(sim.node_count() <= 160);
+        let norm: f64 = sim.dense_state().iter().map(|a| a.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "state norm {norm}");
+        // The bound is honest: the approximate state's overlap with the
+        // exact run is at least the reported bound.
+        let mut exact = DdSimulator::with_seed(entangling_workload(8, 3), 1);
+        exact.run().unwrap();
+        let overlap: Complex = exact
+            .dense_state()
+            .iter()
+            .zip(sim.dense_state())
+            .map(|(a, b)| a.conj() * b)
+            .sum();
+        assert!(
+            overlap.norm_sqr() >= stats.fidelity_lower_bound - 1e-9,
+            "actual fidelity {} below reported bound {}",
+            overlap.norm_sqr(),
+            stats.fidelity_lower_bound
+        );
+    }
+
+    #[test]
+    fn approximation_precedes_dense_fallback() {
+        // A budget so tight that even halved diagrams keep starving: the
+        // ladder must spend its fidelity budget and then continue densely.
+        let mut sim = approx_sim(entangling_workload(8, 3), 12, 0.999_999);
+        sim.run().unwrap();
+        assert!(sim.degraded_to_dense(), "approx alone cannot satisfy 12 nodes");
+        assert!(
+            sim.stats().fidelity_lower_bound >= 0.999_999,
+            "rejected rounds must not spend fidelity: {}",
+            sim.stats().fidelity_lower_bound
+        );
+    }
+
+    #[test]
+    fn without_min_fidelity_ladder_is_unchanged() {
+        let mut sim = limited_sim(entangling_workload(8, 3), 24);
+        sim.run().unwrap();
+        assert!(sim.degraded_to_dense());
+        let stats = sim.stats();
+        assert_eq!(stats.approx_rounds, 0);
+        assert_eq!(stats.fidelity_lower_bound, 1.0);
+        assert!(!stats.is_approximate());
+    }
+
+    #[test]
+    fn restart_resets_fidelity_account() {
+        let mut sim = approx_sim(entangling_workload(8, 3), 160, 0.5);
+        sim.set_dense_fallback(false);
+        sim.run().unwrap();
+        assert!(sim.stats().fidelity_lower_bound < 1.0);
+        sim.restart(2).unwrap();
+        assert_eq!(sim.stats().fidelity_lower_bound, 1.0);
+        assert_eq!(sim.stats().approx_rounds, 0);
+    }
+
+    #[test]
+    fn threshold_policy_also_degrades_gracefully() {
+        let config = PackageConfig {
+            limits: qdd_core::Limits {
+                max_nodes: Some(24),
+                min_fidelity: Some(0.5),
+                approx_policy: qdd_core::ApproxPolicy::Threshold { epsilon: 1e-3 },
+                ..qdd_core::Limits::default()
+            },
+            ..PackageConfig::default()
+        };
+        let mut sim = DdSimulator::with_config(entangling_workload(8, 3), 1, config);
+        let outcome = sim.run();
+        // Threshold contraction may or may not shrink enough on its own;
+        // either way the run must complete (dense rung backs it up) with a
+        // consistent fidelity account.
+        outcome.unwrap();
+        let stats = sim.stats();
+        assert!(stats.fidelity_lower_bound >= 0.5);
+        assert!(stats.fidelity_lower_bound <= 1.0);
+    }
+
     #[test]
     fn deadline_zero_fires_immediately() {
         let config = PackageConfig {
@@ -886,3 +1143,4 @@ mod tests {
         }
     }
 }
+

@@ -71,6 +71,16 @@ def diff_metrics(name, b, c, hit_rate_threshold, warnings):
             warnings.append(
                 f"{name}: sampling throughput fell {bs:,.0f} -> {cs:,.0f} "
                 f"shots/s ({drop:.0f}% drop)")
+    # Approximation fidelity (the approx family records the achieved lower
+    # bound; other families omit the field or record 1.0). A drop of more
+    # than 5 points means the same node budget now costs more of the state.
+    bf, cf = b.get("fidelity"), c.get("fidelity")
+    if bf is not None and cf is not None:
+        fidelity_drop = (bf - cf) * 100.0
+        if fidelity_drop > 5.0:
+            warnings.append(
+                f"{name}: fidelity lower bound dropped {bf:.4f} -> {cf:.4f} "
+                f"({fidelity_drop:.1f}-point drop, threshold 5)")
     # GC pause totals from the embedded telemetry snapshot, when both sides
     # carry one (older baselines predate the `metrics` field).
     bgc = gc_total_ms(b)

@@ -218,6 +218,124 @@ fn recursion_depth_limit_is_enforced() {
     ));
 }
 
+/// The full degradation ladder, stage by stage on the same adversarial
+/// family, with the telemetry stream proving the rungs fire in order:
+/// pressure GC → fidelity-bounded approximation → dense fallback → typed
+/// error.
+#[test]
+fn degradation_ladder_fires_in_order() {
+    // Stage A: approximation suffices. The run completes without dense
+    // fallback, and the event stream shows pressure GC before the first
+    // degrade.approximate.
+    let config = limited(Limits {
+        max_nodes: Some(160),
+        min_fidelity: Some(0.5),
+        ..Limits::default()
+    });
+    qdd::telemetry::set_enabled(true);
+    qdd::telemetry::reset();
+    let mut sim = DdSimulator::with_config(adversarial(8, 3), 1, config);
+    sim.run().unwrap();
+    let events = qdd::telemetry::drain_events();
+    qdd::telemetry::set_enabled(false);
+    assert!(!sim.degraded_to_dense(), "approximation must carry stage A");
+    assert!(sim.stats().approx_rounds > 0);
+    assert!(sim.stats().fidelity_lower_bound >= 0.5);
+    let first_gc = events
+        .iter()
+        .position(|e| e.name == "core.pressure_gc")
+        .expect("stage A must GC under pressure first");
+    let first_approx = events
+        .iter()
+        .position(|e| e.name == "degrade.approximate")
+        .expect("stage A must approximate");
+    assert!(
+        first_gc < first_approx,
+        "GC rung must fire before approximation ({first_gc} vs {first_approx})"
+    );
+    assert!(
+        !events.iter().any(|e| e.name == "sim.dense_fallback"),
+        "stage A must not reach the dense rung"
+    );
+
+    // Stage B: the cap is so tight that even an approximated diagram cannot
+    // fit, so the dense rung backs the approximation up — and its event
+    // arrives after the approximation's.
+    let config = limited(Limits {
+        max_nodes: Some(96),
+        min_fidelity: Some(0.5),
+        ..Limits::default()
+    });
+    qdd::telemetry::set_enabled(true);
+    qdd::telemetry::reset();
+    let mut sim = DdSimulator::with_config(adversarial(8, 3), 1, config);
+    sim.run().unwrap();
+    let events = qdd::telemetry::drain_events();
+    qdd::telemetry::set_enabled(false);
+    assert!(sim.degraded_to_dense(), "stage B must exhaust into dense");
+    let first_approx = events
+        .iter()
+        .position(|e| e.name == "degrade.approximate")
+        .expect("stage B must attempt approximation before going dense");
+    let dense = events
+        .iter()
+        .position(|e| e.name == "sim.dense_fallback")
+        .expect("stage B must reach the dense rung");
+    assert!(
+        first_approx < dense,
+        "approximation must precede dense fallback ({first_approx} vs {dense})"
+    );
+
+    // Stage C: too wide for the dense rung — the ladder runs out and the
+    // typed error names the budget that tripped.
+    let config = limited(Limits {
+        max_nodes: Some(10_000),
+        min_fidelity: Some(0.9),
+        ..Limits::default()
+    });
+    let mut sim = DdSimulator::with_config(adversarial(26, 3), 1, config);
+    let err = sim.run().unwrap_err();
+    assert!(!sim.stats().dense_fallback, "26 qubits cannot go dense");
+    let message = err.to_string();
+    assert!(
+        message.contains("max_nodes") && message.contains("10000"),
+        "error must name the tripped budget and its limit: {message}"
+    );
+}
+
+/// The dense rung refuses registers beyond its cap *before* allocating:
+/// a 30-qubit run under node pressure gets the typed resource error
+/// immediately instead of attempting a 2³⁰-amplitude vector.
+#[test]
+fn dense_cap_is_checked_before_allocation() {
+    // Direct probe of the guarded export.
+    let mut dd = DdPackage::with_config(PackageConfig::default());
+    let state = dd.zero_state(30).unwrap();
+    match dd.try_to_dense_vector(state, 30) {
+        Err(DdError::TooLargeForDense { num_qubits: 30, max }) => {
+            assert!(max < 30, "the cap must be below the register width");
+        }
+        other => panic!("expected TooLargeForDense, got {other:?}"),
+    }
+
+    // Through the ladder: the run must fail with the node-budget error —
+    // not hang on a dense allocation, not report a dense fallback.
+    let config = limited(Limits {
+        max_nodes: Some(600),
+        ..Limits::default()
+    });
+    let mut sim = DdSimulator::with_config(adversarial(30, 2), 1, config);
+    let err = sim.run().unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::Dd(DdError::ResourceExhausted {
+            kind: ResourceKind::Nodes,
+            ..
+        })
+    ));
+    assert!(!sim.stats().dense_fallback);
+}
+
 /// Malformed QASM must produce `Err`, never a panic. Each entry is run
 /// under `catch_unwind` so a regression reports the offending source.
 #[test]
