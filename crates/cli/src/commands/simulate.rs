@@ -20,9 +20,9 @@ OPTIONS:
                     mid-circuit measurement, reset, or classical control
                     re-execute per shot. Measured circuits histogram the
                     classical register values, unmeasured ones basis states.
-  --threads N       worker threads for per-shot re-execution (default:
-                    one per CPU; irrelevant for the single-run regimes).
-                    Histograms are bit-identical for every thread count.
+  --threads N       worker threads (default: one per CPU). Drives per-shot
+                    re-execution and the dense-fallback gate kernel; results
+                    and histograms are bit-identical for every thread count.
   --state           print the amplitude table of the final state
   --threshold P     hide amplitudes below probability P (default 1e-9)
   --node-limit N    cap live DD nodes; under pressure the run GCs, then
@@ -77,6 +77,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
     let circuit = load_circuit(path)?;
     let seed: u64 = args.number("--seed", 1)?;
     let shots: u64 = args.number("--shots", 0)?;
+    let threads: usize = args.number("--threads", 0)?;
     let threshold: f64 = args.number("--threshold", 1e-9)?;
     let style = parse_style(args.value("--style"))?;
     let limits = parse_limits(&args)?;
@@ -121,6 +122,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
         ..qdd_core::PackageConfig::default()
     };
     let mut sim = qdd_sim::DdSimulator::with_config(circuit.clone(), seed, config);
+    sim.set_threads(threads);
     if let Err(e) = sim.run() {
         // A blown deadline returns immediately without climbing the ladder
         // (time spent cannot be GC'd back), so the trail would be fiction.
@@ -268,7 +270,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
         // measurement, reset, or classical control, sampling one final
         // state is *wrong* — each shot must re-execute the circuit.
         let mut opts = qdd_sim::ShotOptions::new(shots, seed);
-        opts.threads = args.number("--threads", 0)?;
+        opts.threads = threads;
         opts.config = config;
         let report = match qdd_sim::shots::run(&circuit, &opts) {
             Ok(r) => r,

@@ -15,6 +15,10 @@ qubits, like the paper's tool).
 OPTIONS:
   --strategy S     construction | one-to-one | proportional |
                    barrier-guided | lookahead   (default proportional)
+  --threads N      worker threads for the construction strategy: with 2 or
+                   more, both system matrices build concurrently on a shared
+                   frozen base (default 1; 0 = one per CPU, capped at 2).
+                   The verdict is independent of the thread count.
   --stimuli N      additionally run N random basis states through both
                    circuits and compare the outputs (default 0)
   --node-limit N   cap live DD nodes during the check
@@ -28,7 +32,7 @@ EXIT STATUS: 0 when equivalent (incl. up to global phase), 1 otherwise,
 3 when a resource budget (--node-limit, --timeout-ms) is exhausted.";
 
 const FLAGS: &[&str] = &[
-    "--strategy", "--stimuli", "--node-limit", "--timeout-ms",
+    "--strategy", "--threads", "--stimuli", "--node-limit", "--timeout-ms",
     "--profile", "--metrics-out", "--trace-out",
 ];
 
@@ -44,6 +48,7 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
     let left = load_circuit(left_path)?;
     let right = load_circuit(right_path)?;
     let strategy = parse_strategy(args.value("--strategy"))?;
+    let threads: usize = args.number("--threads", 1)?;
     let stimuli: usize = args.number("--stimuli", 0)?;
     let limits = parse_limits(&args)?;
 
@@ -68,6 +73,7 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             ..qdd_core::PackageConfig::default()
         })
     };
+    checker.set_threads(threads);
     let report = match checker.check(&left, &right, strategy) {
         Ok(report) => report,
         Err(e) => {

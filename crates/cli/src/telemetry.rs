@@ -12,6 +12,7 @@ pub fn start(args: &Args) -> bool {
     if wanted {
         qdd_telemetry::set_enabled(true);
         qdd_telemetry::reset();
+        qdd_telemetry::reset_published();
     }
     wanted
 }
@@ -28,7 +29,10 @@ pub fn finish(args: &Args, enabled: bool) -> Result<(), String> {
     if !enabled {
         return Ok(());
     }
-    let snapshot = qdd_telemetry::snapshot();
+    // Merged view: this thread's recordings plus everything worker threads
+    // published, so multi-threaded runs report all threads' work. Events
+    // stay thread-local (worker event clocks are not comparable).
+    let snapshot = qdd_telemetry::merged_snapshot();
     let events = qdd_telemetry::drain_events();
     if let Some(path) = args.value("--metrics-out") {
         std::fs::write(path, snapshot.to_json())

@@ -1,0 +1,285 @@
+//! A segmented slot arena with lock-free reads and append-friendly shared
+//! writes — the storage primitive behind the concurrent complex table and
+//! node stores.
+//!
+//! The classic obstacle to sharing an interning table or node arena across
+//! threads is `Vec` reallocation: a concurrent reader holding `&T` into the
+//! old buffer is undefined behaviour the moment another thread grows the
+//! vector. A [`SlotVec`] never moves a slot once created: storage is a spine
+//! of doubling segments (1024, 1024, 2048, 4096, … slots), each allocated at
+//! most once behind a [`OnceLock`], and each slot is itself a `OnceLock<T>`.
+//! The result:
+//!
+//! * `get` is lock-free and returns a plain `&T` that stays valid for the
+//!   borrow's lifetime regardless of concurrent appends;
+//! * `set` publishes a slot through `OnceLock::set`, so readers observe
+//!   fully-initialized values (release/acquire ordering is the lock's);
+//! * slots are reclaimed only under `&mut self` ([`SlotVec::take`]) — the
+//!   stop-the-world epoch that garbage collection already is — after which
+//!   the emptied `OnceLock` can be re-`set` from any thread, giving
+//!   handle-stable slot reuse.
+//!
+//! Capacity never shrinks; `clear` (also `&mut`) resets the arena for
+//! overlay reuse without deallocating the spine.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+/// log2 of the first segment's slot count.
+const SEG0_BITS: u32 = 10;
+/// Number of spine entries: segment 0 holds `2^SEG0_BITS` slots, segment
+/// `k ≥ 1` holds `2^(SEG0_BITS + k - 1)`, so 23 segments address the full
+/// `u32` slot space.
+const NSEGS: usize = (32 - SEG0_BITS) as usize + 1;
+
+/// Maps a slot index to `(segment, offset, segment_len)`.
+#[inline]
+fn locate(i: u32) -> (usize, usize, usize) {
+    if i < (1 << SEG0_BITS) {
+        (0, i as usize, 1 << SEG0_BITS)
+    } else {
+        let top = 31 - i.leading_zeros(); // >= SEG0_BITS
+        let seg = (top - SEG0_BITS + 1) as usize;
+        let start = 1u32 << top;
+        ((seg), (i - start) as usize, start as usize)
+    }
+}
+
+/// One lazily-published segment: a boxed run of `OnceLock` slots.
+type Segment<T> = OnceLock<Box<[OnceLock<T>]>>;
+
+/// A segmented arena of `OnceLock` slots (see the module docs).
+pub struct SlotVec<T> {
+    segs: Box<[Segment<T>]>,
+    /// High-water mark of claimed slots (not necessarily all `set` yet).
+    len: AtomicU32,
+}
+
+impl<T> SlotVec<T> {
+    /// Creates an empty arena (no segments allocated).
+    pub fn new() -> Self {
+        SlotVec {
+            segs: (0..NSEGS).map(|_| OnceLock::new()).collect(),
+            len: AtomicU32::new(0),
+        }
+    }
+
+    /// Number of claimed slots (present or emptied).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire) as usize
+    }
+
+    /// Returns `true` if no slot was ever claimed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn segment(&self, seg: usize, seg_len: usize) -> &[OnceLock<T>] {
+        self.segs[seg].get_or_init(|| (0..seg_len).map(|_| OnceLock::new()).collect())
+    }
+
+    /// Lock-free read of slot `i`; `None` for never-set or taken slots.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        debug_assert!(i < u32::MAX as usize);
+        if i >= self.len() {
+            return None;
+        }
+        let (seg, off, _) = locate(i as u32);
+        self.segs[seg].get()?.get(off)?.get()
+    }
+
+    /// Like [`Self::get`] but panics on an empty slot.
+    #[inline]
+    pub fn get_expect(&self, i: usize) -> &T {
+        self.get(i).expect("access to an empty arena slot")
+    }
+
+    /// Claims a fresh slot index at the end of the arena. The caller must
+    /// [`Self::set`] it before publishing the index to other readers.
+    #[inline]
+    pub fn claim(&self) -> u32 {
+        let i = self.len.fetch_add(1, Ordering::AcqRel);
+        assert!(i < u32::MAX, "slot arena exhausted");
+        i
+    }
+
+    /// Fills slot `i` (previously [`Self::claim`]ed or [`Self::take`]n).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already occupied.
+    pub fn set(&self, i: u32, value: T) {
+        let (seg, off, seg_len) = locate(i);
+        let slot = &self.segment(seg, seg_len)[off];
+        if slot.set(value).is_err() {
+            panic!("slot {i} set twice without an intervening take");
+        }
+    }
+
+    /// Exclusive access to slot `i`.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut T> {
+        if i >= self.len() {
+            return None;
+        }
+        let (seg, off, _) = locate(i as u32);
+        self.segs[seg].get_mut()?.get_mut(off)?.get_mut()
+    }
+
+    /// Empties slot `i`, returning its value. Requires `&mut self`: slot
+    /// reclamation is a stop-the-world operation by design.
+    pub fn take(&mut self, i: usize) -> Option<T> {
+        if i >= self.len() {
+            return None;
+        }
+        let (seg, off, _) = locate(i as u32);
+        self.segs[seg].get_mut()?.get_mut(off)?.take()
+    }
+
+    /// Empties every slot and resets the length; keeps segment storage.
+    pub fn clear(&mut self) {
+        let len = *self.len.get_mut() as usize;
+        for i in 0..len {
+            let (seg, off, _) = locate(i as u32);
+            if let Some(s) = self.segs[seg].get_mut() {
+                s[off].take();
+            }
+        }
+        *self.len.get_mut() = 0;
+    }
+
+    /// Iterates `(index, &value)` over present slots, in index order.
+    pub fn iter_present(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
+        (0..self.len()).filter_map(move |i| self.get(i).map(|v| (i, v)))
+    }
+}
+
+impl<T> Default for SlotVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Clone for SlotVec<T> {
+    fn clone(&self) -> Self {
+        let out = SlotVec::new();
+        out.len.store(self.len() as u32, Ordering::Release);
+        for (i, v) in self.iter_present() {
+            out.set(i as u32, v.clone());
+        }
+        out
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SlotVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SlotVec").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_covers_doubling_segments() {
+        assert_eq!(locate(0), (0, 0, 1024));
+        assert_eq!(locate(1023), (0, 1023, 1024));
+        assert_eq!(locate(1024), (1, 0, 1024));
+        assert_eq!(locate(2047), (1, 1023, 1024));
+        assert_eq!(locate(2048), (2, 0, 2048));
+        assert_eq!(locate(4095), (2, 2047, 2048));
+        assert_eq!(locate(4096), (3, 0, 4096));
+        assert_eq!(locate(u32::MAX - 1).0, NSEGS - 1);
+    }
+
+    #[test]
+    fn claim_set_get_round_trip() {
+        let v: SlotVec<u64> = SlotVec::new();
+        for k in 0..3000u64 {
+            let i = v.claim();
+            v.set(i, k * 7);
+        }
+        assert_eq!(v.len(), 3000);
+        for k in 0..3000usize {
+            assert_eq!(v.get(k), Some(&(k as u64 * 7)));
+        }
+        assert_eq!(v.get(3000), None);
+    }
+
+    #[test]
+    fn take_then_reset_reuses_slot() {
+        let mut v: SlotVec<String> = SlotVec::new();
+        let i = v.claim();
+        v.set(i, "a".into());
+        assert_eq!(v.take(i as usize), Some("a".into()));
+        assert_eq!(v.get(i as usize), None);
+        v.set(i, "b".into());
+        assert_eq!(v.get(i as usize).map(String::as_str), Some("b"));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_resets_len() {
+        let mut v: SlotVec<u32> = SlotVec::new();
+        for _ in 0..10 {
+            let i = v.claim();
+            v.set(i, i);
+        }
+        v.clear();
+        assert_eq!(v.len(), 0);
+        let i = v.claim();
+        v.set(i, 42);
+        assert_eq!(v.get(0), Some(&42));
+    }
+
+    #[test]
+    fn concurrent_append_and_read() {
+        use std::sync::atomic::AtomicBool;
+        let v: SlotVec<u32> = SlotVec::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let v = &v;
+                s.spawn(move || {
+                    for k in 0..2000 {
+                        let i = v.claim();
+                        v.set(i, t * 10_000 + k);
+                    }
+                });
+            }
+            {
+                let v = &v;
+                let stop = &stop;
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let n = v.len();
+                        for i in 0..n {
+                            // Claimed-but-not-yet-set slots read as None.
+                            let _ = v.get(i);
+                        }
+                    }
+                });
+            }
+            for t in 0..4u32 {
+                let v = &v;
+                s.spawn(move || {
+                    for k in 0..2000 {
+                        let i = v.claim();
+                        v.set(i, 100_000 + t * 10_000 + k);
+                    }
+                });
+            }
+            // Writers finish before scope joins the reader.
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(v.len(), 16_000);
+        let mut seen: Vec<u32> = (0..16_000).map(|i| *v.get_expect(i)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 16_000, "every write landed in a distinct slot");
+    }
+}

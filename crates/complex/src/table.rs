@@ -7,22 +7,43 @@
 //! reference \[14\] of the reproduced paper.
 //!
 //! Interning is the innermost loop of the whole package (every normalization
-//! step interns one or more weights), so the value index is a flat
-//! open-addressed table over grid cells rather than a general hash map of
-//! bucket vectors: one multiply-rotate hash and a couple of array reads per
-//! probe, no per-insert allocation. An inline cache in front of it answers
-//! repeats of the handful of hot constants (±1/√2, phase factors, …) from
-//! their exact bit patterns without touching the grid at all.
+//! step interns one or more weights), and since the concurrency rework it is
+//! also *shareable*:
+//!
+//! * value storage is an append-friendly [`SlotVec`]: slots never move, so
+//!   [`ComplexTable::value`] is a lock-free read from any thread;
+//! * the tolerance-grid index is striped over `RwLock`-guarded cell maps.
+//!   The exclusive (`&mut self`) hot path bypasses the locks entirely via
+//!   `get_mut`, so single-threaded interning pays nothing for shareability;
+//!   the shared (`&self`) path takes brief read locks per probed cell and a
+//!   single global insert lock on a miss;
+//! * repeats of the handful of hot constants (±1/√2, phase factors, …) are
+//!   answered from an exact-bits front cache without touching the grid — a
+//!   table-owned one on the exclusive path, a caller-owned per-thread
+//!   [`FrontCache`] on the shared path;
+//! * reclamation ([`ComplexTable::retain_referenced`]) remains a
+//!   stop-the-world (`&mut self`) epoch and keeps surviving handles stable.
+//!
+//! A table can also be an **overlay** over a frozen base table
+//! ([`ComplexTable::overlay`]): lookups consult the (immutable, `Arc`-shared)
+//! base first, inserts go to overlay-local slots whose handles are offset
+//! past the base handle space. This is what lets many worker packages share
+//! one warm table without any synchronization on the base.
 
 use crate::complex::Complex;
-use crate::hash::FxHasher;
+use crate::hash::{FxHashMap, FxHasher};
+use crate::slotvec::SlotVec;
 use crate::DEFAULT_TOLERANCE;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A stable handle to an interned complex value in a [`ComplexTable`].
 ///
 /// Two handles from the same table are equal iff they denote the same
-/// (tolerance-collapsed) value; handles are meaningless across tables.
+/// (tolerance-collapsed) value; handles are meaningless across tables. An
+/// overlay table and its frozen base share a handle space: base handles are
+/// valid in the overlay.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComplexIdx(u32);
 
@@ -55,7 +76,8 @@ impl ComplexIdx {
 /// ablation experiments.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ComplexTableStats {
-    /// Number of distinct interned values.
+    /// Number of distinct interned values (including the frozen base's for
+    /// overlay tables).
     pub entries: usize,
     /// Total `lookup` calls.
     pub lookups: u64,
@@ -72,23 +94,8 @@ pub struct ComplexTableStats {
     pub front_hits: u64,
 }
 
-/// One slot of the open-addressed grid index: the cell coordinates plus the
-/// value slot it points at (`EMPTY` when unoccupied).
-#[derive(Copy, Clone, Debug)]
-struct IndexEntry {
-    cr: i64,
-    ci: i64,
-    slot: u32,
-}
-
-const EMPTY: u32 = u32::MAX;
-
-impl IndexEntry {
-    const VACANT: IndexEntry = IndexEntry { cr: 0, ci: 0, slot: EMPTY };
-}
-
-/// One slot of the inline front cache: exact bit patterns of a recently
-/// interned value and its handle.
+/// One slot of a front cache: exact bit patterns of a recently interned
+/// value and its handle.
 #[derive(Copy, Clone, Debug)]
 struct RecentEntry {
     re_bits: u64,
@@ -96,26 +103,118 @@ struct RecentEntry {
     idx: u32,
 }
 
-/// Size of the inline front cache (direct-mapped on the value's bit hash).
+const EMPTY: u32 = u32::MAX;
+
+impl RecentEntry {
+    const VACANT: RecentEntry = RecentEntry { re_bits: 0, im_bits: 0, idx: EMPTY };
+}
+
+/// Size of a front cache (direct-mapped on the value's bit hash).
 const RECENT_SLOTS: usize = 8;
 
-/// Initial grid-index capacity (power of two).
-const INITIAL_INDEX_CAP: usize = 256;
+/// A small per-thread exact-bits cache in front of the shared interning
+/// grid, handed out by the package to worker threads. Repeats of a hot
+/// value skip the striped probe entirely. Remembered handles stay correct
+/// for the lifetime of the table epoch; the owner must drop or
+/// [`FrontCache::flush`] it across a reclamation
+/// ([`ComplexTable::retain_referenced`]).
+#[derive(Clone, Debug)]
+pub struct FrontCache {
+    recent: [RecentEntry; RECENT_SLOTS],
+}
+
+impl FrontCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FrontCache { recent: [RecentEntry::VACANT; RECENT_SLOTS] }
+    }
+
+    /// Forgets every remembered handle.
+    pub fn flush(&mut self) {
+        self.recent = [RecentEntry::VACANT; RECENT_SLOTS];
+    }
+
+    #[inline]
+    fn slot_of(re_bits: u64, im_bits: u64) -> usize {
+        (re_bits ^ im_bits.rotate_left(32)) as usize % RECENT_SLOTS
+    }
+
+    #[inline]
+    fn get(&self, re_bits: u64, im_bits: u64) -> Option<u32> {
+        let r = self.recent[Self::slot_of(re_bits, im_bits)];
+        (r.idx != EMPTY && r.re_bits == re_bits && r.im_bits == im_bits).then_some(r.idx)
+    }
+
+    #[inline]
+    fn put(&mut self, re_bits: u64, im_bits: u64, idx: u32) {
+        self.recent[Self::slot_of(re_bits, im_bits)] = RecentEntry { re_bits, im_bits, idx };
+    }
+}
+
+impl Default for FrontCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Number of index stripes (power of two). Each stripe guards a cell map;
+/// a probe locks only the stripes its nine candidate cells hash to.
+const NSTRIPES: usize = 16;
+
+/// An interned value plus its home grid cell (for index rebuilds).
+#[derive(Clone, Debug)]
+struct CEntry {
+    v: Complex,
+    cell: (i64, i64),
+}
 
 #[inline]
-fn cell_hash(cr: i64, ci: i64) -> usize {
+fn cell_hash(cell: (i64, i64)) -> usize {
     let mut h = FxHasher::default();
-    (cr, ci).hash(&mut h);
+    cell.hash(&mut h);
     h.finish() as usize
 }
+
+#[inline]
+fn stripe_of(cell: (i64, i64)) -> usize {
+    // Decouple the stripe choice from the map's bucket choice by mixing the
+    // top bits.
+    (cell_hash(cell) >> 48) & (NSTRIPES - 1)
+}
+
+/// The nine probe cells around `(cr, ci)` in the fixed scan order.
+///
+/// The order is load-bearing: which in-tolerance representative wins
+/// determines how drifting intermediate values snap back, and a different
+/// preference lets near-tolerance noise fragment diagrams (see
+/// `grover_16_stays_compact`). Saturating adds: astronomically large values
+/// (overflow products of degenerate inputs) quantize to the clamped edge
+/// cells instead of wrapping the cell coordinate space.
+#[inline]
+fn probe_cells(cr: i64, ci: i64) -> [(i64, i64); 9] {
+    let mut out = [(0i64, 0i64); 9];
+    let mut k = 0;
+    for dr in -1..=1i64 {
+        for di in -1..=1i64 {
+            out[k] = (cr.saturating_add(dr), ci.saturating_add(di));
+            k += 1;
+        }
+    }
+    out
+}
+
+/// One stripe of the grid index: cell → value slots quantizing there.
+///
+/// Because the cell size equals the tolerance, two values in one cell are
+/// always within tolerance of each other, so a cell holds at most one slot —
+/// except for the degenerate clamped edge cells, hence the tiny `Vec`.
+type Stripe = FxHashMap<(i64, i64), Vec<u32>>;
 
 /// An interning table for complex numbers with tolerance-bucketed lookup.
 ///
 /// Values are quantized onto a grid of cell size equal to the tolerance;
 /// a lookup probes the value's cell and the eight neighbouring cells, so any
-/// stored value within the tolerance ball is found. Because the cell size
-/// equals the tolerance, two values quantizing to the same cell always
-/// collapse, so each cell indexes at most one value. Slots `0` and `1` are
+/// stored value within the tolerance ball is found. Slots `0` and `1` are
 /// pre-seeded with the constants `0` and `1` ([`C_ZERO`], [`C_ONE`]).
 ///
 /// # Examples
@@ -129,26 +228,31 @@ fn cell_hash(cr: i64, ci: i64) -> usize {
 /// let a = t.lookup(Complex::new(0.25, 0.75));
 /// assert_eq!(t.lookup(Complex::new(0.25, 0.75)), a);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ComplexTable {
-    values: Vec<Complex>,
-    /// Home cell of each value, parallel to `values` (for index rebuilds).
-    cells: Vec<(i64, i64)>,
-    /// Liveness of each value slot, parallel to `values`. Slots are killed
-    /// only by [`Self::retain_referenced`] and reused by later insertions,
-    /// so live handles stay stable across reclamation.
-    live: Vec<bool>,
-    /// Dead value slots available for reuse.
-    free: Vec<u32>,
-    /// Open-addressed (linear probing) grid index; capacity is a power of
-    /// two, grown at ~70% load.
-    index: Vec<IndexEntry>,
-    recent: [RecentEntry; RECENT_SLOTS],
+    /// Local value storage; global handle = `base_len + local slot`.
+    values: SlotVec<CEntry>,
+    /// Reclaimed local slots available for reuse. Doubles as the global
+    /// insert lock for the shared path: a shared insert holds this mutex
+    /// from re-probe to index publication, so concurrent interns of the
+    /// same value collapse to one slot.
+    free: Mutex<Vec<u32>>,
+    /// Count of entries in `free` (so `len` stays lock-free).
+    free_count: AtomicU32,
+    /// Striped grid index over local values.
+    stripes: Box<[RwLock<Stripe>]>,
+    /// Exclusive-path front cache (the shared path uses a caller-owned
+    /// [`FrontCache`] instead).
+    recent: FrontCache,
+    /// Frozen base table this one overlays, if any.
+    base: Option<Arc<ComplexTable>>,
+    /// Handle-space offset: local slot `i` is handle `base_len + i`.
+    base_len: u32,
     tolerance: f64,
-    lookups: u64,
-    hits: u64,
-    reclaimed: u64,
-    front_hits: u64,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    reclaimed: AtomicU64,
+    front_hits: AtomicU64,
 }
 
 impl ComplexTable {
@@ -167,25 +271,46 @@ impl ComplexTable {
             tolerance.is_finite() && tolerance > 0.0,
             "tolerance must be finite and positive"
         );
-        let mut table = ComplexTable {
-            values: Vec::with_capacity(64),
-            cells: Vec::with_capacity(64),
-            live: Vec::with_capacity(64),
-            free: Vec::new(),
-            index: vec![IndexEntry::VACANT; INITIAL_INDEX_CAP],
-            recent: [RecentEntry { re_bits: 0, im_bits: 0, idx: EMPTY }; RECENT_SLOTS],
+        let mut table = Self::bare(tolerance, None, 0);
+        table.seed_constants();
+        table
+    }
+
+    fn bare(tolerance: f64, base: Option<Arc<ComplexTable>>, base_len: u32) -> Self {
+        ComplexTable {
+            values: SlotVec::new(),
+            free: Mutex::new(Vec::new()),
+            free_count: AtomicU32::new(0),
+            stripes: (0..NSTRIPES).map(|_| RwLock::new(Stripe::default())).collect(),
+            recent: FrontCache::new(),
+            base,
+            base_len,
             tolerance,
-            lookups: 0,
-            hits: 0,
-            reclaimed: 0,
-            front_hits: 0,
-        };
-        // Seed the two ubiquitous constants at fixed slots.
-        let zero = table.insert(Complex::ZERO);
-        let one = table.insert(Complex::ONE);
+            lookups: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            front_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores the constants `0` and `1` at their fixed slots, bypassing the
+    /// constant fast path (which answers without inserting).
+    fn seed_constants(&mut self) {
+        let mut free = std::mem::take(self.free.get_mut().unwrap());
+        let zero = self.insert_locked(Complex::ZERO, &mut free);
+        let one = self.insert_locked(Complex::ONE, &mut free);
+        *self.free.get_mut().unwrap() = free;
         debug_assert_eq!(zero, C_ZERO);
         debug_assert_eq!(one, C_ONE);
-        table
+    }
+
+    /// Creates an empty overlay over a frozen `base` table. The overlay
+    /// resolves every base handle (lock-free), prefers base representatives
+    /// on lookup, and appends new values to overlay-local slots — the base
+    /// is never mutated.
+    pub fn overlay(base: Arc<ComplexTable>) -> Self {
+        let base_len = (base.base_len as usize + base.values.len()) as u32;
+        Self::bare(base.tolerance, Some(base), base_len)
     }
 
     /// The interning tolerance.
@@ -194,10 +319,15 @@ impl ComplexTable {
         self.tolerance
     }
 
-    /// The number of distinct live interned values.
+    /// The number of distinct live interned values (including the frozen
+    /// base's for an overlay).
     #[inline]
     pub fn len(&self) -> usize {
-        self.values.len() - self.free.len()
+        let local = self.values.len() - self.free_count.load(Ordering::Relaxed) as usize;
+        match &self.base {
+            Some(b) => b.len() + local,
+            None => local,
+        }
     }
 
     /// Returns `true` if the table holds only the seeded constants.
@@ -206,30 +336,35 @@ impl ComplexTable {
         self.len() <= 2
     }
 
-    /// Current statistics snapshot (constant time).
+    /// Current statistics snapshot (constant time). For an overlay the
+    /// counters are local; `entries` includes the base.
     pub fn stats(&self) -> ComplexTableStats {
         ComplexTableStats {
             entries: self.len(),
-            lookups: self.lookups,
-            hits: self.hits,
-            approx_bytes: self.values.capacity() * std::mem::size_of::<Complex>()
-                + self.cells.capacity() * std::mem::size_of::<(i64, i64)>()
-                + self.index.capacity() * std::mem::size_of::<IndexEntry>(),
-            reclaimed: self.reclaimed,
-            front_hits: self.front_hits,
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            approx_bytes: self.len()
+                * (std::mem::size_of::<CEntry>() + 32 + std::mem::size_of::<u32>()),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            front_hits: self.front_hits.load(Ordering::Relaxed),
         }
     }
 
-    /// Returns the value behind a handle.
+    /// Returns the value behind a handle. Lock-free; callable from any
+    /// thread that shares the table.
     ///
     /// # Panics
     ///
-    /// Panics if `idx` did not come from this table.
+    /// Panics if `idx` did not come from this table (or its base).
     #[inline]
     pub fn value(&self, idx: ComplexIdx) -> Complex {
-        self.values[idx.0 as usize]
+        if idx.0 < self.base_len {
+            return self.base.as_ref().expect("foreign handle").value(idx);
+        }
+        self.values.get_expect((idx.0 - self.base_len) as usize).v
     }
 
+    #[inline]
     fn cell(&self, v: Complex) -> (i64, i64) {
         (
             (v.re / self.tolerance).round() as i64,
@@ -237,111 +372,172 @@ impl ComplexTable {
         )
     }
 
-    /// Walks the probe chain of `(cr, ci)` and returns the slot of a stored
-    /// value in that cell matching `v` within tolerance, if any.
+    /// Scans one local cell for a slot matching `v` within tolerance.
     #[inline]
-    fn find_in_cell(&self, cr: i64, ci: i64, v: Complex) -> Option<u32> {
-        let mask = self.index.len() - 1;
-        let mut i = cell_hash(cr, ci) & mask;
-        loop {
-            let e = self.index[i];
-            if e.slot == EMPTY {
-                return None;
+    fn scan_cell(&self, stripe: &Stripe, cell: (i64, i64), v: Complex) -> Option<u32> {
+        for &slot in stripe.get(&cell)?.iter() {
+            if self.values.get_expect(slot as usize).v.approx_eq(v, self.tolerance) {
+                return Some(self.base_len + slot);
             }
-            if e.cr == cr
-                && e.ci == ci
-                && self.values[e.slot as usize].approx_eq(v, self.tolerance)
-            {
-                return Some(e.slot);
-            }
-            i = (i + 1) & mask;
         }
+        None
     }
 
-    /// Inserts `slot` under `(cr, ci)` into the grid index (linear probing).
-    fn index_insert(index: &mut [IndexEntry], cr: i64, ci: i64, slot: u32) {
-        let mask = index.len() - 1;
-        let mut i = cell_hash(cr, ci) & mask;
-        while index[i].slot != EMPTY {
-            i = (i + 1) & mask;
-        }
-        index[i] = IndexEntry { cr, ci, slot };
-    }
-
-    fn insert(&mut self, v: Complex) -> ComplexIdx {
-        // Grow before the load factor would degrade probing (index length
-        // is a power of two; grow at ~70%).
-        if (self.len() + 1) * 10 >= self.index.len() * 7 {
-            let mut bigger = vec![IndexEntry::VACANT; self.index.len() * 2];
-            for (slot, &(cr, ci)) in self.cells.iter().enumerate() {
-                if self.live[slot] {
-                    Self::index_insert(&mut bigger, cr, ci, slot as u32);
-                }
+    /// Finds a stored handle for `v`, consulting the frozen base first
+    /// (earliest representative wins) and then the local stripes, taking
+    /// read locks per probed cell. Shared-path safe.
+    fn find_shared(&self, v: Complex) -> Option<ComplexIdx> {
+        if let Some(base) = &self.base {
+            if let Some(idx) = base.find_shared(v) {
+                return Some(idx);
             }
-            self.index = bigger;
         }
         let (cr, ci) = self.cell(v);
-        let idx = match self.free.pop() {
+        for cell in probe_cells(cr, ci) {
+            let stripe = self.stripes[stripe_of(cell)].read().unwrap();
+            if let Some(raw) = self.scan_cell(&stripe, cell, v) {
+                return Some(ComplexIdx(raw));
+            }
+        }
+        None
+    }
+
+    /// Exclusive-path variant of [`Self::find_shared`]: identical probe
+    /// order, no lock traffic on the local stripes.
+    fn find_mut(&mut self, v: Complex) -> Option<ComplexIdx> {
+        if let Some(base) = &self.base {
+            if let Some(idx) = base.find_shared(v) {
+                return Some(idx);
+            }
+        }
+        let (cr, ci) = self.cell(v);
+        for cell in probe_cells(cr, ci) {
+            // Split borrows: read the candidate list out of the stripe, then
+            // compare against `values` without holding the map borrow.
+            let mut candidates = [0u32; 4];
+            let mut ncand = 0;
+            {
+                let stripe = self.stripes[stripe_of(cell)].get_mut().unwrap();
+                if let Some(slots) = stripe.get(&cell) {
+                    for &s in slots.iter() {
+                        if ncand < candidates.len() {
+                            candidates[ncand] = s;
+                            ncand += 1;
+                        }
+                    }
+                }
+            }
+            for &slot in &candidates[..ncand] {
+                if self.values.get_expect(slot as usize).v.approx_eq(v, self.tolerance) {
+                    return Some(ComplexIdx(self.base_len + slot));
+                }
+            }
+        }
+        None
+    }
+
+    /// Allocates a local slot for `v` and publishes it in the grid index.
+    /// The caller must hold the insert lock (shared path) or `&mut self`
+    /// (exclusive path, where `free` is accessed via the same mutex).
+    fn insert_locked(&self, v: Complex, free: &mut Vec<u32>) -> ComplexIdx {
+        let cell = self.cell(v);
+        let slot = match free.pop() {
             Some(slot) => {
-                self.values[slot as usize] = v;
-                self.cells[slot as usize] = (cr, ci);
-                self.live[slot as usize] = true;
+                self.free_count.fetch_sub(1, Ordering::Relaxed);
+                self.values.set(slot, CEntry { v, cell });
                 slot
             }
             None => {
-                let slot = self.values.len() as u32;
-                self.values.push(v);
-                self.cells.push((cr, ci));
-                self.live.push(true);
+                let slot = self.values.claim();
+                self.values.set(slot, CEntry { v, cell });
                 slot
             }
         };
-        Self::index_insert(&mut self.index, cr, ci, idx);
-        ComplexIdx(idx)
+        self.stripes[stripe_of(cell)]
+            .write()
+            .unwrap()
+            .entry(cell)
+            .or_default()
+            .push(slot);
+        ComplexIdx(self.base_len + slot)
     }
 
     /// Reclaims every interned value whose handle fails `keep`, except the
-    /// seeded constants `0` and `1`.
+    /// seeded constants `0` and `1` (for an overlay, the frozen base is
+    /// untouched by construction — only overlay-local slots are examined).
     ///
     /// Kept handles stay valid and keep denoting bit-identical values;
     /// reclaimed slots are recycled by later insertions. The grid index is
-    /// rebuilt over the survivors (shrinking it back towards
-    /// cache-resident size) and the inline front cache is flushed, since it
-    /// may remember reclaimed handles.
+    /// rebuilt over the survivors (shrinking it back towards cache-resident
+    /// size) and the front cache is flushed, since it may remember
+    /// reclaimed handles. This is a stop-the-world epoch: it requires
+    /// `&mut self`, so no reader can hold a handle-resolution borrow across
+    /// it, and per-thread [`FrontCache`]s handed out for the shared path
+    /// must be flushed by their owners.
     ///
-    /// This is the complex-table half of garbage collection: a long run
-    /// interns a fresh set of amplitudes per applied gate, and without
-    /// reclamation the probe index grows until every lookup is a cache
-    /// miss. The caller supplies liveness (weights referenced by live DD
-    /// nodes and registered roots). Returns the number of slots reclaimed.
+    /// Returns the number of slots reclaimed.
     pub fn retain_referenced(&mut self, keep: impl Fn(ComplexIdx) -> bool) -> usize {
+        let protect = if self.base.is_none() { 2 } else { 0 };
         let mut freed = 0usize;
-        for slot in 2..self.values.len() {
-            if self.live[slot] && !keep(ComplexIdx(slot as u32)) {
-                self.live[slot] = false;
-                self.free.push(slot as u32);
+        let base_len = self.base_len;
+        let free = self.free.get_mut().unwrap();
+        for slot in protect..self.values.len() {
+            let handle = ComplexIdx(base_len + slot as u32);
+            if self.values.get(slot).is_some() && !keep(handle) {
+                self.values.take(slot);
+                free.push(slot as u32);
                 freed += 1;
             }
         }
-        self.reclaimed += freed as u64;
-        // Rebuild the index sized for the survivors at < 70% load.
-        let mut cap = INITIAL_INDEX_CAP;
-        while (self.len() + 1) * 10 >= cap * 7 {
-            cap *= 2;
+        *self.free_count.get_mut() += freed as u32;
+        *self.reclaimed.get_mut() += freed as u64;
+        // Rebuild the stripes over the survivors.
+        for stripe in self.stripes.iter_mut() {
+            let s = stripe.get_mut().unwrap();
+            s.clear();
+            s.shrink_to_fit();
         }
-        let mut index = vec![IndexEntry::VACANT; cap];
-        for (slot, &(cr, ci)) in self.cells.iter().enumerate() {
-            if self.live[slot] {
-                Self::index_insert(&mut index, cr, ci, slot as u32);
-            }
+        for (slot, e) in self.values.iter_present() {
+            self.stripes[stripe_of(e.cell)]
+                .get_mut()
+                .unwrap()
+                .entry(e.cell)
+                .or_default()
+                .push(slot as u32);
         }
-        self.index = index;
-        self.recent = [RecentEntry { re_bits: 0, im_bits: 0, idx: EMPTY }; RECENT_SLOTS];
+        self.recent.flush();
         freed
     }
 
+    /// Drops every overlay-local value, returning the table to the frozen
+    /// base's state. No-op effect on non-overlay tables beyond clearing
+    /// everything but the re-seeded constants.
+    pub fn clear_local(&mut self) {
+        self.values.clear();
+        self.free.get_mut().unwrap().clear();
+        *self.free_count.get_mut() = 0;
+        for stripe in self.stripes.iter_mut() {
+            stripe.get_mut().unwrap().clear();
+        }
+        self.recent.flush();
+        if self.base.is_none() {
+            self.seed_constants();
+        }
+    }
+
+    #[inline]
+    fn constant_fast_path(&self, v: Complex) -> Option<ComplexIdx> {
+        if v.is_zero(self.tolerance) {
+            return Some(C_ZERO);
+        }
+        if v.is_one(self.tolerance) {
+            return Some(C_ONE);
+        }
+        None
+    }
+
     /// Interns `v`, returning the handle of an existing value within
-    /// tolerance if there is one.
+    /// tolerance if there is one. Exclusive fast path: no lock traffic.
     ///
     /// # Panics
     ///
@@ -353,55 +549,82 @@ impl ComplexTable {
             !v.is_non_finite(),
             "cannot intern non-finite complex value {v:?}"
         );
-        self.lookups += 1;
-        // Fast paths for the seeded constants.
-        if v.is_zero(self.tolerance) {
-            self.hits += 1;
-            return C_ZERO;
+        *self.lookups.get_mut() += 1;
+        if let Some(c) = self.constant_fast_path(v) {
+            *self.hits.get_mut() += 1;
+            return c;
         }
-        if v.is_one(self.tolerance) {
-            self.hits += 1;
-            return C_ONE;
-        }
-        // Inline front cache: repeats of a hot value (exact bit pattern)
-        // skip the grid probe entirely. Interning is deterministic and the
-        // cache is flushed whenever entries are reclaimed, so a remembered
-        // handle stays correct.
+        // Front cache: repeats of a hot value (exact bit pattern) skip the
+        // grid probe entirely. Interning is deterministic and the cache is
+        // flushed whenever entries are reclaimed, so a remembered handle
+        // stays correct.
         let (re_bits, im_bits) = (v.re.to_bits(), v.im.to_bits());
-        let rslot = (re_bits ^ im_bits.rotate_left(32)) as usize % RECENT_SLOTS;
-        let r = self.recent[rslot];
-        if r.idx != EMPTY && r.re_bits == re_bits && r.im_bits == im_bits {
-            self.hits += 1;
-            self.front_hits += 1;
-            return ComplexIdx(r.idx);
+        if let Some(raw) = self.recent.get(re_bits, im_bits) {
+            *self.hits.get_mut() += 1;
+            *self.front_hits.get_mut() += 1;
+            return ComplexIdx(raw);
         }
+        let idx = match self.find_mut(v) {
+            Some(idx) => {
+                *self.hits.get_mut() += 1;
+                idx
+            }
+            None => {
+                let mut free = std::mem::take(self.free.get_mut().unwrap());
+                let idx = self.insert_locked(v, &mut free);
+                *self.free.get_mut().unwrap() = free;
+                idx
+            }
+        };
+        self.recent.put(re_bits, im_bits, idx.0);
+        idx
+    }
 
-        let (cr, ci) = self.cell(v);
-        // Probe the home cell and its eight neighbours in a fixed scan
-        // order. The order is load-bearing: which in-tolerance
-        // representative wins determines how drifting intermediate values
-        // snap back, and a different preference lets near-tolerance noise
-        // fragment diagrams (see `grover_16_stays_compact`).
-        let mut found = None;
-        // Saturating adds: astronomically large values (overflow products of
-        // degenerate inputs) quantize to the clamped edge cells instead of
-        // wrapping the cell coordinate space.
-        'probe: for dr in -1..=1i64 {
-            for di in -1..=1i64 {
-                if let Some(slot) = self.find_in_cell(cr.saturating_add(dr), ci.saturating_add(di), v) {
-                    found = Some(slot);
-                    break 'probe;
+    /// Shared-path interning: identical semantics to [`Self::lookup`], but
+    /// callable from many threads at once on a shared `&ComplexTable`.
+    /// `front` is the caller's per-thread front cache. Hot-path lookups take
+    /// only brief per-cell read locks; a genuine miss serializes on the
+    /// table's single insert lock and re-probes before inserting, so
+    /// concurrent interns of the same value collapse to one handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has a NaN or infinite component.
+    pub fn lookup_shared(&self, v: Complex, front: &mut FrontCache) -> ComplexIdx {
+        assert!(
+            !v.is_non_finite(),
+            "cannot intern non-finite complex value {v:?}"
+        );
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.constant_fast_path(v) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return c;
+        }
+        let (re_bits, im_bits) = (v.re.to_bits(), v.im.to_bits());
+        if let Some(raw) = front.get(re_bits, im_bits) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.front_hits.fetch_add(1, Ordering::Relaxed);
+            return ComplexIdx(raw);
+        }
+        let idx = match self.find_shared(v) {
+            Some(idx) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                idx
+            }
+            None => {
+                let mut free = self.free.lock().unwrap();
+                // Re-probe under the insert lock: another thread may have
+                // inserted the same value since the optimistic scan.
+                match self.find_shared(v) {
+                    Some(idx) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        idx
+                    }
+                    None => self.insert_locked(v, &mut free),
                 }
             }
-        }
-        let idx = match found {
-            Some(slot) => {
-                self.hits += 1;
-                ComplexIdx(slot)
-            }
-            None => self.insert(v),
         };
-        self.recent[rslot] = RecentEntry { re_bits, im_bits, idx: idx.0 };
+        front.put(re_bits, im_bits, idx.0);
         idx
     }
 
@@ -487,6 +710,29 @@ impl Default for ComplexTable {
     }
 }
 
+impl Clone for ComplexTable {
+    fn clone(&self) -> Self {
+        ComplexTable {
+            values: self.values.clone(),
+            free: Mutex::new(self.free.lock().unwrap().clone()),
+            free_count: AtomicU32::new(self.free_count.load(Ordering::Relaxed)),
+            stripes: self
+                .stripes
+                .iter()
+                .map(|s| RwLock::new(s.read().unwrap().clone()))
+                .collect(),
+            recent: self.recent.clone(),
+            base: self.base.clone(),
+            base_len: self.base_len,
+            tolerance: self.tolerance,
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            reclaimed: AtomicU64::new(self.reclaimed.load(Ordering::Relaxed)),
+            front_hits: AtomicU64::new(self.front_hits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,8 +810,7 @@ mod tests {
         assert_eq!(s.entries, 3);
         assert_eq!(s.lookups, 2);
         assert_eq!(s.hits, 1);
-        // Bytes: at least the value storage; capacity-based, so it never
-        // shrinks as entries are added.
+        // Bytes: at least the value storage.
         assert!(s.approx_bytes >= 3 * std::mem::size_of::<Complex>());
         t.lookup(Complex::new(0.1, 0.9));
         let s2 = t.stats();
@@ -602,8 +847,8 @@ mod tests {
 
     #[test]
     fn index_grows_past_initial_capacity() {
-        // Intern well past the initial grid-index capacity; handles must
-        // stay unique and resolvable.
+        // Intern well past any initial capacity; handles must stay unique
+        // and resolvable.
         let mut t = ComplexTable::new();
         let mut handles = Vec::new();
         for i in 0..2000 {
@@ -645,7 +890,7 @@ mod tests {
         assert_eq!(t.lookup(keep_v), kept);
         assert_eq!(t.lookup(Complex::ZERO), C_ZERO);
         assert_eq!(t.lookup(Complex::ONE), C_ONE);
-        // Reclaimed slots are recycled before the value vec grows.
+        // Reclaimed slots are recycled before the value arena grows.
         let recycled = t.lookup(Complex::new(-0.9, 0.9));
         assert!(
             dropped.contains(&recycled),
@@ -669,6 +914,80 @@ mod tests {
         // The table keeps working after a full sweep.
         let a = t.lookup(Complex::new(0.123, 0.456));
         assert_eq!(t.lookup(Complex::new(0.123, 0.456)), a);
+    }
+
+    #[test]
+    fn shared_lookup_agrees_with_exclusive() {
+        let mut t = ComplexTable::new();
+        let vals: Vec<Complex> = (0..200)
+            .map(|i| Complex::new(0.003 * i as f64 - 0.3, 0.001 * i as f64))
+            .collect();
+        let exclusive: Vec<ComplexIdx> = vals.iter().map(|&v| t.lookup(v)).collect();
+        let mut front = FrontCache::new();
+        for (v, h) in vals.iter().zip(&exclusive) {
+            assert_eq!(t.lookup_shared(*v, &mut front), *h);
+        }
+        // Consecutive repeats of a hot value hit the caller-owned front
+        // cache (direct-mapped, so only un-evicted repeats can hit).
+        let hot = vals[7];
+        let before = t.stats().front_hits;
+        let h = t.lookup_shared(hot, &mut front);
+        for _ in 0..10 {
+            assert_eq!(t.lookup_shared(hot, &mut front), h);
+        }
+        assert!(t.stats().front_hits >= before + 10);
+    }
+
+    #[test]
+    fn concurrent_shared_interning_is_canonical() {
+        let t = ComplexTable::new();
+        let handles: Vec<Vec<ComplexIdx>> = std::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let t = &t;
+                    s.spawn(move || {
+                        let mut front = FrontCache::new();
+                        (0..500)
+                            .map(|i| {
+                                t.lookup_shared(
+                                    Complex::new(0.002 * (i % 250) as f64 + 0.1, 0.4),
+                                    &mut front,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        // Same value interned on any thread yields the same handle.
+        for w in &handles[1..] {
+            assert_eq!(w, &handles[0]);
+        }
+        // 250 distinct values + the two constants, no duplicates.
+        assert_eq!(t.len(), 252);
+    }
+
+    #[test]
+    fn overlay_resolves_base_handles_and_appends_locally() {
+        let mut base = ComplexTable::new();
+        let hot = Complex::new(0.6, -0.2);
+        let h = base.lookup(hot);
+        let base = Arc::new(base);
+        let mut over = ComplexTable::overlay(base.clone());
+        // Base representative wins on lookup.
+        assert_eq!(over.lookup(hot), h);
+        assert_eq!(over.value(h), hot);
+        assert_eq!(over.lookup(Complex::ZERO), C_ZERO);
+        // New values get handles past the base space.
+        let novel = over.lookup(Complex::new(0.11, 0.22));
+        assert!(novel.index() >= base.len());
+        assert_eq!(over.value(novel), Complex::new(0.11, 0.22));
+        // Clearing the overlay forgets local values, keeps the base.
+        over.clear_local();
+        assert_eq!(over.lookup(hot), h);
+        let again = over.lookup(Complex::new(0.11, 0.22));
+        assert_eq!(again, novel, "slot reuse makes the re-intern deterministic");
     }
 
     use proptest::prelude::*;
@@ -715,6 +1034,21 @@ mod tests {
                         prop_assert!(!va.approx_eq(vb, t.tolerance() * 0.5));
                     }
                 }
+            }
+        }
+
+        /// Exclusive and shared interning agree handle-for-handle.
+        #[test]
+        fn shared_path_matches_exclusive(
+            vals in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..60)
+        ) {
+            let mut t = ComplexTable::new();
+            let mut front = FrontCache::new();
+            for &(re, im) in &vals {
+                let v = Complex::new(re, im);
+                let a = t.lookup(v);
+                let b = t.lookup_shared(v, &mut front);
+                prop_assert_eq!(a, b);
             }
         }
     }

@@ -75,6 +75,74 @@ impl WalkScratch {
     }
 }
 
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex;
+
+/// A shared pool of [`WalkScratch`] buffers.
+///
+/// Traversals used to borrow one `RefCell<WalkScratch>` per store, which made
+/// the store `!Sync` and forbade same-arity nested walks. A pool hands each
+/// concurrent (or nested) traversal its own scratch buffer: [`Self::acquire`]
+/// pops a warm buffer (or allocates a fresh one on first use / under nesting)
+/// and the [`ScratchGuard`] returns it on drop, so steady-state walks stay
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<WalkScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks a scratch buffer out of the pool.
+    pub fn acquire(&self) -> ScratchGuard<'_> {
+        let scratch = self.pool.lock().unwrap().pop().unwrap_or_default();
+        ScratchGuard { pool: self, scratch: Some(scratch) }
+    }
+}
+
+impl Clone for ScratchPool {
+    /// Clones as an empty pool — scratch buffers are transient caches, not
+    /// state.
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+/// An exclusively-owned [`WalkScratch`] checked out of a [`ScratchPool`];
+/// returned to the pool on drop.
+#[derive(Debug)]
+pub struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<WalkScratch>,
+}
+
+impl Deref for ScratchGuard<'_> {
+    type Target = WalkScratch;
+    #[inline]
+    fn deref(&self) -> &WalkScratch {
+        self.scratch.as_ref().expect("scratch present until drop")
+    }
+}
+
+impl DerefMut for ScratchGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut WalkScratch {
+        self.scratch.as_mut().expect("scratch present until drop")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(s) = self.scratch.take() {
+            self.pool.pool.lock().unwrap().push(s);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +195,35 @@ mod tests {
         s.begin(1);
         assert!(s.stack.is_empty());
         assert!(s.set.visit(0));
+    }
+
+    #[test]
+    fn pool_reuses_returned_buffers() {
+        let pool = ScratchPool::new();
+        let warmed = {
+            let mut g = pool.acquire();
+            g.begin(100);
+            g.set.visit(42);
+            g.stack.capacity()
+        };
+        let _ = warmed;
+        // The returned buffer comes back warm (stamp array already sized).
+        let mut g2 = pool.acquire();
+        g2.begin(100);
+        assert!(!g2.set.seen(42), "epoch bump isolates traversals");
+    }
+
+    #[test]
+    fn pool_supports_nested_acquires() {
+        let pool = ScratchPool::new();
+        let mut outer = pool.acquire();
+        outer.begin(4);
+        outer.set.visit(1);
+        {
+            let mut inner = pool.acquire();
+            inner.begin(4);
+            assert!(inner.set.visit(1), "nested walk has independent state");
+        }
+        assert!(outer.set.seen(1));
     }
 }

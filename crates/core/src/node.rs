@@ -1,6 +1,7 @@
 //! Arena node representations.
 
 use crate::types::{Edge, Qubit};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A decision-diagram node with `N` successor edges.
 ///
@@ -10,7 +11,12 @@ use crate::types::{Edge, Qubit};
 /// * `N = 4` ([`MNode`]): successors are ordered `[U₀₀, U₀₁, U₁₀, U₁₁]` —
 ///   row index `i` is the *output* value of the qubit, column index `j` the
 ///   *input* value, matching Fig. 2(c) of the paper (child `2·i + j`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// `var`, `children` and `birth` are immutable once the node is published
+/// into the store (canonicity depends on it). The root-reference count is
+/// atomic so shared-store workers can pin and release roots without a write
+/// lock on the arena.
+#[derive(Debug)]
 pub struct Node<const N: usize> {
     /// Qubit this node decides on.
     pub var: Qubit,
@@ -18,9 +24,7 @@ pub struct Node<const N: usize> {
     pub children: [Edge<N>; N],
     /// External root-reference count (used by garbage collection; not a
     /// structural property).
-    pub(crate) rc: u32,
-    /// Tombstone flag set when the slot is on the free list.
-    pub(crate) dead: bool,
+    pub(crate) rc: AtomicU32,
     /// Monotone creation stamp. Commutative operations order their operands
     /// by birth rather than by slot id: slot ids are recycled by garbage
     /// collection, and an ordering that changes when a collection happens to
@@ -35,12 +39,38 @@ impl<const N: usize> Node<N> {
         Node {
             var,
             children,
-            rc: 0,
-            dead: false,
+            rc: AtomicU32::new(0),
             birth: 0,
         }
     }
+
+    /// Current external root count.
+    #[inline]
+    pub(crate) fn rc(&self) -> u32 {
+        self.rc.load(Ordering::Relaxed)
+    }
 }
+
+impl<const N: usize> Clone for Node<N> {
+    fn clone(&self) -> Self {
+        Node {
+            var: self.var,
+            children: self.children,
+            rc: AtomicU32::new(self.rc()),
+            birth: self.birth,
+        }
+    }
+}
+
+/// Structural equality: a node *is* its decision variable plus successor
+/// edges (the unique-table key); refcounts and birth stamps are bookkeeping.
+impl<const N: usize> PartialEq for Node<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.var == other.var && self.children == other.children
+    }
+}
+
+impl<const N: usize> Eq for Node<N> {}
 
 /// A vector-DD node: a qubit label and two successor edges.
 pub type VNode = Node<2>;

@@ -5,10 +5,11 @@
 
 use crate::error::{DdError, ResourceKind};
 use crate::node::Node;
+use crate::normalize::{normalize_matrix_ctx, normalize_vector_ctx, Normalized, SharedCtx};
 use crate::package::store::HasStore;
 use crate::package::DdPackage;
 use crate::types::{Edge, MatEdge, NodeId, Qubit, VecEdge};
-use qdd_complex::ComplexIdx;
+use qdd_complex::{ComplexIdx, FrontCache};
 
 impl DdPackage {
     /// Creates (or finds) the canonical node `var → children` and returns
@@ -27,16 +28,7 @@ impl DdPackage {
         let Some(norm) = Self::normalize(&mut self.ctable, &self.config, weights) else {
             return Ok(Edge::ZERO);
         };
-        let canon: [Edge<N>; N] = std::array::from_fn(|i| {
-            Edge::new(
-                if norm.weights[i].is_zero() {
-                    NodeId::TERMINAL
-                } else {
-                    children[i].node
-                },
-                norm.weights[i],
-            )
-        });
+        let canon = Self::canonicalize(&children, &norm);
         let id = match self.store().lookup(var, &canon) {
             Some(id) => id,
             None => {
@@ -110,8 +102,15 @@ impl DdPackage {
 
     #[inline]
     pub(crate) fn next_birth(&mut self) -> u64 {
-        self.births += 1;
-        self.births
+        let b = self.births.get_mut();
+        *b += 1;
+        *b
+    }
+
+    /// Shared-lane birth stamp: unique and monotone across threads.
+    #[inline]
+    pub(crate) fn next_birth_shared(&self) -> u64 {
+        self.births.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1
     }
 
     #[inline]
@@ -185,6 +184,87 @@ impl DdPackage {
         children: [MatEdge; 4],
     ) -> Result<MatEdge, DdError> {
         self.try_make_node_generic(var, children)
+    }
+
+    // ------------------------------------------------------------------
+    // Shared construction surface (&self, striped locks)
+    // ------------------------------------------------------------------
+
+    /// Canonicalizes normalized children into the stored edge form, shared
+    /// with the exclusive path's logic.
+    fn canonicalize<const N: usize>(
+        children: &[Edge<N>; N],
+        norm: &Normalized<N>,
+    ) -> [Edge<N>; N] {
+        std::array::from_fn(|i| {
+            Edge::new(
+                if norm.weights[i].is_zero() {
+                    NodeId::TERMINAL
+                } else {
+                    children[i].node
+                },
+                norm.weights[i],
+            )
+        })
+    }
+
+    /// Creates (or finds) a canonical vector node from `&self`, for use by
+    /// many threads on one shared package. `front` is the caller's
+    /// per-thread weight cache.
+    ///
+    /// Semantics match [`Self::make_vec_node`] with two documented
+    /// differences: allocation budgets are not enforced (budget state is
+    /// exclusive-lane), and when several threads race to intern values
+    /// within tolerance of each other, which representative wins depends on
+    /// interleaving — shared construction is canonical (same inputs on any
+    /// thread yield the same edge afterwards) but not bit-reproducible
+    /// across runs. Deterministic parallel simulation goes through frozen
+    /// overlays instead (see [`crate::FrozenDd`]).
+    pub fn make_vec_node_shared(
+        &self,
+        var: Qubit,
+        children: [VecEdge; 2],
+        front: &mut FrontCache,
+    ) -> VecEdge {
+        let weights = std::array::from_fn(|i| children[i].weight);
+        let mut ctx = SharedCtx { table: &self.ctable, front };
+        let Some(norm) =
+            normalize_vector_ctx(&mut ctx, weights, self.config.vector_normalization)
+        else {
+            return Edge::ZERO;
+        };
+        let canon = Self::canonicalize(&children, &norm);
+        let id = match self.vstore.lookup(var, &canon) {
+            Some(id) => id,
+            None => {
+                let birth = self.next_birth_shared();
+                self.vstore.intern_shared(Node::new(var, canon), birth)
+            }
+        };
+        Edge::new(id, norm.top)
+    }
+
+    /// Matrix-arity form of [`Self::make_vec_node_shared`].
+    pub fn make_mat_node_shared(
+        &self,
+        var: Qubit,
+        children: [MatEdge; 4],
+        front: &mut FrontCache,
+    ) -> MatEdge {
+        let weights = std::array::from_fn(|i| children[i].weight);
+        let mut ctx = SharedCtx { table: &self.ctable, front };
+        let Some(norm) = normalize_matrix_ctx(&mut ctx, weights) else {
+            return Edge::ZERO;
+        };
+        let canon = Self::canonicalize(&children, &norm);
+        let id = match self.mstore.lookup(var, &canon) {
+            Some(id) => id,
+            None => {
+                let birth = self.next_birth_shared();
+                self.mstore.intern_shared(Node::new(var, canon), birth)
+            }
+        };
+        Edge::new(id, norm.top)
     }
 
     /// Rescales a vector edge by an interned factor.

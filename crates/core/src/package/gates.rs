@@ -143,6 +143,7 @@ impl DdPackage {
                 self.gate_cache.clear();
             }
             self.gate_cache.insert(key, e);
+            self.gate_cache_dirty = true;
         }
         Ok(e)
     }

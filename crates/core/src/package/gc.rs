@@ -96,6 +96,7 @@ impl DdPackage {
         qdd_telemetry::counter_add("core.gc.pressure_runs", 1);
         self.governor.gc_pressure_runs += 1;
         self.gate_cache.clear();
+        self.gate_cache_dirty = true;
         self.id_cache.truncate(1);
         self.garbage_collect()
     }

@@ -22,6 +22,7 @@
 mod alloc;
 mod gates;
 mod gc;
+mod import;
 mod refcount;
 mod states;
 mod stats;
@@ -41,6 +42,8 @@ use crate::limits::{Governor, Limits};
 use crate::node::{MNode, VNode};
 use crate::types::{MatEdge, MNodeId, Qubit, VecEdge, VNodeId};
 use qdd_complex::{Complex, ComplexIdx, ComplexTable, FxHashMap, DEFAULT_TOLERANCE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunable parameters of a [`DdPackage`].
@@ -82,7 +85,20 @@ impl Default for PackageConfig {
 /// packages must never be mixed.
 ///
 /// See the [crate-level documentation](crate) for a worked example.
-#[derive(Clone, Debug)]
+///
+/// # Sharing across threads
+///
+/// A package is `Send + Sync`: node reads, complex-value resolution and
+/// traversals work from many threads on a `&DdPackage`, and the shared
+/// construction surface (`*_shared` methods) interns nodes and weights
+/// behind striped locks. The deterministic way to parallelize, however, is
+/// [`DdPackage::freeze`]: build a warm package once, freeze it into an
+/// [`Arc<FrozenDd>`], and give every worker its own cheap
+/// [`FrozenDd::overlay`] package. Workers then run the ordinary (lock-free,
+/// exclusive) hot path over genuinely shared warm state — the frozen
+/// arenas, complex table, gate-DD cache — and bit-identical results at any
+/// thread count follow by construction (see DESIGN.md §15).
+#[derive(Debug)]
 pub struct DdPackage {
     /// Vector-DD store (nodes with 2 successors).
     pub(crate) vstore: NodeStore<2>,
@@ -97,6 +113,9 @@ pub struct DdPackage {
     /// Built gate operators by exact identity. Survives routine GCs as a
     /// root set (bounded by `GATE_CACHE_CAP`), flushed by pressure GCs.
     gate_cache: FxHashMap<GateKey, MatEdge>,
+    /// Whether `gate_cache` diverged from the frozen base's copy (overlay
+    /// packages reset it per shot only when it did).
+    pub(crate) gate_cache_dirty: bool,
     gate_lookups: u64,
     gate_hits: u64,
     /// Reference counts of the *weights* of registered root edges. Node
@@ -104,10 +123,13 @@ pub struct DdPackage {
     /// weight lives only in the caller's copy of the edge, so the
     /// complex-table sweep needs this registry to keep it pinned.
     root_weights: FxHashMap<ComplexIdx, u32>,
-    /// Monotone node-creation counter backing `Node::birth`.
-    births: u64,
+    /// Monotone node-creation counter backing `Node::birth` (atomic so the
+    /// shared construction surface can stamp without `&mut`).
+    births: AtomicU64,
     gc_runs: u64,
     governor: Governor,
+    /// The frozen package this one overlays, if any (see [`Self::freeze`]).
+    base: Option<Arc<FrozenDd>>,
     /// When set, `check_alloc_budget` waves allocations through. Only the
     /// approximation rebuild raises it: pruning must be able to run *while*
     /// the allocator is exhausted (that is the whole point), transiently
@@ -132,19 +154,98 @@ impl DdPackage {
             config,
             id_cache: vec![MatEdge::ONE],
             gate_cache: FxHashMap::default(),
+            gate_cache_dirty: false,
             gate_lookups: 0,
             gate_hits: 0,
             root_weights: FxHashMap::default(),
-            births: 0,
+            births: AtomicU64::new(0),
             gc_runs: 0,
             governor: Governor::default(),
+            base: None,
             budget_bypass: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Freezing and overlays
+    // ------------------------------------------------------------------
+
+    /// Consumes the package into an immutable, `Arc`-shared [`FrozenDd`].
+    ///
+    /// Freezing is the cheap half of the share-a-warm-package protocol: the
+    /// node arenas, complex table, gate-DD cache and identity cache move
+    /// (no copies) behind `Arc`s, and any number of worker packages can be
+    /// minted over them with [`FrozenDd::overlay`]. Compute tables and
+    /// root-weight pins are dropped — they are per-worker state.
+    pub fn freeze(mut self) -> Arc<FrozenDd> {
+        // Caches key on node ids; they stay valid (ids are frozen), but the
+        // frozen package should carry no transient per-run state.
+        self.caches.clear();
+        Arc::new(FrozenDd {
+            vstore: Arc::new(self.vstore),
+            mstore: Arc::new(self.mstore),
+            ctable: Arc::new(self.ctable),
+            id_cache: self.id_cache,
+            gate_cache: self.gate_cache,
+            births: self.births.load(Ordering::Relaxed),
+            config: self.config,
+        })
+    }
+
+    /// Drops every overlay-local node, weight, cache entry and root pin,
+    /// returning this overlay package to its frozen base's exact state.
+    ///
+    /// This is the per-shot reset of the shared shot engine: each shot is a
+    /// pure function of (frozen base, shot seed), so histograms are
+    /// bit-identical at any thread count. Calling it on a non-overlay
+    /// package clears everything (arenas, caches, interned values beyond
+    /// the constants).
+    pub fn reset_overlay(&mut self) {
+        self.vstore.clear_local();
+        self.mstore.clear_local();
+        self.ctable.clear_local();
+        self.caches.clear();
+        self.root_weights.clear();
+        match &self.base {
+            Some(base) => {
+                *self.births.get_mut() = base.births;
+                // Entries added during the run reference overlay-local
+                // nodes that were just cleared, so both operator caches
+                // must come back from the base. The identity cache only
+                // grows, so an unchanged length proves it unchanged; the
+                // gate cache can flush at capacity and regrow to any
+                // length, so it is re-cloned whenever it could differ.
+                if self.id_cache.len() != base.id_cache.len() {
+                    self.id_cache = base.id_cache.clone();
+                }
+                if self.gate_cache_dirty {
+                    self.gate_cache = base.gate_cache.clone();
+                    self.gate_cache_dirty = false;
+                }
+            }
+            None => {
+                *self.births.get_mut() = 0;
+                self.id_cache = vec![MatEdge::ONE];
+                self.gate_cache = FxHashMap::default();
+                self.gate_cache_dirty = false;
+            }
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &PackageConfig {
         &self.config
+    }
+
+    /// Whether this package is an overlay over a frozen base (see
+    /// [`Self::freeze`] / [`FrozenDd::overlay`]).
+    pub fn is_overlay(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// The frozen base this overlay was minted from, if any.
+    pub fn frozen_base(&self) -> Option<&Arc<FrozenDd>> {
+        self.base.as_ref()
     }
 
     /// The active resource limits.
@@ -252,5 +353,187 @@ impl DdPackage {
 impl Default for DdPackage {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for DdPackage {
+    fn clone(&self) -> Self {
+        DdPackage {
+            vstore: self.vstore.clone(),
+            mstore: self.mstore.clone(),
+            ctable: self.ctable.clone(),
+            caches: self.caches.clone(),
+            config: self.config,
+            id_cache: self.id_cache.clone(),
+            gate_cache: self.gate_cache.clone(),
+            gate_cache_dirty: self.gate_cache_dirty,
+            gate_lookups: self.gate_lookups,
+            gate_hits: self.gate_hits,
+            root_weights: self.root_weights.clone(),
+            births: AtomicU64::new(self.births.load(Ordering::Relaxed)),
+            gc_runs: self.gc_runs,
+            governor: self.governor.clone(),
+            base: self.base.clone(),
+            budget_bypass: self.budget_bypass,
+        }
+    }
+}
+
+/// An immutable, `Arc`-shared decision-diagram package produced by
+/// [`DdPackage::freeze`]: warm node arenas, the interned complex table, and
+/// the gate-DD/identity caches, ready to back any number of
+/// [`FrozenDd::overlay`] worker packages.
+///
+/// The frozen state is never mutated — overlays resolve ids below the
+/// freeze point into these arenas lock-free and append strictly above it —
+/// so sharing one `FrozenDd` across threads is data-race-free by
+/// construction, and every overlay sees bit-identical warm state.
+#[derive(Debug)]
+pub struct FrozenDd {
+    pub(crate) vstore: Arc<NodeStore<2>>,
+    pub(crate) mstore: Arc<NodeStore<4>>,
+    pub(crate) ctable: Arc<ComplexTable>,
+    pub(crate) id_cache: Vec<MatEdge>,
+    pub(crate) gate_cache: FxHashMap<GateKey, MatEdge>,
+    pub(crate) births: u64,
+    pub(crate) config: PackageConfig,
+}
+
+impl FrozenDd {
+    /// Mints a worker package over this frozen base.
+    ///
+    /// The overlay shares the frozen arenas, complex table and operator
+    /// caches (ids and handles stay valid and canonical), starts its birth
+    /// counter at the freeze point, and appends all new state locally —
+    /// [`DdPackage::reset_overlay`] discards exactly that local state.
+    /// Overlay construction is O(cached operators), not O(frozen nodes).
+    pub fn overlay(self: &Arc<Self>) -> DdPackage {
+        DdPackage {
+            vstore: NodeStore::overlay(self.vstore.clone()),
+            mstore: NodeStore::overlay(self.mstore.clone()),
+            ctable: ComplexTable::overlay(self.ctable.clone()),
+            caches: ComputeTables::bounded(self.config.limits.max_compute_entries),
+            config: self.config,
+            id_cache: self.id_cache.clone(),
+            gate_cache: self.gate_cache.clone(),
+            gate_cache_dirty: false,
+            gate_lookups: 0,
+            gate_hits: 0,
+            root_weights: FxHashMap::default(),
+            births: AtomicU64::new(self.births),
+            gc_runs: 0,
+            governor: Governor::default(),
+            base: Some(self.clone()),
+            budget_bypass: false,
+        }
+    }
+
+    /// The configuration the frozen package was built with.
+    pub fn config(&self) -> &PackageConfig {
+        &self.config
+    }
+}
+
+// The whole point of the concurrent engine: a package (and its frozen form)
+// can be shared across threads. Compile-time proof, not a test.
+#[allow(dead_code)]
+fn assert_send_sync() {
+    fn ok<T: Send + Sync>() {}
+    ok::<DdPackage>();
+    ok::<FrozenDd>();
+}
+
+#[cfg(test)]
+mod freeze_tests {
+    use super::*;
+    use crate::gates::{self, Control};
+
+    fn bell(dd: &mut DdPackage) -> VecEdge {
+        let z = dd.zero_state(2).unwrap();
+        let s = dd.apply_gate(z, gates::H, &[], 1).unwrap();
+        dd.apply_gate(s, gates::X, &[Control::pos(1)], 0).unwrap()
+    }
+
+    #[test]
+    fn overlay_reuses_frozen_nodes_and_weights() {
+        let mut warm = DdPackage::new();
+        let frozen_bell = bell(&mut warm);
+        let frozen_nodes = warm.stats().vnodes_alive;
+        let base = warm.freeze();
+        let mut over = base.overlay();
+        // Rebuilding the same state in the overlay finds the frozen nodes:
+        // nothing is allocated locally.
+        let again = bell(&mut over);
+        assert_eq!(again, frozen_bell, "canonical across the freeze boundary");
+        assert_eq!(over.stats().vnodes_alive, frozen_nodes);
+        // The frozen gate cache answers without a rebuild.
+        let hits_before = over.stats().gate_cache_hits;
+        let _ = over.gate_dd(gates::H, &[], 1, 2).unwrap();
+        assert_eq!(over.stats().gate_cache_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn reset_overlay_is_bit_reproducible() {
+        let mut warm = DdPackage::new();
+        let _ = bell(&mut warm);
+        let base = warm.freeze();
+        let mut over = base.overlay();
+        // A run that allocates local nodes on top of the frozen base.
+        let run = |dd: &mut DdPackage| {
+            let s = bell(dd);
+            let s = dd.apply_gate(s, gates::t(), &[], 0).unwrap();
+            dd.apply_gate(s, gates::ry(0.3), &[], 1).unwrap()
+        };
+        let first = run(&mut over);
+        let first_dense = over.to_dense_vector(first, 2);
+        let local_nodes = over.stats().vnodes_allocated;
+        over.reset_overlay();
+        let second = run(&mut over);
+        // Same edge ids, same amplitudes, same allocation pattern: a reset
+        // overlay replays a run bit-identically.
+        assert_eq!(first, second);
+        assert_eq!(over.to_dense_vector(second, 2), first_dense);
+        assert_eq!(over.stats().vnodes_allocated, local_nodes);
+    }
+
+    #[test]
+    fn overlays_share_one_base_across_threads() {
+        let mut warm = DdPackage::new();
+        let _ = bell(&mut warm);
+        let base = warm.freeze();
+        let amps: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let base = base.clone();
+                    s.spawn(move || {
+                        let mut dd = base.overlay();
+                        let e = bell(&mut dd);
+                        dd.to_dense_vector(e, 2)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for a in &amps[1..] {
+            assert_eq!(a, &amps[0], "bit-identical across worker overlays");
+        }
+    }
+
+    #[test]
+    fn overlay_gc_keeps_base_intact() {
+        let mut warm = DdPackage::new();
+        let frozen_bell = bell(&mut warm);
+        let base = warm.freeze();
+        let mut over = base.overlay();
+        let b = bell(&mut over);
+        let kept = over.apply_gate(b, gates::t(), &[], 0).unwrap();
+        over.inc_ref_vec(kept);
+        let _garbage = over.basis_state(2, 1).unwrap();
+        let report = over.garbage_collect();
+        assert!(report.freed_vnodes > 0, "local garbage is reclaimed");
+        // Frozen nodes are never swept; both frozen and kept state resolve.
+        assert_eq!(over.vec_node_count(frozen_bell), 3);
+        assert!((over.vec_norm(kept) - 1.0).abs() < 1e-10);
+        over.dec_ref_vec(kept);
     }
 }

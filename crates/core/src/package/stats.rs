@@ -7,8 +7,7 @@ use crate::node::{MNode, VNode};
 use crate::package::DdPackage;
 use crate::traverse::Traversable;
 use crate::types::{MatEdge, MNodeId, VecEdge, VNodeId};
-use qdd_complex::WalkScratch;
-use std::cell::RefCell;
+use qdd_complex::ScratchGuard;
 
 /// A snapshot of package health, for diagnostics and experiments.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]
@@ -62,7 +61,7 @@ impl Traversable<2> for DdPackage {
     }
 
     #[inline]
-    fn walk_scratch(&self) -> &RefCell<WalkScratch> {
+    fn walk_scratch(&self) -> ScratchGuard<'_> {
         self.vstore.scratch()
     }
 }
@@ -79,7 +78,7 @@ impl Traversable<4> for DdPackage {
     }
 
     #[inline]
-    fn walk_scratch(&self) -> &RefCell<WalkScratch> {
+    fn walk_scratch(&self) -> ScratchGuard<'_> {
         self.mstore.scratch()
     }
 }

@@ -12,16 +12,15 @@
 //!
 //! # Re-entrancy
 //!
-//! A walker holds the store's scratch space for the duration of the
-//! traversal. Callbacks must not start another traversal **of the same
-//! arity** on the same package (this panics via `RefCell`); traversing the
-//! other arity (e.g. walking a matrix DD from inside a vector-DD callback)
-//! is fine, since each store owns its own scratch.
+//! A walker checks a scratch buffer out of the store's pool for the
+//! duration of the traversal. The pool hands every acquisition its own
+//! buffer, so callbacks may freely start nested traversals — of either
+//! arity, including the same one — and concurrent walks from different
+//! threads over a shared package each get independent scratch.
 
 use crate::node::Node;
 use crate::types::{Edge, NodeId};
-use qdd_complex::WalkScratch;
-use std::cell::RefCell;
+use qdd_complex::ScratchGuard;
 
 /// Tag bit marking a "children done, emit the node" stack entry in the
 /// post-order walker. Halves the addressable arena to `2³¹` slots, far
@@ -46,9 +45,9 @@ pub trait Traversable<const N: usize> {
     #[doc(hidden)]
     fn arena_len(&self) -> usize;
 
-    /// The store's reusable traversal scratch.
+    /// Checks a traversal scratch buffer out of the store's pool.
     #[doc(hidden)]
-    fn walk_scratch(&self) -> &RefCell<WalkScratch>;
+    fn walk_scratch(&self) -> ScratchGuard<'_>;
 
     /// Depth-first pre-order walk: `f` sees every distinct non-terminal
     /// node reachable from `root` exactly once, parents before their
@@ -60,7 +59,7 @@ pub trait Traversable<const N: usize> {
         if root.is_terminal() {
             return;
         }
-        let mut s = self.walk_scratch().borrow_mut();
+        let mut s = self.walk_scratch();
         s.begin(self.arena_len());
         s.stack.push(root.node.raw());
         while let Some(i) = s.stack.pop() {
@@ -85,7 +84,7 @@ pub trait Traversable<const N: usize> {
         if root.is_terminal() {
             return;
         }
-        let mut s = self.walk_scratch().borrow_mut();
+        let mut s = self.walk_scratch();
         s.begin(self.arena_len());
         s.set.visit(root.node.index());
         s.stack.push(root.node.raw());
@@ -112,7 +111,7 @@ pub trait Traversable<const N: usize> {
             return;
         }
         debug_assert!((self.arena_len() as u64) < EMIT as u64);
-        let mut s = self.walk_scratch().borrow_mut();
+        let mut s = self.walk_scratch();
         s.begin(self.arena_len());
         s.stack.push(root.node.raw());
         while let Some(x) = s.stack.pop() {
@@ -202,7 +201,8 @@ mod tests {
 
     #[test]
     fn vector_and_matrix_walks_can_nest() {
-        // Each store owns its own scratch, so cross-arity nesting is fine.
+        // Each store owns its own scratch pool, so cross-arity nesting is
+        // fine.
         let mut dd = DdPackage::new();
         let v = dd.zero_state(2).unwrap();
         let m = dd.identity(2).unwrap();
@@ -211,5 +211,18 @@ mod tests {
             dd.visit_preorder(m, |_, _| pairs += 1);
         });
         assert_eq!(pairs, 4);
+    }
+
+    #[test]
+    fn same_arity_walks_can_nest() {
+        // The scratch pool hands each nested walk its own buffer, so even
+        // same-arity re-entrancy works (it used to panic via RefCell).
+        let mut dd = DdPackage::new();
+        let v = dd.zero_state(3).unwrap();
+        let mut pairs = 0;
+        dd.visit_preorder(v, |_, _| {
+            dd.visit_preorder(v, |_, _| pairs += 1);
+        });
+        assert_eq!(pairs, 9);
     }
 }

@@ -41,6 +41,18 @@ pub use shots::{shot_seed, HistogramKind, ShotOptions, ShotReport};
 pub use simulator::{DdSimulator, SimStats};
 pub use stepper::{ChoiceKind, PendingChoice, StepOutcome, SteppableSimulation};
 
+/// Resolves a user-facing thread-count option: `0` means one worker per
+/// available CPU, anything else is taken literally (minimum 1).
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
 /// Computes the value of a classical register from the global bit array.
 ///
 /// Bit `i` of the result is the register's `i`-th bit (little-endian within

@@ -17,15 +17,19 @@
 //!   sampled index.
 //! * **Mid-circuit** — collapse feeds back into the evolution (conditioned
 //!   gates, resets, measure-then-evolve), so each shot re-executes the
-//!   circuit. Shots fan out across [`std::thread`] workers, each owning its
-//!   own `DdPackage` and circuit clone (packages are not `Sync`), and each
-//!   **shot** — not worker — gets its own RNG stream derived with
-//!   [`shot_seed`]. Outcomes therefore depend only on `(base seed, shot
-//!   index)`, making the merged histogram bit-identical regardless of
-//!   thread count. Within a worker, shots reuse one simulator via
-//!   [`DdSimulator::restart`], keeping the gate-DD cache and unique tables
-//!   warm across re-executions — the batching that makes per-shot
-//!   re-execution affordable.
+//!   circuit. The engine first builds every gate operator the circuit needs
+//!   **once**, deterministically, and freezes that package into a shared
+//!   [`FrozenDd`] base; shots then fan out across [`std::thread`] workers
+//!   whose simulators are cheap overlays over the shared base
+//!   ([`DdSimulator::with_frozen_base`]) — one warm gate-DD cache, one set
+//!   of interned weights and frozen unique tables for the whole job instead
+//!   of per-worker duplicates. Each **shot** — not worker — gets its own
+//!   RNG stream derived with [`shot_seed`], and each shot starts from a
+//!   reset overlay, so outcomes depend only on `(frozen base, base seed,
+//!   shot index)`: the merged histogram is bit-identical regardless of
+//!   thread count. Runs under resource budgets (node/complex-entry limits)
+//!   keep the former per-worker-package path, preserving exact budget
+//!   semantics.
 //!
 //! Resource governance propagates: the [`PackageConfig`] limits apply inside
 //! every worker, and [`Limits::deadline`](qdd_core::Limits::deadline) is
@@ -35,12 +39,13 @@
 use crate::error::SimError;
 use crate::simulator::DdSimulator;
 use crate::creg_value;
-use qdd_circuit::{MeasurementAnalysis, MeasurementRegime, QuantumCircuit};
+use qdd_circuit::{MeasurementAnalysis, MeasurementRegime, Operation, QuantumCircuit};
 use qdd_complex::FxHashMap;
-use qdd_core::{DdError, PackageConfig};
+use qdd_core::{DdError, DdPackage, FrozenDd, PackageConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// SplitMix64 increment (the 64-bit golden ratio).
@@ -246,20 +251,59 @@ fn run_shared_state(
 /// the shot that failed and why.
 type WorkerResult = Result<(FxHashMap<u64, u64>, u64, f64), (u64, SimError)>;
 
+/// Builds the job-wide warm base for the shared-package path: `|0…0⟩` and
+/// every gate operator the circuit applies, constructed **sequentially** (so
+/// the result is a deterministic function of the circuit and config), then
+/// frozen for overlay sharing.
+fn build_warm_base(
+    circuit: &QuantumCircuit,
+    config: PackageConfig,
+) -> Result<Arc<FrozenDd>, SimError> {
+    let n = circuit.num_qubits();
+    let mut dd = DdPackage::with_config(config);
+    let zero = dd.zero_state(n)?;
+    dd.inc_ref_vec(zero);
+    for op in circuit.ops() {
+        match op {
+            Operation::Gate(g) => {
+                dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
+            }
+            Operation::Swap { .. } => {
+                for g in op.to_gate_sequence().expect("swap is unitary") {
+                    dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(dd.freeze())
+}
+
+/// Whether the shared frozen-base path may serve this job. Budgeted runs
+/// keep the per-worker-package path: an overlay's live-node accounting
+/// includes the frozen base, which would tighten `max_nodes` /
+/// `max_complex_entries` semantics mid-flight.
+fn shared_path_applies(opts: &ShotOptions) -> bool {
+    opts.config.limits.max_nodes.is_none() && opts.config.limits.max_complex_entries.is_none()
+}
+
 /// Mid-circuit regime: per-shot re-execution, fanned out over workers.
 fn run_mid_circuit(
     circuit: &QuantumCircuit,
     analysis: &MeasurementAnalysis,
     opts: &ShotOptions,
 ) -> Result<ShotReport, SimError> {
-    let threads = if opts.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        opts.threads
-    };
+    let threads = crate::resolve_threads(opts.threads);
     let threads = threads.clamp(1, opts.shots.max(1) as usize);
+    let base = if shared_path_applies(opts) {
+        Some(build_warm_base(circuit, opts.config)?)
+    } else {
+        None
+    };
+    qdd_telemetry::gauge_set(
+        "shots.shared_base",
+        if base.is_some() { 1.0 } else { 0.0 },
+    );
     let cancel = AtomicBool::new(false);
     let start = Instant::now();
     let per_worker = opts.shots / threads as u64;
@@ -275,12 +319,23 @@ fn run_mid_circuit(
         })
         .collect();
 
+    // Workers inherit the coordinator's telemetry toggle, record into their
+    // own thread-local registries (no shared state on the hot path), and
+    // publish into the process-wide merged registry before exiting, so
+    // `--stats`/`--metrics-out` reflect every thread's work.
+    let telemetry = qdd_telemetry::enabled();
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
             .map(|&(lo, hi)| {
                 let cancel = &cancel;
-                scope.spawn(move || shot_worker(circuit, analysis, opts, lo, hi, cancel, start))
+                let base = base.as_ref();
+                scope.spawn(move || {
+                    qdd_telemetry::set_enabled(telemetry);
+                    let result = shot_worker(circuit, analysis, opts, base, lo, hi, cancel, start);
+                    qdd_telemetry::publish();
+                    result
+                })
             })
             .collect();
         handles
@@ -330,11 +385,15 @@ fn run_mid_circuit(
 }
 
 /// One worker: re-executes the circuit for shots `lo..hi`, reusing a single
-/// simulator (warm gate-DD cache, no per-shot package construction).
+/// simulator (warm gate-DD cache, no per-shot package construction). With a
+/// frozen `base` the simulator is a shared-package overlay; without one it
+/// owns a standalone package (budgeted runs).
+#[allow(clippy::too_many_arguments)]
 fn shot_worker(
     circuit: &QuantumCircuit,
     analysis: &MeasurementAnalysis,
     opts: &ShotOptions,
+    base: Option<&Arc<FrozenDd>>,
     lo: u64,
     hi: u64,
     cancel: &AtomicBool,
@@ -362,8 +421,12 @@ fn shot_worker(
                 sim
             }
             none => none.insert({
-                let mut s =
-                    DdSimulator::with_config(circuit.clone(), seed, opts.config);
+                let mut s = match base {
+                    Some(base) => {
+                        DdSimulator::with_frozen_base(circuit.clone(), seed, base)
+                    }
+                    None => DdSimulator::with_config(circuit.clone(), seed, opts.config),
+                };
                 s.set_dense_fallback(opts.dense_fallback);
                 s
             }),
@@ -416,5 +479,63 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 10_000);
+    }
+
+    /// A mid-circuit workload: measure, feed the outcome into a conditioned
+    /// gate, keep evolving — per-shot re-execution is unavoidable.
+    fn mid_circuit_workload() -> QuantumCircuit {
+        let mut qc = QuantumCircuit::new(3);
+        let c = qc.add_creg("c", 2);
+        qc.h(0).measure(0, 0);
+        qc.gate_if(
+            qdd_circuit::StandardGate::X,
+            vec![],
+            1,
+            qdd_circuit::Condition { creg: c, value: 1 },
+        );
+        qc.h(2).cx(2, 1).measure(2, 1);
+        qc
+    }
+
+    #[test]
+    fn shared_base_histograms_are_thread_count_invariant() {
+        let qc = mid_circuit_workload();
+        let reference = run(&qc, &ShotOptions::new(300, 9)).unwrap();
+        assert_eq!(reference.regime, MeasurementRegime::MidCircuit);
+        for threads in [1, 2, 4, 8] {
+            let opts = ShotOptions {
+                threads,
+                ..ShotOptions::new(300, 9)
+            };
+            let report = run(&qc, &opts).unwrap();
+            assert_eq!(
+                report.histogram, reference.histogram,
+                "histogram diverged at {threads} threads"
+            );
+            assert_eq!(report.worker_shots.iter().sum::<u64>(), 300);
+        }
+    }
+
+    /// The shared frozen-base path and the per-worker-package path (forced
+    /// here by an ample node budget) must draw identical histograms: the
+    /// warm base only changes *where* diagrams live, never what any shot
+    /// computes.
+    #[test]
+    fn shared_base_path_matches_per_worker_package_path() {
+        let qc = mid_circuit_workload();
+        let shared = run(&qc, &ShotOptions::new(200, 4)).unwrap();
+        let budgeted_opts = ShotOptions {
+            config: qdd_core::PackageConfig {
+                limits: qdd_core::Limits {
+                    max_nodes: Some(10_000_000),
+                    ..qdd_core::Limits::default()
+                },
+                ..qdd_core::PackageConfig::default()
+            },
+            ..ShotOptions::new(200, 4)
+        };
+        assert!(!shared_path_applies(&budgeted_opts));
+        let budgeted = run(&qc, &budgeted_opts).unwrap();
+        assert_eq!(shared.histogram, budgeted.histogram);
     }
 }

@@ -6,10 +6,12 @@ use crate::error::SimError;
 use qdd_circuit::{Operation, QuantumCircuit};
 use qdd_complex::{Complex, FxHashMap};
 use qdd_core::{
-    ApproxPolicy, DdError, DdPackage, MeasurementOutcome, PackageConfig, ResourceKind, VecEdge,
+    ApproxPolicy, DdError, DdPackage, FrozenDd, MeasurementOutcome, PackageConfig, ResourceKind,
+    VecEdge,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Per-run statistics of a [`DdSimulator`].
 #[derive(Clone, Debug, PartialEq)]
@@ -126,6 +128,8 @@ pub struct DdSimulator {
     dense: Option<DenseSimulator>,
     /// Gates the dense rung of the degradation ladder.
     dense_fallback_enabled: bool,
+    /// Worker threads for the data-parallel dense kernels (1 = serial).
+    threads: usize,
 }
 
 impl DdSimulator {
@@ -144,7 +148,20 @@ impl DdSimulator {
     /// Creates a simulator with an explicit package configuration (used by
     /// the ablation benchmarks).
     pub fn with_config(circuit: QuantumCircuit, seed: u64, config: PackageConfig) -> Self {
-        let mut dd = DdPackage::with_config(config);
+        Self::from_package(DdPackage::with_config(config), circuit, seed)
+    }
+
+    /// Creates a simulator whose package is an **overlay** over a frozen,
+    /// shared base (see [`FrozenDd`]): the base's unique tables, interned
+    /// weights and gate-DD cache serve this simulator warm, and any number
+    /// of sibling simulators on other threads can share the same base.
+    /// [`Self::restart`] on such a simulator discards only overlay-local
+    /// state, so every run is a pure function of `(base, seed)`.
+    pub fn with_frozen_base(circuit: QuantumCircuit, seed: u64, base: &Arc<FrozenDd>) -> Self {
+        Self::from_package(base.overlay(), circuit, seed)
+    }
+
+    fn from_package(mut dd: DdPackage, circuit: QuantumCircuit, seed: u64) -> Self {
         let state = dd
             .zero_state(circuit.num_qubits())
             .expect("circuit widths are validated at construction");
@@ -160,6 +177,18 @@ impl DdSimulator {
             stats: SimStats::default(),
             dense: None,
             dense_fallback_enabled: true,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for the data-parallel dense kernels
+    /// (the DD path itself is sequential per simulator; parallelism across
+    /// simulators comes from [`Self::with_frozen_base`] sharing). `0` means
+    /// one thread per available CPU.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = crate::resolve_threads(threads);
+        if let Some(dense) = &mut self.dense {
+            dense.set_threads(self.threads);
         }
     }
 
@@ -286,6 +315,22 @@ impl DdSimulator {
     /// Propagates [`DdError`] if re-preparing `|0…0⟩` fails (node budget
     /// fully consumed by retained live states).
     pub fn restart(&mut self, seed: u64) -> Result<(), SimError> {
+        if self.dd.is_overlay() {
+            // Overlay-backed simulator: drop the previous run's local nodes
+            // wholesale and replay over the untouched frozen base. The old
+            // state edge dies with the overlay, so release it first.
+            self.dd.dec_ref_vec(self.state);
+            self.dd.reset_overlay();
+            let fresh = self.dd.zero_state(self.circuit.num_qubits())?;
+            self.dd.inc_ref_vec(fresh);
+            self.state = fresh;
+            self.classical.iter_mut().for_each(|b| *b = false);
+            self.cursor = 0;
+            self.rng = SmallRng::seed_from_u64(seed);
+            self.dense = None;
+            self.stats = SimStats::default();
+            return Ok(());
+        }
         let fresh = match self.dd.zero_state(self.circuit.num_qubits()) {
             Ok(s) => s,
             // A run that ended at its node cap (e.g. through the
@@ -412,6 +457,7 @@ impl DdSimulator {
         let amps = self.dd.try_to_dense_vector(self.state, n)?;
         let seed = self.rng.gen::<u64>();
         let mut dense = DenseSimulator::from_parts(n, amps, self.classical.clone(), seed)?;
+        dense.set_threads(self.threads);
         dense.apply_operation(&self.circuit, op)?;
         self.dense = Some(dense);
         self.stats.dense_fallback = true;

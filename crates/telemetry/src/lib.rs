@@ -21,8 +21,19 @@
 //! single thread-local boolean check ([`enabled`]); with telemetry off, the
 //! instrumented hot paths pay exactly that branch — no clock reads, no map
 //! lookups, no allocation. Enabling is per-thread ([`set_enabled`]), which
-//! matches the engine's single-threaded packages and keeps parallel test
-//! runs isolated from one another.
+//! keeps parallel test runs isolated from one another.
+//!
+//! # Multi-threaded runs
+//!
+//! Worker threads record into their own thread-local registries — no locks
+//! or shared state on the hot path. Before exiting, a worker calls
+//! [`publish`] to fold its metrics into a process-wide merged registry; the
+//! coordinating thread then reads [`merged_snapshot`], which combines the
+//! published registry with its own thread-local recordings. Counters and
+//! histogram/span aggregates add across threads, gauges take the maximum
+//! (see [`Snapshot::merge`]). Events stay thread-local: their timestamps
+//! are relative to each thread's own epoch and cannot be interleaved
+//! meaningfully.
 //!
 //! # Example
 //!
@@ -52,11 +63,22 @@ pub use snapshot::Snapshot;
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Hard cap on buffered events; beyond it events are counted as dropped
 /// instead of stored, bounding memory on very long traced runs.
 pub const MAX_EVENTS: usize = 1 << 20;
+
+/// Process-wide registry of metrics published by finished worker threads.
+/// Off the hot path: touched only by [`publish`] and [`merged_snapshot`].
+static PUBLISHED: Mutex<Snapshot> = Mutex::new(Snapshot {
+    counters: Vec::new(),
+    gauges: Vec::new(),
+    histograms: Vec::new(),
+    spans: Vec::new(),
+    dropped_events: 0,
+});
 
 thread_local! {
     /// The hot-path toggle, split from the collector so the disabled check
@@ -305,6 +327,52 @@ pub fn snapshot() -> Snapshot {
     })
 }
 
+/// Publishes this thread's recorded metrics into the process-wide merged
+/// registry and clears them from the thread-local collector, so repeated
+/// publishing never double-counts. Worker threads call this before exiting;
+/// the coordinating thread then sees their work via [`merged_snapshot`].
+///
+/// Buffered events are *not* published — their timestamps are relative to
+/// this thread's own epoch — and stay drainable locally.
+pub fn publish() {
+    let snap = COLLECTOR.with(|c| {
+        let mut c = c.borrow_mut();
+        let snap = Snapshot::build(
+            &c.counters,
+            &c.gauges,
+            &c.histograms,
+            &c.spans,
+            c.dropped_events,
+        );
+        c.counters.clear();
+        c.gauges.clear();
+        c.histograms.clear();
+        c.spans.clear();
+        c.dropped_events = 0;
+        snap
+    });
+    if snap == Snapshot::default() {
+        return;
+    }
+    PUBLISHED.lock().unwrap().merge(&snap);
+}
+
+/// A snapshot combining everything published by worker threads
+/// ([`publish`]) with the current thread's own recordings. Reading does not
+/// consume either side, so repeated calls are consistent. Deterministic:
+/// names stay sorted and all merge operations are commutative.
+pub fn merged_snapshot() -> Snapshot {
+    let mut snap = PUBLISHED.lock().unwrap().clone();
+    snap.merge(&snapshot());
+    snap
+}
+
+/// Clears the process-wide published registry. The thread-local collector
+/// is untouched; pair with [`reset`] for a fully fresh start.
+pub fn reset_published() {
+    *PUBLISHED.lock().unwrap() = Snapshot::default();
+}
+
 /// Removes and returns all buffered events (oldest first, in completion
 /// order for spans).
 pub fn drain_events() -> Vec<Event> {
@@ -405,6 +473,80 @@ mod tests {
         assert_eq!(ev.dur_us, None);
         assert_eq!(ev.fields.len(), 4);
         assert!(matches!(ev.fields[0], ("u", Value::U64(3))));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_all_metric_kinds() {
+        fresh();
+        counter_add("m.ops", 2);
+        gauge_set("m.level", 4.0);
+        observe("m.size", 5);
+        {
+            let _s = span("m.phase");
+        }
+        let a = snapshot();
+        reset();
+        counter_add("m.ops", 3);
+        counter_add("m.extra", 1);
+        gauge_set("m.level", 9.0);
+        observe("m.size", 1000);
+        {
+            let _s = span("m.phase");
+        }
+        let b = snapshot();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.counter("m.ops"), Some(5));
+        assert_eq!(merged.counter("m.extra"), Some(1));
+        assert_eq!(merged.gauge("m.level"), Some(9.0));
+        let h = &merged
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "m.size")
+            .unwrap()
+            .1;
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1005);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets, vec![(4, 7, 1), (512, 1023, 1)]);
+        assert_eq!(merged.span_stats("m.phase").unwrap().count, 2);
+        // Merge is commutative — same result from the other direction.
+        let mut rev = b.clone();
+        rev.merge(&a);
+        assert_eq!(merged, rev);
+        reset();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn publish_feeds_merged_snapshot_without_double_counting() {
+        fresh();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    set_enabled(true);
+                    counter_add("pubtest.work", 10);
+                    gauge_set("pubtest.peak", 2.0);
+                    publish();
+                    // Publishing drained the thread-local registry.
+                    assert_eq!(snapshot().counter("pubtest.work"), None);
+                    publish(); // second publish is a no-op
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        counter_add("pubtest.work", 1); // coordinator's own share
+        let merged = merged_snapshot();
+        assert_eq!(merged.counter("pubtest.work"), Some(31));
+        assert_eq!(merged.gauge("pubtest.peak"), Some(2.0));
+        // Reading again is consistent (merged_snapshot does not consume).
+        assert_eq!(merged_snapshot().counter("pubtest.work"), Some(31));
+        reset();
+        reset_published();
         set_enabled(false);
     }
 

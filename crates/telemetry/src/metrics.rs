@@ -109,6 +109,32 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u64, u64, u64)>,
 }
 
+impl HistogramSnapshot {
+    /// Folds another snapshot of the same metric into this one: counts and
+    /// sums add (saturating), min/max combine, and buckets merge by their
+    /// `(lo, hi)` range, staying in ascending order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(lo, hi, c) in &other.buckets {
+            match self.buckets.binary_search_by_key(&lo, |&(l, _, _)| l) {
+                Ok(i) => self.buckets[i].2 += c,
+                Err(i) => self.buckets.insert(i, (lo, hi, c)),
+            }
+        }
+    }
+}
+
 /// Wall-time aggregate of one span name.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpanAgg {

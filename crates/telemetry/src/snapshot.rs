@@ -43,6 +43,31 @@ impl Snapshot {
         }
     }
 
+    /// Folds another snapshot into this one — the cross-thread aggregation
+    /// step behind [`crate::merged_snapshot`]. Semantics per kind:
+    ///
+    /// * **counters** — summed (they are monotonic totals);
+    /// * **gauges** — the maximum wins (levels and rates; the conservative
+    ///   merge for high-water marks, and a defined one for everything else);
+    /// * **histograms** — bucket-wise sum, min/max combined;
+    /// * **spans** — counts and totals summed, `max_ns` combined;
+    /// * **dropped_events** — summed.
+    ///
+    /// Names stay sorted, so merging preserves deterministic serialization.
+    pub fn merge(&mut self, other: &Snapshot) {
+        merge_sorted(&mut self.counters, &other.counters, |a, b| *a += b);
+        merge_sorted(&mut self.gauges, &other.gauges, |a, b| *a = a.max(b));
+        merge_sorted(&mut self.histograms, &other.histograms, |a, b| {
+            a.merge(&b);
+        });
+        merge_sorted(&mut self.spans, &other.spans, |a, b| {
+            a.count += b.count;
+            a.total_ns = a.total_ns.saturating_add(b.total_ns);
+            a.max_ns = a.max_ns.max(b.max_ns);
+        });
+        self.dropped_events += other.dropped_events;
+    }
+
     /// The value of a counter, if recorded.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
@@ -136,6 +161,22 @@ impl Snapshot {
             self.dropped_events
         );
         s
+    }
+}
+
+/// Merges the sorted name/value list `src` into the sorted list `dst`,
+/// combining values for shared names with `fold` and inserting the rest.
+/// Both lists stay sorted by name.
+fn merge_sorted<V: Clone>(
+    dst: &mut Vec<(String, V)>,
+    src: &[(String, V)],
+    mut fold: impl FnMut(&mut V, V),
+) {
+    for (name, value) in src {
+        match dst.binary_search_by(|(k, _)| k.as_str().cmp(name.as_str())) {
+            Ok(i) => fold(&mut dst[i].1, value.clone()),
+            Err(i) => dst.insert(i, (name.clone(), value.clone())),
+        }
     }
 }
 

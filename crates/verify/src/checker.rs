@@ -26,9 +26,18 @@ enum Flat {
 /// enforced during gate application, and a configured deadline is armed for
 /// the duration of [`Self::check`]. Resource overruns surface as
 /// [`VerifyError::Dd`].
+///
+/// With [`Self::set_threads`] ≥ 2, the construction strategy builds the two
+/// system matrices **concurrently**: every gate operator is built once,
+/// sequentially; the package is frozen into a shared base; two worker
+/// overlays multiply their gate chains independently; and the results are
+/// imported back into one overlay for the canonical comparison. The
+/// *decision* (equivalent / phase / not) is the same as the sequential
+/// path's on every input — only intermediate diagram residency differs.
 #[derive(Debug)]
 pub struct EquivalenceChecker {
     dd: DdPackage,
+    threads: usize,
 }
 
 impl Default for EquivalenceChecker {
@@ -55,7 +64,22 @@ impl EquivalenceChecker {
     pub fn with_config(config: PackageConfig) -> Self {
         EquivalenceChecker {
             dd: DdPackage::with_config(config),
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count for the construction strategy's two
+    /// independent system-matrix builds (`0` = one per available CPU;
+    /// effective parallelism is capped at 2 — one worker per circuit). The
+    /// alternating strategies are inherently sequential and ignore this.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
     }
 
     /// Read access to the underlying package (for visualization of the
@@ -95,25 +119,6 @@ impl EquivalenceChecker {
         out
     }
 
-    /// Builds the full system matrix of a flattened circuit, recording node
-    /// counts (Example 10/11's route).
-    fn build_system_matrix(
-        &mut self,
-        flat: &[Flat],
-        n: usize,
-        trace: &mut Vec<usize>,
-    ) -> Result<MatEdge, VerifyError> {
-        let mut u = self.dd.identity(n)?;
-        for step in flat {
-            let Flat::Gate(g) = step else { continue };
-            let gate = self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
-            u = self.dd.try_mat_mat(gate, u)?;
-            trace.push(self.dd.mat_node_count(u));
-            self.maybe_gc(&mut [u]);
-        }
-        Ok(u)
-    }
-
     fn check_construction(
         &mut self,
         lflat: &[Flat],
@@ -121,10 +126,15 @@ impl EquivalenceChecker {
         n: usize,
     ) -> Result<EquivalenceReport, VerifyError> {
         let mut trace = Vec::new();
-        let u1 = self.build_system_matrix(lflat, n, &mut trace)?;
-        self.dd.inc_ref_mat(u1);
-        let u2 = self.build_system_matrix(rflat, n, &mut trace)?;
-        self.dd.dec_ref_mat(u1);
+        let (u1, u2) = if self.threads >= 2 {
+            self.build_both_parallel(lflat, rflat, n, &mut trace)?
+        } else {
+            let u1 = build_system_matrix(&mut self.dd, lflat, n, &mut trace)?;
+            self.dd.inc_ref_mat(u1);
+            let u2 = build_system_matrix(&mut self.dd, rflat, n, &mut trace)?;
+            self.dd.dec_ref_mat(u1);
+            (u1, u2)
+        };
         let peak = trace.iter().copied().max().unwrap_or(0);
 
         // Fast path: canonicity makes equal functionalities the identical
@@ -172,6 +182,70 @@ impl EquivalenceChecker {
             applied_right: count_gates(rflat),
             counterexample,
         })
+    }
+
+    /// Parallel construction: prebuild every gate operator sequentially
+    /// (deterministic interning), freeze the package into a shared base,
+    /// build the two system matrices on independent worker overlays, then
+    /// import both results into a fresh overlay of the same base for the
+    /// canonical comparison. The checker keeps that overlay as its package,
+    /// so follow-up checks stay warm.
+    fn build_both_parallel(
+        &mut self,
+        lflat: &[Flat],
+        rflat: &[Flat],
+        n: usize,
+        trace: &mut Vec<usize>,
+    ) -> Result<(MatEdge, MatEdge), VerifyError> {
+        for flat in [lflat, rflat] {
+            for step in flat {
+                let Flat::Gate(g) = step else { continue };
+                self.dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
+            }
+        }
+        self.dd.disarm_deadline();
+        let config = *self.dd.config();
+        let base = std::mem::replace(&mut self.dd, DdPackage::with_config(config)).freeze();
+
+        type Built = Result<(MatEdge, Vec<usize>, DdPackage), VerifyError>;
+        let build = |flat: &[Flat]| -> Built {
+            let mut dd = base.overlay();
+            dd.arm_deadline();
+            let mut trace = Vec::new();
+            let u = build_system_matrix(&mut dd, flat, n, &mut trace);
+            dd.disarm_deadline();
+            Ok((u?, trace, dd))
+        };
+        // Workers inherit the caller's telemetry toggle and publish their
+        // thread-local metrics into the process-wide merged registry on the
+        // way out, so aggregate reports see both construction halves.
+        let telemetry = qdd_telemetry::enabled();
+        let run = |flat: &[Flat]| -> Built {
+            qdd_telemetry::set_enabled(telemetry);
+            let result = build(flat);
+            qdd_telemetry::publish();
+            result
+        };
+        let (left, right) = std::thread::scope(|scope| {
+            let lh = scope.spawn(|| run(lflat));
+            let rh = scope.spawn(|| run(rflat));
+            (
+                lh.join().expect("left construction worker panicked"),
+                rh.join().expect("right construction worker panicked"),
+            )
+        });
+
+        self.dd = base.overlay();
+        self.dd.arm_deadline();
+        let (lu, ltrace, ldd) = left?;
+        let (ru, rtrace, rdd) = right?;
+        let u1 = self.dd.import_mat_edge(&ldd, lu);
+        self.dd.inc_ref_mat(u1);
+        let u2 = self.dd.import_mat_edge(&rdd, ru);
+        self.dd.dec_ref_mat(u1);
+        trace.extend(ltrace);
+        trace.extend(rtrace);
+        Ok((u1, u2))
     }
 
     fn check_alternating(
@@ -346,16 +420,7 @@ impl EquivalenceChecker {
     }
 
     fn maybe_gc(&mut self, roots: &mut [MatEdge]) {
-        if !self.dd.wants_auto_gc() {
-            return;
-        }
-        for r in roots.iter() {
-            self.dd.inc_ref_mat(*r);
-        }
-        self.dd.garbage_collect();
-        for r in roots.iter() {
-            self.dd.dec_ref_mat(*r);
-        }
+        maybe_gc(&mut self.dd, roots);
     }
 
     /// Finds a matrix entry deviating from `M[0][0] · δ_rc` — i.e. a
@@ -417,6 +482,39 @@ impl EquivalenceChecker {
             0,
             n,
         )
+    }
+}
+
+/// Builds the full system matrix of a flattened circuit, recording node
+/// counts (Example 10/11's route). A free function so both the checker's
+/// own package and the parallel path's worker overlays can drive it.
+fn build_system_matrix(
+    dd: &mut DdPackage,
+    flat: &[Flat],
+    n: usize,
+    trace: &mut Vec<usize>,
+) -> Result<MatEdge, VerifyError> {
+    let mut u = dd.identity(n)?;
+    for step in flat {
+        let Flat::Gate(g) = step else { continue };
+        let gate = dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
+        u = dd.try_mat_mat(gate, u)?;
+        trace.push(dd.mat_node_count(u));
+        maybe_gc(dd, &mut [u]);
+    }
+    Ok(u)
+}
+
+fn maybe_gc(dd: &mut DdPackage, roots: &mut [MatEdge]) {
+    if !dd.wants_auto_gc() {
+        return;
+    }
+    for r in roots.iter() {
+        dd.inc_ref_mat(*r);
+    }
+    dd.garbage_collect();
+    for r in roots.iter() {
+        dd.dec_ref_mat(*r);
     }
 }
 
@@ -626,6 +724,45 @@ mod tests {
             err,
             VerifyError::Dd(qdd_core::DdError::DeadlineExceeded { .. })
         ));
+    }
+
+    /// The parallel construction path must reach the same decision as the
+    /// sequential one on equivalent, phase-equivalent, and non-equivalent
+    /// pairs — and a checker must stay usable for further checks after the
+    /// freeze/overlay swap.
+    #[test]
+    fn parallel_construction_agrees_with_sequential() {
+        let mut phase_b = QuantumCircuit::new(1);
+        phase_b.z(0).y(0);
+        let mut phase_a = QuantumCircuit::new(1);
+        phase_a.x(0);
+        let mut broken = library::ghz(4);
+        broken.z(2);
+        let pairs = [
+            (library::qft(3, true), compile::compiled_qft(3)),
+            (library::ghz(4), broken),
+            (phase_a, phase_b),
+            (library::random_circuit(4, 20, 13), library::random_circuit(4, 20, 13)),
+        ];
+        let mut par = EquivalenceChecker::new();
+        par.set_threads(2);
+        for (a, b) in &pairs {
+            let mut seq = EquivalenceChecker::new();
+            let s = seq.check(a, b, Strategy::Construction).unwrap();
+            let p = par.check(a, b, Strategy::Construction).unwrap();
+            assert_eq!(
+                std::mem::discriminant(&s.result),
+                std::mem::discriminant(&p.result),
+                "decision diverged: sequential {:?} vs parallel {:?}",
+                s.result,
+                p.result
+            );
+            assert_eq!(s.applied_left, p.applied_left);
+            assert_eq!(s.applied_right, p.applied_right);
+            if s.result == Equivalence::NotEquivalent {
+                assert!(p.counterexample.is_some());
+            }
+        }
     }
 
     #[test]

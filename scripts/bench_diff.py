@@ -71,6 +71,15 @@ def diff_metrics(name, b, c, hit_rate_threshold, warnings):
             warnings.append(
                 f"{name}: sampling throughput fell {bs:,.0f} -> {cs:,.0f} "
                 f"shots/s ({drop:.0f}% drop)")
+    # Thread-scaling speedup (the scaling family records each run's
+    # wall-time speedup over its own 1-thread run; other families record
+    # 0.0). A 4-thread speedup below 80% of the baseline's means the
+    # parallel path lost scalability even if absolute wall time moved less.
+    bsp, csp = b.get("speedup", 0.0), c.get("speedup", 0.0)
+    if b.get("threads", 0) == 4 and bsp > 0 and csp > 0 and csp < 0.8 * bsp:
+        warnings.append(
+            f"{name}: 4-thread speedup fell {bsp:.2f}x -> {csp:.2f}x "
+            f"(below 80% of the baseline's)")
     # Approximation fidelity (the approx family records the achieved lower
     # bound; other families omit the field or record 1.0). A drop of more
     # than 5 points means the same node budget now costs more of the state.

@@ -1,0 +1,151 @@
+//! Gating concurrency tests: one shared `DdPackage` hammered from many
+//! threads must stay canonical and balanced, and the shot engine's shared
+//! frozen-base path must produce bit-identical histograms at every thread
+//! count. Run in CI under `--release` with 8 worker threads.
+
+use qdd::core::{DdPackage, Edge, FrontCache, Qubit, VecEdge};
+use qdd::sim::ShotOptions;
+use std::sync::{Arc, RwLock};
+
+/// Compile-time proof that the package and its frozen form cross threads.
+#[allow(dead_code)]
+fn package_is_send_sync() {
+    fn ok<T: Send + Sync>() {}
+    ok::<DdPackage>();
+    ok::<qdd::core::FrozenDd>();
+    ok::<Arc<qdd::core::FrozenDd>>();
+}
+
+const QUBITS: u32 = 6;
+
+/// Builds the basis state |bits⟩ through the shared (lock-striped) lane.
+fn build_basis(pkg: &DdPackage, bits: u64, front: &mut FrontCache) -> VecEdge {
+    let mut e: VecEdge = Edge::ONE;
+    for q in 0..QUBITS {
+        let children = if bits >> q & 1 == 0 {
+            [e, Edge::ZERO]
+        } else {
+            [Edge::ZERO, e]
+        };
+        e = pkg.make_vec_node_shared(q as Qubit, children, front);
+    }
+    e
+}
+
+/// N threads interleave shared-lane node construction, unique-table
+/// lookups, atomic refcount pinning, and full GC runs on one package
+/// behind an `RwLock` (readers build, writers collect). Afterwards the
+/// unique tables must be canonical (same inputs → same edge, from any
+/// thread) and every refcount balanced (a final GC frees everything).
+#[test]
+fn shared_store_survives_make_lookup_gc_interleavings() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 200;
+
+    let pkg = Arc::new(RwLock::new(DdPackage::new()));
+    let base_alive = pkg.read().unwrap().stats().vnodes_alive;
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let pkg = Arc::clone(&pkg);
+            scope.spawn(move || {
+                let mut front = FrontCache::new();
+                let mut roots: Vec<VecEdge> = Vec::new();
+                for round in 0..ROUNDS {
+                    // Overlapping pattern sets: every pattern is built by
+                    // several threads, racing on the same unique-table
+                    // shards.
+                    let bits = ((round * 7 + t * 13) % 64) as u64;
+                    {
+                        let p = pkg.read().unwrap();
+                        let e = build_basis(&p, bits, &mut front);
+                        p.inc_ref_vec_shared(e);
+                        roots.push(e);
+                        // Canonicity under contention: an immediate rebuild
+                        // of the same structure must return the same edge.
+                        let again = build_basis(&p, bits, &mut front);
+                        assert_eq!(e, again, "shared make_node lost canonicity");
+                    }
+                    // Staggered writers force GC runs between (and only
+                    // between) read sections.
+                    if round % 16 == t {
+                        pkg.write().unwrap().garbage_collect();
+                    }
+                }
+                // Release every pinned root (twice-pinned patterns release
+                // twice — the atomic counts must balance exactly).
+                let p = pkg.read().unwrap();
+                for &e in &roots {
+                    p.dec_ref_vec_shared(e);
+                }
+            });
+        }
+    });
+
+    // Canonicity across the whole table: the 64 patterns still intern to 64
+    // distinct, stable edges after all the GC churn.
+    {
+        let p = pkg.read().unwrap();
+        let mut front = FrontCache::new();
+        let edges: Vec<VecEdge> = (0..64).map(|b| build_basis(&p, b, &mut front)).collect();
+        for (i, a) in edges.iter().enumerate() {
+            for b in &edges[i + 1..] {
+                assert_ne!(a, b, "distinct basis states collapsed");
+            }
+        }
+    }
+
+    // Refcount balance: with every shared pin released, a final collection
+    // frees all stress nodes and the package is back at its baseline.
+    let mut p = pkg.write().unwrap();
+    let report = p.garbage_collect();
+    assert!(report.freed_vnodes > 0, "stress nodes should be collectable");
+    assert_eq!(
+        p.stats().vnodes_alive,
+        base_alive,
+        "unbalanced refcounts kept stress nodes alive"
+    );
+}
+
+/// A mid-circuit-measurement circuit: per-shot re-execution, and (with no
+/// resource budgets configured) the shot engine's shared frozen-base path.
+fn mid_circuit_workload() -> qdd::circuit::QuantumCircuit {
+    let mut qc = qdd::circuit::QuantumCircuit::new(4);
+    let c = qc.add_creg("c", 2);
+    qc.h(0).measure(0, 0);
+    qc.gate_if(
+        qdd::circuit::StandardGate::X,
+        vec![],
+        1,
+        qdd::circuit::Condition { creg: c, value: 1 },
+    );
+    qc.h(2).cx(2, 1).cx(2, 3).measure(2, 1);
+    qc
+}
+
+/// The shared-package path must be invisible in the histogram: every worker
+/// overlays the same frozen base, every shot derives its stream from
+/// (base seed, shot index) alone, so 1 thread and N threads agree bit for
+/// bit.
+#[test]
+fn shared_package_histograms_are_bit_identical_one_vs_n_threads() {
+    let circuit = mid_circuit_workload();
+    let shots = 500;
+
+    let mut opts = ShotOptions::new(shots, 23);
+    opts.threads = 1;
+    let reference = qdd::sim::shots::run(&circuit, &opts).expect("1-thread run");
+    assert_eq!(reference.threads_used, 1);
+    assert_eq!(reference.histogram.values().sum::<u64>(), shots);
+
+    for threads in [2, 4, 8] {
+        let mut opts = ShotOptions::new(shots, 23);
+        opts.threads = threads;
+        let report = qdd::sim::shots::run(&circuit, &opts).expect("N-thread run");
+        assert_eq!(report.threads_used, threads);
+        assert_eq!(
+            report.histogram, reference.histogram,
+            "{threads}-thread histogram diverged from the 1-thread reference"
+        );
+    }
+}

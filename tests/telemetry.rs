@@ -81,6 +81,52 @@ fn enabled_run_records_the_expected_shape() {
 }
 
 #[test]
+fn worker_threads_publish_into_the_merged_snapshot() {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    telemetry::reset_published();
+
+    // A mid-circuit-measurement circuit forces the per-shot re-execution
+    // regime, which fans out over worker threads.
+    let mut qc = QuantumCircuit::new(3);
+    let c = qc.add_creg("c", 2);
+    qc.h(0).measure(0, 0);
+    qc.gate_if(
+        qdd::circuit::StandardGate::X,
+        vec![],
+        1,
+        qdd::circuit::Condition { creg: c, value: 1 },
+    );
+    qc.h(2).cx(2, 1).measure(2, 1);
+
+    let shots = 64;
+    let mut opts = qdd::sim::ShotOptions::new(shots, 5);
+    opts.threads = 4;
+    let report = qdd::sim::shots::run(&qc, &opts).expect("shot run");
+    assert_eq!(report.threads_used, 4);
+
+    // Workers record into their own thread-local registries and publish on
+    // exit; the coordinating thread's local snapshot therefore has no
+    // per-shot spans, but the merged snapshot accounts for every shot on
+    // every worker.
+    let local = telemetry::snapshot();
+    let merged = telemetry::merged_snapshot();
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    telemetry::reset_published();
+
+    assert!(local.span_stats("sim.run").is_none(), "shots run on workers");
+    let runs = merged.span_stats("sim.run").expect("published run spans");
+    assert_eq!(runs.count, shots, "one sim.run span per shot, all threads");
+    // Merged spans fold across workers: totals add, max is the global max.
+    assert!(runs.total_ns >= runs.max_ns);
+    // The coordinator's own recordings (the shot-engine span and the warm
+    // base construction) are still present in the merged view.
+    assert_eq!(merged.span_stats("shots.engine").expect("engine span").count, 1);
+    assert_eq!(merged.gauge("shots.shared_base"), Some(1.0));
+}
+
+#[test]
 fn disabled_hot_path_costs_a_branch() {
     telemetry::set_enabled(false);
     telemetry::reset();
