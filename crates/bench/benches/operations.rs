@@ -63,7 +63,7 @@ fn bench_add_and_kron(c: &mut Criterion) {
     let (mut dd2, u, _) = qft_setup(4, true);
     let id = dd2.identity(4).unwrap();
     group.bench_function("kron_mat_qft4_id4", |b| {
-        b.iter(|| black_box(dd2.kron_mat(u, id)))
+        b.iter(|| black_box(dd2.kron_mat_spanned(u, id, 4)))
     });
     group.finish();
 }

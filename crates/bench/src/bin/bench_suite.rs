@@ -15,6 +15,8 @@
 //!   --out PATH                 explicit output path (overrides --label)
 //!   --small                    smallest widths only, 1 repetition (CI smoke)
 //!   --reps N                   timing repetitions per workload (default 3)
+//!   --no-identity-skip         disable identity-skip edges in matrix DDs
+//!                              for every workload (A/B debugging aid)
 
 use qdd_bench::fmt_duration;
 use qdd_bench::workloads::{self, Family};
@@ -32,6 +34,13 @@ struct Record {
     gates: usize,
     wall_ms: f64,
     peak_nodes: usize,
+    /// High-water mark of live *matrix* nodes — the operator-DD footprint
+    /// identity skip is meant to shrink. `scripts/bench_diff.py` warns when
+    /// this regresses by more than 10%.
+    mat_peak_nodes: usize,
+    /// Matrix-node constructions elided by the identity-skip collapse rule
+    /// (0 with `--no-identity-skip`).
+    identity_nodes_skipped: u64,
     cache_lookups: u64,
     cache_hits: u64,
     complex_entries: usize,
@@ -70,6 +79,7 @@ impl Record {
             s,
             "    {{\"family\": \"{}\", \"phase\": \"{}\", \"n\": {}, \"gates\": {}, \
              \"wall_ms\": {:.3}, \"peak_nodes\": {}, \
+             \"mat_peak_nodes\": {}, \"identity_nodes_skipped\": {}, \
              \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
              \"gate_cache_lookups\": {}, \"gate_cache_hits\": {}, \"gate_cache_hit_rate\": {:.4}, \
              \"shots_per_sec\": {:.1}, \"threads\": {}, \"speedup\": {:.4}, \
@@ -80,6 +90,8 @@ impl Record {
             self.gates,
             self.wall_ms,
             self.peak_nodes,
+            self.mat_peak_nodes,
+            self.identity_nodes_skipped,
             self.cache_lookups,
             self.cache_hits,
             Self::hit_rate(self.cache_lookups, self.cache_hits),
@@ -143,6 +155,25 @@ fn cache_counters(snap: &qdd_telemetry::Snapshot) -> (u64, u64, u64, u64, usize)
     )
 }
 
+/// Matrix-footprint counters from the telemetry snapshot, for families that
+/// do not keep a package around after the timed reps.
+fn mat_counters(snap: &qdd_telemetry::Snapshot) -> (usize, u64) {
+    let g = |name: &str| snap.gauge(name).unwrap_or(0.0).max(0.0) as u64;
+    (
+        g("core.nodes.mat_peak") as usize,
+        g("core.nodes.identity_skipped"),
+    )
+}
+
+/// The package configuration every workload runs under: defaults, except
+/// identity skip follows the suite-wide `--no-identity-skip` flag.
+fn suite_config(no_skip: bool) -> qdd_core::PackageConfig {
+    qdd_core::PackageConfig {
+        identity_skip: !no_skip,
+        ..qdd_core::PackageConfig::default()
+    }
+}
+
 /// Simulation widths per family: wide enough that the DD work dominates
 /// fixed overheads, small enough that the full suite stays under a minute.
 fn sim_widths(family: Family, small: bool) -> &'static [usize] {
@@ -185,14 +216,14 @@ fn verify_widths(family: Family, small: bool) -> &'static [usize] {
     }
 }
 
-fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
+fn bench_sim(family: Family, n: usize, reps: usize, no_skip: bool) -> Record {
     let circuit = family.circuit(n);
     let mut best = f64::INFINITY;
     let mut peak = 0usize;
     let mut stats = qdd_core::PackageStats::default();
     for _ in 0..reps {
         let t0 = Instant::now();
-        let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+        let mut sim = DdSimulator::with_config(circuit.clone(), 1, suite_config(no_skip));
         sim.run().expect("simulation");
         let wall = t0.elapsed().as_secs_f64() * 1e3;
         best = best.min(wall);
@@ -200,7 +231,7 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
         stats = sim.package().stats();
     }
     let metrics = collect_metrics(|| {
-        let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+        let mut sim = DdSimulator::with_config(circuit.clone(), 1, suite_config(no_skip));
         sim.run().expect("simulation");
     })
     .to_json();
@@ -211,6 +242,8 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
         gates: circuit.gate_count(),
         wall_ms: best,
         peak_nodes: peak,
+        mat_peak_nodes: stats.mat_peak_nodes,
+        identity_nodes_skipped: stats.identity_nodes_skipped,
         cache_lookups: stats.cache_lookups,
         cache_hits: stats.cache_hits,
         complex_entries: stats.complex_entries,
@@ -224,14 +257,14 @@ fn bench_sim(family: Family, n: usize, reps: usize) -> Record {
     }
 }
 
-fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
+fn bench_verify(family: Family, n: usize, reps: usize, no_skip: bool) -> Record {
     let circuit = family.circuit(n);
     let mut best = f64::INFINITY;
     let mut peak = 0usize;
     let mut stats = qdd_core::PackageStats::default();
     for _ in 0..reps {
         let t0 = Instant::now();
-        let mut checker = EquivalenceChecker::new();
+        let mut checker = EquivalenceChecker::with_config(suite_config(no_skip));
         let report = checker
             .check(&circuit, &circuit, Strategy::Construction)
             .expect("verification");
@@ -242,7 +275,7 @@ fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
         stats = checker.package().stats();
     }
     let metrics = collect_metrics(|| {
-        let mut checker = EquivalenceChecker::new();
+        let mut checker = EquivalenceChecker::with_config(suite_config(no_skip));
         let report = checker
             .check(&circuit, &circuit, Strategy::Construction)
             .expect("verification");
@@ -257,6 +290,8 @@ fn bench_verify(family: Family, n: usize, reps: usize) -> Record {
         gates: circuit.gate_count(),
         wall_ms: best,
         peak_nodes: peak,
+        mat_peak_nodes: stats.mat_peak_nodes,
+        identity_nodes_skipped: stats.identity_nodes_skipped,
         cache_lookups: stats.cache_lookups,
         cache_hits: stats.cache_hits,
         complex_entries: stats.complex_entries,
@@ -280,6 +315,7 @@ fn bench_approx(
     circuit: qdd_circuit::QuantumCircuit,
     cap: usize,
     floor: f64,
+    no_skip: bool,
 ) -> Record {
     let config = qdd_core::PackageConfig {
         limits: qdd_core::Limits {
@@ -287,7 +323,7 @@ fn bench_approx(
             min_fidelity: Some(floor),
             ..qdd_core::Limits::default()
         },
-        ..qdd_core::PackageConfig::default()
+        ..suite_config(no_skip)
     };
     let t0 = Instant::now();
     let mut sim = DdSimulator::with_config(circuit.clone(), 1, config);
@@ -313,6 +349,8 @@ fn bench_approx(
         gates: circuit.gate_count(),
         wall_ms: wall,
         peak_nodes: sim.stats().peak_nodes,
+        mat_peak_nodes: stats.mat_peak_nodes,
+        identity_nodes_skipped: stats.identity_nodes_skipped,
         cache_lookups: stats.cache_lookups,
         cache_hits: stats.cache_hits,
         complex_entries: stats.complex_entries,
@@ -329,17 +367,21 @@ fn bench_approx(
 /// Sampling throughput of the shared-state fast path on an unmeasured QFT:
 /// `memoized` runs the shot engine (one prefix run + tableau walks),
 /// `!memoized` the naive per-shot hash-path loop over the same diagram.
-fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool) -> Record {
+fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool, no_skip: bool) -> Record {
     let circuit = qdd_circuit::library::qft(n, true);
+    let opts_for = |shots: u64| {
+        let mut o = qdd_sim::ShotOptions::new(shots, 1);
+        o.config = suite_config(no_skip);
+        o
+    };
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
         let drawn: u64 = if memoized {
-            let report = qdd_sim::shots::run(&circuit, &qdd_sim::ShotOptions::new(shots, 1))
-                .expect("sampling");
+            let report = qdd_sim::shots::run(&circuit, &opts_for(shots)).expect("sampling");
             report.histogram.values().sum()
         } else {
-            let mut sim = DdSimulator::with_seed(circuit.clone(), 1);
+            let mut sim = DdSimulator::with_config(circuit.clone(), 1, suite_config(no_skip));
             sim.run().expect("simulation");
             sim.sample(shots).values().sum()
         };
@@ -347,10 +389,11 @@ fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool) -> R
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
     }
     let snapshot = collect_metrics(|| {
-        let _ = qdd_sim::shots::run(&circuit, &qdd_sim::ShotOptions::new(shots.min(1000), 1));
+        let _ = qdd_sim::shots::run(&circuit, &opts_for(shots.min(1000)));
     });
     let (cache_lookups, cache_hits, gate_cache_lookups, gate_cache_hits, complex_entries) =
         cache_counters(&snapshot);
+    let (mat_peak_nodes, identity_nodes_skipped) = mat_counters(&snapshot);
     Record {
         family: "sampling",
         phase: if memoized { "qft-memoized" } else { "qft-naive" },
@@ -358,6 +401,8 @@ fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool) -> R
         gates: circuit.gate_count(),
         wall_ms: best,
         peak_nodes: 0,
+        mat_peak_nodes,
+        identity_nodes_skipped,
         cache_lookups,
         cache_hits,
         complex_entries,
@@ -374,7 +419,7 @@ fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool) -> R
 /// Sampling throughput of the mid-circuit regime on teleportation:
 /// `threads == 0` times the serial reference (`DdSimulator::run_shots`,
 /// fresh package per shot), otherwise the batched shot engine.
-fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize) -> Record {
+fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize, no_skip: bool) -> Record {
     let circuit = qdd_circuit::library::teleportation(0.3);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -387,6 +432,7 @@ fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize) -> Record 
         } else {
             let mut opts = qdd_sim::ShotOptions::new(shots, 1);
             opts.threads = threads;
+            opts.config = suite_config(no_skip);
             qdd_sim::shots::run(&circuit, &opts)
                 .expect("shots")
                 .histogram
@@ -399,10 +445,12 @@ fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize) -> Record 
     let snapshot = collect_metrics(|| {
         let mut opts = qdd_sim::ShotOptions::new(shots.min(100), 1);
         opts.threads = threads.max(1);
+        opts.config = suite_config(no_skip);
         let _ = qdd_sim::shots::run(&circuit, &opts);
     });
     let (cache_lookups, cache_hits, gate_cache_lookups, gate_cache_hits, complex_entries) =
         cache_counters(&snapshot);
+    let (mat_peak_nodes, identity_nodes_skipped) = mat_counters(&snapshot);
     Record {
         family: "sampling",
         phase: match threads {
@@ -414,6 +462,8 @@ fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize) -> Record 
         gates: circuit.gate_count(),
         wall_ms: best,
         peak_nodes: 0,
+        mat_peak_nodes,
+        identity_nodes_skipped,
         cache_lookups,
         cache_hits,
         complex_entries,
@@ -448,6 +498,7 @@ fn bench_scaling(
     shots: u64,
     reps: usize,
     threads: usize,
+    no_skip: bool,
     baseline: Option<&(f64, std::collections::HashMap<u64, u64>)>,
 ) -> (Record, (f64, std::collections::HashMap<u64, u64>)) {
     let circuit = scaling_workload(family, n);
@@ -466,6 +517,7 @@ fn bench_scaling(
     for _ in 0..reps {
         let mut opts = qdd_sim::ShotOptions::new(shots, 1);
         opts.threads = threads;
+        opts.config = suite_config(no_skip);
         let t0 = Instant::now();
         let report = qdd_sim::shots::run(&circuit, &opts).expect("scaling shots");
         best = best.min(t0.elapsed().as_secs_f64() * 1e3);
@@ -481,10 +533,12 @@ fn bench_scaling(
     let snapshot = collect_metrics(|| {
         let mut opts = qdd_sim::ShotOptions::new(shots.min(4), 1);
         opts.threads = threads;
+        opts.config = suite_config(no_skip);
         let _ = qdd_sim::shots::run(&circuit, &opts);
     });
     let (cache_lookups, cache_hits, gate_cache_lookups, gate_cache_hits, complex_entries) =
         cache_counters(&snapshot);
+    let (mat_peak_nodes, identity_nodes_skipped) = mat_counters(&snapshot);
     let speedup = match baseline {
         Some((wall_1, _)) => wall_1 / best,
         None => 1.0,
@@ -496,6 +550,8 @@ fn bench_scaling(
         gates: circuit.gate_count(),
         wall_ms: best,
         peak_nodes: 0,
+        mat_peak_nodes,
+        identity_nodes_skipped,
         cache_lookups,
         cache_hits,
         complex_entries,
@@ -520,12 +576,14 @@ fn main() {
     let mut out: Option<PathBuf> = None;
     let mut small = false;
     let mut reps = 3usize;
+    let mut no_skip = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--label" => label = it.next().expect("--label needs a value").clone(),
             "--out" => out = Some(PathBuf::from(it.next().expect("--out needs a value"))),
             "--small" => small = true,
+            "--no-identity-skip" => no_skip = true,
             "--reps" => {
                 reps = it
                     .next()
@@ -555,7 +613,7 @@ fn main() {
     let suite_t0 = Instant::now();
     for family in families {
         for &n in sim_widths(family, small) {
-            let r = bench_sim(family, n, reps);
+            let r = bench_sim(family, n, reps, no_skip);
             println!(
                 "sim     {:>10}  n={:<2}  {:>10}  peak {} nodes",
                 r.family,
@@ -566,7 +624,7 @@ fn main() {
             records.push(r);
         }
         for &n in verify_widths(family, small) {
-            let r = bench_verify(family, n, reps);
+            let r = bench_verify(family, n, reps, no_skip);
             println!(
                 "verify  {:>10}  n={:<2}  {:>10}  peak {} nodes",
                 r.family,
@@ -587,7 +645,7 @@ fn main() {
         (16, 100_000, 2_000)
     };
     for memoized in [false, true] {
-        let r = bench_sampling_shared(qft_n, qft_shots, reps, memoized);
+        let r = bench_sampling_shared(qft_n, qft_shots, reps, memoized, no_skip);
         println!(
             "sample  {:>10}  n={:<2}  {:>10}  {:.0} shots/s",
             r.phase,
@@ -598,7 +656,7 @@ fn main() {
         records.push(r);
     }
     for threads in [0, 8] {
-        let r = bench_sampling_midcircuit(tele_shots, reps, threads);
+        let r = bench_sampling_midcircuit(tele_shots, reps, threads, no_skip);
         println!(
             "sample  {:>10}  n={:<2}  {:>10}  {:.0} shots/s",
             r.phase,
@@ -625,7 +683,7 @@ fn main() {
     for &(family, n, shots, reps) in &scaling_workloads {
         let mut baseline: Option<(f64, std::collections::HashMap<u64, u64>)> = None;
         for &threads in thread_counts {
-            let (r, measured) = bench_scaling(family, n, shots, reps, threads, baseline.as_ref());
+            let (r, measured) = bench_scaling(family, n, shots, reps, threads, no_skip, baseline.as_ref());
             println!(
                 "scale   {:>13}  n={:<2}  {:>10}  {:.2}x vs 1 thread",
                 r.phase,
@@ -653,7 +711,7 @@ fn main() {
             ]
         };
     for (phase, qc, cap, floor) in approx_workloads {
-        let r = bench_approx(phase, qc, cap, floor);
+        let r = bench_approx(phase, qc, cap, floor, no_skip);
         println!(
             "approx  {:>10}  n={:<2}  {:>10}  fidelity ≥ {:.4}, peak {} nodes",
             r.phase,

@@ -37,6 +37,10 @@ OPTIONS:
                     cheapest subtrees within the fidelity budget) or
                     threshold:EPS (zero edges contributing < EPS).
                     Requires --min-fidelity
+  --no-identity-skip
+                    disable identity-skip edges in matrix DDs: every gate
+                    materializes explicit identity nodes on idle qubits
+                    (debug aid; slower and larger, results are identical)
   --stats           print the full engine statistics snapshot (per-table
                     hit rates, gate-DD cache, complex-table interning,
                     GC activity, peak nodes)
@@ -58,7 +62,7 @@ const FLAGS: &[&str] = &[
     "--seed", "--shots", "--threads", "--state", "--threshold", "--node-limit",
     "--timeout-ms", "--stats", "--stats-json", "--svg", "--dot", "--html",
     "--style", "--profile", "--metrics-out", "--trace-out", "--min-fidelity",
-    "--approx-policy",
+    "--approx-policy", "--no-identity-skip",
 ];
 
 /// Exit code reported to `main` when the run finished but the state was
@@ -119,6 +123,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
 
     let config = qdd_core::PackageConfig {
         limits,
+        identity_skip: !args.has("--no-identity-skip"),
         ..qdd_core::PackageConfig::default()
     };
     let mut sim = qdd_sim::DdSimulator::with_config(circuit.clone(), seed, config);
@@ -418,7 +423,8 @@ fn stats_json(circuit: &qdd_circuit::QuantumCircuit, sim: &qdd_sim::DdSimulator)
         ",\"package\":{{\"vnodes_alive\":{},\"mnodes_alive\":{},\"peak_live_nodes\":{},\
          \"cache_lookups\":{},\"cache_hits\":{},\"cache_entries\":{},\"gc_runs\":{},\
          \"compute_evictions\":{},\"compute_clears\":{},\
-         \"gate_cache_lookups\":{},\"gate_cache_hits\":{}}}",
+         \"gate_cache_lookups\":{},\"gate_cache_hits\":{},\
+         \"mat_peak_nodes\":{},\"identity_nodes_skipped\":{}}}",
         pkg.vnodes_alive,
         pkg.mnodes_alive,
         pkg.peak_live_nodes,
@@ -429,7 +435,9 @@ fn stats_json(circuit: &qdd_circuit::QuantumCircuit, sim: &qdd_sim::DdSimulator)
         pkg.compute_evictions,
         pkg.compute_clears,
         pkg.gate_cache_lookups,
-        pkg.gate_cache_hits
+        pkg.gate_cache_hits,
+        pkg.mat_peak_nodes,
+        pkg.identity_nodes_skipped
     );
     out.push_str(",\"compute_tables\":[");
     for (i, t) in sim.package().compute_table_stats().iter().enumerate() {

@@ -23,6 +23,9 @@ OPTIONS:
                    circuits and compare the outputs (default 0)
   --node-limit N   cap live DD nodes during the check
   --timeout-ms N   wall-clock budget for the check
+  --no-identity-skip
+                   disable identity-skip edges in matrix DDs (debug aid;
+                   slower and larger, the verdict is identical)
   --profile        print a per-phase wall-time profile table on stderr
   --metrics-out P  write the telemetry metrics snapshot as JSON to P
   --trace-out P    write the telemetry event stream to P (Chrome
@@ -33,7 +36,7 @@ EXIT STATUS: 0 when equivalent (incl. up to global phase), 1 otherwise,
 
 const FLAGS: &[&str] = &[
     "--strategy", "--threads", "--stimuli", "--node-limit", "--timeout-ms",
-    "--profile", "--metrics-out", "--trace-out",
+    "--profile", "--metrics-out", "--trace-out", "--no-identity-skip",
 ];
 
 pub fn run(argv: &[String]) -> Result<(), CmdError> {
@@ -65,11 +68,13 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         right.gate_count()
     );
 
-    let mut checker = if limits.is_unlimited() {
+    let identity_skip = !args.has("--no-identity-skip");
+    let mut checker = if limits.is_unlimited() && identity_skip {
         EquivalenceChecker::new()
     } else {
         EquivalenceChecker::with_config(qdd_core::PackageConfig {
             limits,
+            identity_skip,
             ..qdd_core::PackageConfig::default()
         })
     };

@@ -191,8 +191,10 @@ pub(crate) struct ComputeTables {
     pub mat_mat: Cache<(MNodeId, MNodeId), MatEdge>,
     /// `a ⊗ b` for unit-weight operands.
     pub kron_vec: Cache<(VNodeId, VNodeId), VecEdge>,
-    /// `A ⊗ B` for unit-weight operands.
-    pub kron_mat: Cache<(MNodeId, MNodeId), MatEdge>,
+    /// `A ⊗ B` for unit-weight operands; the third component is the level
+    /// shift applied to `A` (`B`'s logical span, which identity-skipped
+    /// roots under-report, so it cannot be derived from the node alone).
+    pub kron_mat: Cache<(MNodeId, MNodeId, Qubit), MatEdge>,
     /// Conjugate transpose of a unit-weight matrix node.
     pub adjoint: Cache<MNodeId, MatEdge>,
     /// `⟨a|b⟩` for unit-weight operands.

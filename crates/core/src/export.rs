@@ -33,16 +33,23 @@ impl DdPackage {
     pub fn matrix_entry(&self, m: MatEdge, row: u64, col: u64) -> Complex {
         let mut w = self.complex_value(m.weight);
         let mut node = m.node;
+        // Levels the walk actually branched on; every other level is a
+        // skipped identity, where off-diagonal entries vanish.
+        let mut consumed: u64 = 0;
         while !node.is_terminal() {
             if w == Complex::ZERO {
                 return Complex::ZERO;
             }
             let n = self.mnode(node);
+            consumed |= 1u64 << n.var;
             let i = (row >> n.var) & 1;
             let j = (col >> n.var) & 1;
             let child = n.children[(2 * i + j) as usize];
             w *= self.complex_value(child.weight);
             node = child.node;
+        }
+        if (row ^ col) & !consumed != 0 {
+            return Complex::ZERO;
         }
         w
     }
@@ -149,13 +156,34 @@ impl DdPackage {
                 return;
             }
             let w = w * dd.complex_value(e.weight);
+            fill_node(dd, e, w, out, r0, c0, dim);
+        }
+        // Weight already folded in; places `node`'s block (or its identity
+        // expansion over skipped levels) into the `dim×dim` region.
+        fn fill_node(
+            dd: &DdPackage,
+            e: MatEdge,
+            w: Complex,
+            out: &mut [Vec<Complex>],
+            r0: usize,
+            c0: usize,
+            dim: usize,
+        ) {
             if e.is_terminal() {
-                debug_assert_eq!(dim, 1);
-                out[r0][c0] = w;
+                // Identity skip: a terminal is `w·I` on the whole block.
+                for k in 0..dim {
+                    out[r0 + k][c0 + k] = w;
+                }
                 return;
             }
             let n = dd.mnode(e.node);
             let h = dim / 2;
+            if (1usize << n.var) < h {
+                // Skipped identity level: replicate down the diagonal.
+                fill_node(dd, e, w, out, r0, c0, h);
+                fill_node(dd, e, w, out, r0 + h, c0 + h, h);
+                return;
+            }
             debug_assert_eq!(h, 1 << n.var);
             fill(dd, n.children[0], w, out, r0, c0, h);
             fill(dd, n.children[1], w, out, r0, c0 + h, h);

@@ -137,14 +137,36 @@ impl DdPackage {
                 MatEdge::new(a.node, w)
             });
         }
-        assert!(
-            !a.is_terminal() && !b.is_terminal(),
-            "matrix addition rank mismatch"
-        );
-        let (x, y) = if self.mnode(a.node).birth <= self.mnode(b.node).birth {
-            (a, b)
-        } else {
-            (b, a)
+        // Identity skip: a terminal operand is `w·I` on the remaining
+        // levels, and operands whose roots sit at different levels align by
+        // expanding the lower one as a diagonal pass-through. Order the
+        // higher-rooted operand first (it drives the recursion); at equal
+        // levels fall back to birth-stamp ordering as for vectors. Both
+        // orderings are GC-stable, so cache keys stay deterministic.
+        let (x, y) = {
+            let arank = if a.is_terminal() {
+                -1
+            } else {
+                i64::from(self.mnode(a.node).var)
+            };
+            let brank = if b.is_terminal() {
+                -1
+            } else {
+                i64::from(self.mnode(b.node).var)
+            };
+            match arank.cmp(&brank) {
+                std::cmp::Ordering::Greater => (a, b),
+                std::cmp::Ordering::Less => (b, a),
+                std::cmp::Ordering::Equal => {
+                    // Equal ranks: terminal==terminal was handled by the
+                    // `a.node == b.node` fast path above.
+                    if self.mnode(a.node).birth <= self.mnode(b.node).birth {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                }
+            }
         };
         let alpha = x.weight;
         let beta = self.ctable.div(y.weight, alpha);
@@ -155,15 +177,23 @@ impl DdPackage {
             }
         }
         let xn = self.mnode(x.node);
-        let yn = self.mnode(y.node);
-        assert_eq!(xn.var, yn.var, "matrix addition rank mismatch");
         let var = xn.var;
         let xc = xn.children;
-        let yc = yn.children;
         let mut rc = [MatEdge::ZERO; 4];
-        for i in 0..4 {
-            let ye = self.scale_mat(yc[i], beta);
-            rc[i] = self.add_mat_go(xc[i], ye, depth + 1)?;
+        if y.is_terminal() || self.mnode(y.node).var < var {
+            // `y` skips this level: it contributes `β·y` on both diagonal
+            // blocks and nothing off-diagonal.
+            let ye = MatEdge::new(y.node, beta);
+            rc[0] = self.add_mat_go(xc[0], ye, depth + 1)?;
+            rc[1] = xc[1];
+            rc[2] = xc[2];
+            rc[3] = self.add_mat_go(xc[3], ye, depth + 1)?;
+        } else {
+            let yc = self.mnode(y.node).children;
+            for i in 0..4 {
+                let ye = self.scale_mat(yc[i], beta);
+                rc[i] = self.add_mat_go(xc[i], ye, depth + 1)?;
+            }
         }
         let r = self.try_make_mat_node(var, rc)?;
         if self.config.compute_tables {

@@ -90,16 +90,20 @@ impl DdPackage {
             }
             let w = dd.complex_value(e.weight);
             if e.is_terminal() {
-                // Remaining levels are implicitly scalar; a well-formed
-                // full-span DD reaches the terminal exactly at level 0.
-                debug_assert_eq!(levels_left, 0, "trace on under-spanned DD");
-                return w;
+                // Identity skip: a terminal edge is `w·I` on every
+                // remaining level, contributing `w·2^levels`.
+                return w * Complex::real((1u64 << levels_left) as f64);
             }
             let node = dd.mnode(e.node);
+            let var = node.var as usize;
+            debug_assert!(var < levels_left, "trace on over-spanned DD");
+            // Skipped identity levels above the node double the trace each
+            // (tr(I₂ ⊗ M) = 2·tr(M)); the children span `var` levels.
+            let gap = levels_left - 1 - var;
             let c0 = node.children[0];
             let c3 = node.children[3];
-            let t = rec(dd, c0, levels_left - 1) + rec(dd, c3, levels_left - 1);
-            w * t
+            let t = rec(dd, c0, var) + rec(dd, c3, var);
+            w * t * Complex::real((1u64 << gap) as f64)
         }
         rec(self, m, n)
     }

@@ -83,6 +83,11 @@ impl DdPackage {
     /// Tensor product of two operators: `A ⊗ B` with `A` acting on the
     /// more-significant qubits (the paper's `H ⊗ I₂`, Fig. 3).
     ///
+    /// `B`'s span is inferred from its root variable. Under identity skip a
+    /// root can sit below its logical span (skipped identity levels carry
+    /// no node), in which case the inferred span under-counts — use
+    /// [`Self::kron_mat_spanned`] to state `B`'s span explicitly.
+    ///
     /// # Panics
     ///
     /// Panics when a configured resource budget runs out mid-operation (use
@@ -99,47 +104,94 @@ impl DdPackage {
     /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
     /// a configured budget runs out.
     pub fn try_kron_mat(&mut self, a: MatEdge, b: MatEdge) -> Result<MatEdge, DdError> {
+        let b_levels = if b.is_terminal() {
+            0
+        } else {
+            self.mnode(b.node).var as usize + 1
+        };
+        self.try_kron_mat_spanned(a, b, b_levels)
+    }
+
+    /// Tensor product `A ⊗ B` where `B` spans `b_levels` qubit levels.
+    ///
+    /// The explicit span matters under identity skip: `H ⊗ I₂` needs `A`'s
+    /// variables shifted past the (nodeless) identity register, which the
+    /// edge itself cannot reveal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured resource budget runs out mid-operation (use
+    /// [`Self::try_kron_mat_spanned`] under [`Limits`](crate::Limits)) or
+    /// when `b`'s root variable does not fit in `b_levels`.
+    pub fn kron_mat_spanned(&mut self, a: MatEdge, b: MatEdge, b_levels: usize) -> MatEdge {
+        self.try_kron_mat_spanned(a, b, b_levels)
+            .unwrap_or_else(|e| panic!("ungoverned kron_mat failed: {e}"))
+    }
+
+    /// Governed form of [`Self::kron_mat_spanned`].
+    ///
+    /// # Errors
+    ///
+    /// [`DdError::ResourceExhausted`] or [`DdError::DeadlineExceeded`] when
+    /// a configured budget runs out.
+    pub fn try_kron_mat_spanned(
+        &mut self,
+        a: MatEdge,
+        b: MatEdge,
+        b_levels: usize,
+    ) -> Result<MatEdge, DdError> {
         let _span = qdd_telemetry::span("core.kron_mat");
-        self.kron_mat_go(a, b, 0)
+        if !b.is_terminal() {
+            assert!(
+                (self.mnode(b.node).var as usize) < b_levels,
+                "kron_mat span smaller than b's root variable"
+            );
+        }
+        self.kron_mat_go(a, b, b_levels as Qubit, 0)
     }
 
     pub(crate) fn kron_mat_go(
         &mut self,
         a: MatEdge,
         b: MatEdge,
+        shift: Qubit,
         depth: usize,
     ) -> Result<MatEdge, DdError> {
         if a.is_zero() || b.is_zero() {
             return Ok(MatEdge::ZERO);
         }
         let alpha = self.ctable.mul(a.weight, b.weight);
-        let r = self.kron_mat_unit(a.node, b.node, depth)?;
+        let r = self.kron_mat_unit(a.node, b.node, shift, depth)?;
         Ok(self.scale_mat(r, alpha))
     }
 
-    fn kron_mat_unit(&mut self, an: MNodeId, bn: MNodeId, depth: usize) -> Result<MatEdge, DdError> {
+    fn kron_mat_unit(
+        &mut self,
+        an: MNodeId,
+        bn: MNodeId,
+        shift: Qubit,
+        depth: usize,
+    ) -> Result<MatEdge, DdError> {
         self.governor_check(depth)?;
         if an.is_terminal() {
+            // Terminal replacement; under identity skip a terminal in `A`
+            // is identity on `A`'s remaining levels, which stays implicit
+            // above `B`'s root.
             return Ok(MatEdge::new(bn, C_ONE));
         }
-        let key = (an, bn);
+        let key = (an, bn, shift);
         if self.config.compute_tables {
             if let Some(r) = self.caches.kron_mat.get(&key) {
                 return Ok(r);
             }
         }
-        let shift: Qubit = if bn.is_terminal() {
-            0
-        } else {
-            self.mnode(bn).var + 1
-        };
         let anode = self.mnode(an);
         let var = anode.var + shift;
         let ac = anode.children;
         let b_unit = MatEdge::new(bn, C_ONE);
         let mut rc = [MatEdge::ZERO; 4];
         for (i, slot) in rc.iter_mut().enumerate() {
-            *slot = self.kron_mat_go(ac[i], b_unit, depth + 1)?;
+            *slot = self.kron_mat_go(ac[i], b_unit, shift, depth + 1)?;
         }
         let r = self.try_make_mat_node(var, rc)?;
         if self.config.compute_tables {
@@ -161,7 +213,9 @@ mod tests {
         let mut dd = DdPackage::new();
         let h1 = dd.gate_dd(gates::H, &[], 0, 1).unwrap();
         let i1 = dd.identity(1).unwrap();
-        let via_kron = dd.kron_mat(h1, i1);
+        // Under identity skip `I₂` is a nodeless terminal edge, so the
+        // one-level span must be stated explicitly.
+        let via_kron = dd.kron_mat_spanned(h1, i1, 1);
         let direct = dd.gate_dd(gates::H, &[], 1, 2).unwrap();
         assert_eq!(via_kron, direct, "H ⊗ I₂ is canonical");
     }

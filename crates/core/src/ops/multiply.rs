@@ -49,21 +49,15 @@ impl DdPackage {
 
     fn mat_vec_unit(&mut self, mn: MNodeId, vn: VNodeId, depth: usize) -> Result<VecEdge, DdError> {
         self.governor_check(depth)?;
-        if mn.is_terminal() && vn.is_terminal() {
-            return Ok(VecEdge::ONE);
-        }
-        assert!(
-            !mn.is_terminal() && !vn.is_terminal(),
-            "dimension mismatch in mat_vec"
-        );
-        // Identity skip: a single-qubit gate DD is identity chains around
-        // one active level, so `I·v = v` here prunes the whole sub-diagram
-        // below the gate's target — the difference between O(state nodes)
-        // and O(levels) per gate application on wide states.
-        let mvar = self.mnode(mn).var;
-        if self.is_identity_node(mn, mvar) {
+        // Identity skip: a terminal matrix operand is the identity on every
+        // remaining level (the scalar weight was peeled off in
+        // `mat_vec_go`), so `I·v = v` prunes the whole sub-diagram below a
+        // gate's active block — the difference between O(state nodes) and
+        // O(levels) per gate application on wide states.
+        if mn.is_terminal() {
             return Ok(VecEdge::new(vn, qdd_complex::C_ONE));
         }
+        assert!(!vn.is_terminal(), "dimension mismatch in mat_vec");
         let key = (mn, vn);
         if self.config.compute_tables {
             if let Some(r) = self.caches.mat_vec.get(&key) {
@@ -72,15 +66,24 @@ impl DdPackage {
         }
         let mnode = self.mnode(mn);
         let vnode = self.vnode(vn);
-        assert_eq!(mnode.var, vnode.var, "dimension mismatch in mat_vec");
-        let var = mnode.var;
-        let mc = mnode.children;
+        let var = vnode.var;
+        assert!(mnode.var <= var, "dimension mismatch in mat_vec");
         let vc = vnode.children;
         let mut rc = [VecEdge::ZERO; 2];
-        for (i, slot) in rc.iter_mut().enumerate() {
-            let p0 = self.mat_vec_go(mc[2 * i], vc[0], depth + 1)?;
-            let p1 = self.mat_vec_go(mc[2 * i + 1], vc[1], depth + 1)?;
-            *slot = self.add_vec_go(p0, p1, depth + 1)?;
+        if mnode.var < var {
+            // The operator skips this level (identity): recurse the same
+            // matrix into both vector children.
+            let m = MatEdge::new(mn, qdd_complex::C_ONE);
+            for (i, slot) in rc.iter_mut().enumerate() {
+                *slot = self.mat_vec_go(m, vc[i], depth + 1)?;
+            }
+        } else {
+            let mc = mnode.children;
+            for (i, slot) in rc.iter_mut().enumerate() {
+                let p0 = self.mat_vec_go(mc[2 * i], vc[0], depth + 1)?;
+                let p1 = self.mat_vec_go(mc[2 * i + 1], vc[1], depth + 1)?;
+                *slot = self.add_vec_go(p0, p1, depth + 1)?;
+            }
         }
         let r = self.try_make_vec_node(var, rc)?;
         if self.config.compute_tables {
@@ -131,19 +134,13 @@ impl DdPackage {
 
     fn mat_mat_unit(&mut self, an: MNodeId, bn: MNodeId, depth: usize) -> Result<MatEdge, DdError> {
         self.governor_check(depth)?;
-        if an.is_terminal() && bn.is_terminal() {
-            return Ok(MatEdge::ONE);
-        }
-        assert!(
-            !an.is_terminal() && !bn.is_terminal(),
-            "dimension mismatch in mat_mat"
-        );
-        // Identity skip on either operand (`I·B = B`, `A·I = A`).
-        let avar = self.mnode(an).var;
-        if self.is_identity_node(an, avar) {
+        // Identity skip on either operand: a terminal matrix is the
+        // identity on every remaining level, so `I·B = B` and `A·I = A`
+        // (weights were peeled off in `mat_mat_go`).
+        if an.is_terminal() {
             return Ok(MatEdge::new(bn, qdd_complex::C_ONE));
         }
-        if self.is_identity_node(bn, avar) {
+        if bn.is_terminal() {
             return Ok(MatEdge::new(an, qdd_complex::C_ONE));
         }
         let key = (an, bn);
@@ -154,17 +151,31 @@ impl DdPackage {
         }
         let anode = self.mnode(an);
         let bnode = self.mnode(bn);
-        assert_eq!(anode.var, bnode.var, "dimension mismatch in mat_mat");
-        let var = anode.var;
+        let (avar, bvar) = (anode.var, bnode.var);
         let ac = anode.children;
         let bc = bnode.children;
+        let var = avar.max(bvar);
         let mut rc = [MatEdge::ZERO; 4];
-        for i in 0..2 {
-            for j in 0..2 {
-                // (A·B)_{ij} = Σ_k A_{ik} · B_{kj}
-                let p0 = self.mat_mat_go(ac[2 * i], bc[j], depth + 1)?;
-                let p1 = self.mat_mat_go(ac[2 * i + 1], bc[2 + j], depth + 1)?;
-                rc[2 * i + j] = self.add_mat_go(p0, p1, depth + 1)?;
+        if avar > bvar {
+            // B skips this level: (A·(I⊗B))_{ij} = A_{ij}·B.
+            let b = MatEdge::new(bn, qdd_complex::C_ONE);
+            for (c, slot) in rc.iter_mut().enumerate() {
+                *slot = self.mat_mat_go(ac[c], b, depth + 1)?;
+            }
+        } else if bvar > avar {
+            // A skips this level: ((I⊗A)·B)_{ij} = A·B_{ij}.
+            let a = MatEdge::new(an, qdd_complex::C_ONE);
+            for (c, slot) in rc.iter_mut().enumerate() {
+                *slot = self.mat_mat_go(a, bc[c], depth + 1)?;
+            }
+        } else {
+            for i in 0..2 {
+                for j in 0..2 {
+                    // (A·B)_{ij} = Σ_k A_{ik} · B_{kj}
+                    let p0 = self.mat_mat_go(ac[2 * i], bc[j], depth + 1)?;
+                    let p1 = self.mat_mat_go(ac[2 * i + 1], bc[2 + j], depth + 1)?;
+                    rc[2 * i + j] = self.add_mat_go(p0, p1, depth + 1)?;
+                }
             }
         }
         let r = self.try_make_mat_node(var, rc)?;

@@ -29,6 +29,11 @@ impl DdPackage {
             return Ok(Edge::ZERO);
         };
         let canon = Self::canonicalize(&children, &norm);
+        if let Some(through) = self.identity_collapse(&canon) {
+            self.identity_collapses
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Ok(self.scale_edge(through, norm.top));
+        }
         let id = match self.store().lookup(var, &canon) {
             Some(id) => id,
             None => {
@@ -42,16 +47,40 @@ impl DdPackage {
         Ok(Edge::new(id, norm.top))
     }
 
+    /// The identity-skip canonicity rule (arXiv 2406.11959): a matrix node
+    /// whose canonical children are `[e, 0, 0, e]` represents `I ⊗ M(e)`
+    /// and is never materialized — the edge passes straight through to `e`,
+    /// with the level gap meaning "identity on every skipped qubit".
+    /// Returns the pass-through edge, or `None` when a real node is needed
+    /// (always for vector diagrams, and under `--no-identity-skip`).
+    #[inline]
+    fn identity_collapse<const N: usize>(&self, canon: &[Edge<N>; N]) -> Option<Edge<N>> {
+        if N != 4 || !self.config.identity_skip {
+            return None;
+        }
+        if canon[1].is_zero() && canon[2].is_zero() && canon[0] == canon[3] {
+            Some(canon[0])
+        } else {
+            None
+        }
+    }
+
     /// Structural invariant checked on every construction (debug builds):
-    /// each child is the terminal (for `var == 0` or zero edges) or a node
-    /// exactly one level down.
+    /// each child is a zero stub, or (at `var == 0`) the terminal, or a
+    /// node below this level. Vector diagrams stay dense (children exactly
+    /// one level down); matrix children may sit *any* number of levels
+    /// down — or be non-zero terminals — with the gap meaning identity on
+    /// the skipped qubits.
     fn children_well_formed<const N: usize>(&self, var: Qubit, children: &[Edge<N>; N]) -> bool
     where
         Self: HasStore<N>,
     {
+        let skip = N == 4 && self.config.identity_skip;
         children.iter().all(|c| {
             if c.is_zero() || var == 0 {
                 c.is_terminal()
+            } else if skip {
+                c.is_terminal() || self.store().node(c.node).var < var
             } else {
                 !c.is_terminal() && self.store().node(c.node).var == var - 1
             }
@@ -257,6 +286,28 @@ impl DdPackage {
             return Edge::ZERO;
         };
         let canon = Self::canonicalize(&children, &norm);
+        if let Some(through) = self.identity_collapse(&canon) {
+            self.identity_collapses
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Matrix normalization makes the first maximal entry exactly 1,
+            // and a collapsing node has only the two equal diagonal entries,
+            // so `through.weight` is 1 in practice; the general product
+            // keeps the rule correct regardless.
+            use crate::normalize::WeightCtx as _;
+            let weight = if through.weight.is_one() {
+                norm.top
+            } else if norm.top.is_one() {
+                through.weight
+            } else {
+                let v = ctx.value(through.weight) * ctx.value(norm.top);
+                ctx.intern(v)
+            };
+            return if weight.is_zero() {
+                Edge::ZERO
+            } else {
+                Edge::new(through.node, weight)
+            };
+        }
         let id = match self.mstore.lookup(var, &canon) {
             Some(id) => id,
             None => {

@@ -4,7 +4,7 @@
 use crate::error::DdError;
 use crate::gates::{self, Control, GateMatrix, Polarity};
 use crate::package::DdPackage;
-use crate::types::{MatEdge, MNodeId, Qubit};
+use crate::types::{MatEdge, Qubit};
 use crate::MAX_QUBITS;
 use qdd_complex::Complex;
 
@@ -45,7 +45,10 @@ impl GateKey {
 const GATE_CACHE_CAP: usize = 1 << 12;
 
 impl DdPackage {
-    /// The identity operator on `n` qubits — a single shared node per level.
+    /// The identity operator on `n` qubits. Under identity skip (the
+    /// default) this is the terminal unit edge — identity levels are never
+    /// materialized, so the diagram has zero nodes regardless of `n`. With
+    /// skip disabled it is the classic chain of one shared node per level.
     ///
     /// # Errors
     ///
@@ -55,26 +58,19 @@ impl DdPackage {
         self.id_edge(n)
     }
 
-    /// Whether `mn` is the canonical identity node spanning variables
-    /// `0..=var` — constant time via the identity cache. Conservative: an
-    /// identity node not (yet) recorded in the cache reports `false`, which
-    /// only costs the caller its shortcut.
-    #[inline]
-    pub(crate) fn is_identity_node(&self, mn: MNodeId, var: Qubit) -> bool {
-        self.id_cache
-            .get(var as usize + 1)
-            .is_some_and(|e| e.node == mn)
-    }
-
     /// Identity DD spanning variables `0..k` (`k = 0` is the scalar 1).
+    ///
+    /// Dense levels are only built under `--no-identity-skip`; the loop is
+    /// all unique-table hits after the first call, so no cache is needed.
     pub(crate) fn id_edge(&mut self, k: usize) -> Result<MatEdge, DdError> {
-        while self.id_cache.len() <= k {
-            let prev = self.id_cache[self.id_cache.len() - 1];
-            let var = (self.id_cache.len() - 1) as Qubit;
-            let next = self.try_make_mat_node(var, [prev, MatEdge::ZERO, MatEdge::ZERO, prev])?;
-            self.id_cache.push(next);
+        if self.config.identity_skip {
+            return Ok(MatEdge::ONE);
         }
-        Ok(self.id_cache[k])
+        let mut e = MatEdge::ONE;
+        for var in 0..k {
+            e = self.try_make_mat_node(var as Qubit, [e, MatEdge::ZERO, MatEdge::ZERO, e])?;
+        }
+        Ok(e)
     }
 
     /// Builds the `2ⁿ×2ⁿ` operator DD of a (multi-)controlled single-qubit
@@ -157,12 +153,11 @@ impl DdPackage {
         target: usize,
         n: usize,
     ) -> Result<MatEdge, DdError> {
-        // Populate the identity cache over the full span. The identity
-        // sub-chains constructed below are deduplicated against these nodes
-        // by the unique table, which lets the multiplication kernels
-        // recognize them ([`Self::is_identity_node`]) and skip whole
-        // sub-diagrams (`I·v = v`).
-        self.id_edge(n)?;
+        // Under identity skip the uncontrolled wrapping levels below
+        // collapse in `try_make_mat_node` (and `id_edge` is the terminal
+        // unit), so a k-controlled gate costs O(k) nodes regardless of the
+        // register width; with skip disabled the same code builds the
+        // classic dense chains.
         let pol_at = |q: usize| controls.iter().find(|c| c.qubit == q).map(|c| c.polarity);
 
         // Terminal 2×2 block edges [e₀₀, e₀₁, e₁₀, e₁₁].
@@ -271,11 +266,43 @@ mod tests {
     use qdd_complex::Complex;
 
     #[test]
-    fn identity_has_one_node_per_level() {
+    fn identity_is_nodeless_under_skip() {
         let mut dd = DdPackage::new();
+        let id = dd.identity(5).unwrap();
+        // Identity levels are never materialized: the operator is the
+        // terminal unit edge at every width.
+        assert_eq!(dd.mat_node_count(id), 0);
+        assert!(id.is_terminal());
+        assert!(dd.complex_value(id.weight).is_one(1e-12));
+        assert_eq!(id, dd.identity(17).unwrap());
+    }
+
+    #[test]
+    fn identity_has_one_node_per_level_without_skip() {
+        let mut dd = DdPackage::with_config(PackageConfig {
+            identity_skip: false,
+            ..PackageConfig::default()
+        });
         let id = dd.identity(5).unwrap();
         assert_eq!(dd.mat_node_count(id), 5);
         assert!(dd.complex_value(id.weight).is_one(1e-12));
+    }
+
+    #[test]
+    fn controlled_gate_cost_is_independent_of_register_width() {
+        let mut dd = DdPackage::new();
+        // CX on (control 1, target 0) embedded in ever-wider registers: the
+        // skip representation keeps the same two nodes; only the dense
+        // representation pays per skipped level.
+        let narrow = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
+        let wide = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 12).unwrap();
+        assert_eq!(narrow, wide, "skipped levels above the control are free");
+        assert_eq!(dd.mat_node_count(wide), 2);
+        // A doubly-controlled gate adds exactly one node per control level.
+        let ccx = dd
+            .gate_dd(gates::X, &[Control::pos(4), Control::pos(9)], 0, 16)
+            .unwrap();
+        assert_eq!(dd.mat_node_count(ccx), 3);
     }
 
     #[test]
@@ -293,8 +320,28 @@ mod tests {
         let mut dd = DdPackage::new();
         // Control q1 (MSB), target q0 — the paper's CNOT.
         let cx = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
-        // Fig. 2(c): 2 non-terminal nodes... the q1 node plus I and X nodes
-        // at q0 level → 3 total (the figure draws q0 twice).
+        // Fig. 2(c) draws 3 non-terminal nodes (q1 plus I and X at q0);
+        // under identity skip the idle I branch is a pass-through terminal
+        // edge, leaving the q1 node and the X node.
+        assert_eq!(dd.mat_node_count(cx), 2);
+        let root = dd.mnode(cx.node);
+        assert_eq!(root.var, 1);
+        assert!(root.children[1].is_zero());
+        assert!(root.children[2].is_zero());
+        // The non-firing branch is the skipped identity on q0.
+        assert!(root.children[0].is_terminal());
+        assert!(dd.complex_value(root.children[0].weight).is_one(1e-12));
+    }
+
+    #[test]
+    fn cnot_gate_dd_matches_fig_2c_without_skip() {
+        let mut dd = DdPackage::with_config(PackageConfig {
+            identity_skip: false,
+            ..PackageConfig::default()
+        });
+        let cx = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
+        // The dense representation matches the figure literally: the q1
+        // node plus I and X nodes at the q0 level.
         assert_eq!(dd.mat_node_count(cx), 3);
         let root = dd.mnode(cx.node);
         assert_eq!(root.var, 1);

@@ -24,23 +24,22 @@ impl DdPackage {
     /// Reclaims every node not reachable from a root registered via the
     /// `inc_ref_*` methods, then sweeps the complex table of weights no
     /// live edge references. Clears all compute tables (their keys may
-    /// refer to reclaimed ids); the gate-DD and identity caches survive as
-    /// additional roots (see [`Self::gc_under_pressure`] for the
+    /// refer to reclaimed ids); the gate-DD cache survives as an
+    /// additional root (see [`Self::gc_under_pressure`] for the
     /// flush-everything variant).
     pub fn garbage_collect(&mut self) -> GcReport {
         let mut span = qdd_telemetry::span("core.gc");
         self.gc_runs += 1;
 
-        // Mark phase. For matrices the gate-DD and identity caches count
-        // as roots: their entries are bounded (GATE_CACHE_CAP, one edge
-        // per level) and keeping hot operators alive across routine
-        // collections is the point of caching them. Pressure GCs flush
-        // both caches first, so under a node budget they cost nothing.
+        // Mark phase. For matrices the gate-DD cache counts as roots: its
+        // entries are bounded (GATE_CACHE_CAP) and keeping hot operators
+        // alive across routine collections is the point of caching them.
+        // Pressure GCs flush the cache first, so under a node budget it
+        // costs nothing.
         let vmark = self.vstore.mark(std::iter::empty());
         let cache_roots: Vec<MNodeId> = self
             .gate_cache
             .values()
-            .chain(self.id_cache.iter())
             .filter(|e| !e.is_terminal())
             .map(|e| e.node)
             .collect();
@@ -64,7 +63,7 @@ impl DdPackage {
         // root edges stay pinned (bit-identical handles), so canonicity of
         // everything alive is untouched.
         let mut keep: FxHashSet<ComplexIdx> = self.root_weights.keys().copied().collect();
-        for e in self.gate_cache.values().chain(self.id_cache.iter()) {
+        for e in self.gate_cache.values() {
             keep.insert(e.weight);
         }
         self.vstore.collect_live_weights(&mut keep);
@@ -84,8 +83,8 @@ impl DdPackage {
     }
 
     /// Garbage-collects in response to budget pressure. Unlike the routine
-    /// [`Self::garbage_collect`], this also drops the gate-DD and identity
-    /// caches (which ordinarily survive collections as roots) — under a
+    /// [`Self::garbage_collect`], this also drops the gate-DD cache
+    /// (which ordinarily survives collections as a root) — under a
     /// node budget every reclaimable node counts. Counted separately in
     /// [`PackageStats::gc_pressure_runs`](crate::PackageStats::gc_pressure_runs),
     /// so callers implementing the degradation ladder (collect, retry, then
@@ -97,7 +96,6 @@ impl DdPackage {
         self.governor.gc_pressure_runs += 1;
         self.gate_cache.clear();
         self.gate_cache_dirty = true;
-        self.id_cache.truncate(1);
         self.garbage_collect()
     }
 
@@ -144,14 +142,16 @@ mod tests {
     #[test]
     fn gc_protects_matrix_roots() {
         let mut dd = DdPackage::new();
-        let id = dd.identity(3).unwrap();
-        dd.inc_ref_mat(id);
+        // Under identity skip a CX is the smallest interesting matrix root
+        // (identity(n) itself is nodeless, so it cannot dangle).
+        let cx = dd.gate_dd(gates::X, &[Control::pos(2)], 0, 3).unwrap();
+        dd.inc_ref_mat(cx);
         let _tmp = dd.gate_dd(gates::H, &[], 1, 3).unwrap();
         let report = dd.garbage_collect();
         // The registered root plus the cached H operator survive.
         assert!(report.live_mnodes >= 3);
-        assert_eq!(dd.mat_node_count(id), 3);
-        dd.dec_ref_mat(id);
+        assert_eq!(dd.mat_node_count(cx), 2);
+        dd.dec_ref_mat(cx);
     }
 
     #[test]

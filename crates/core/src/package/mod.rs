@@ -63,6 +63,14 @@ pub struct PackageConfig {
     pub vector_normalization: VectorNormalization,
     /// Resource budgets enforced by the package (all unlimited by default).
     pub limits: Limits,
+    /// Identity-skipped matrix edges (arXiv 2406.11959): a matrix edge may
+    /// point to a node strictly below the contextually expected level, the
+    /// gap meaning "identity on every skipped qubit", and nodes whose four
+    /// children form the identity pattern over one child edge are never
+    /// materialized. Disabling this forces dense matrix levels — only
+    /// useful for bisecting regressions to the representation
+    /// (`--no-identity-skip` on the CLI).
+    pub identity_skip: bool,
 }
 
 impl Default for PackageConfig {
@@ -73,6 +81,7 @@ impl Default for PackageConfig {
             check_unitarity: true,
             vector_normalization: VectorNormalization::default(),
             limits: Limits::default(),
+            identity_skip: true,
         }
     }
 }
@@ -107,9 +116,6 @@ pub struct DdPackage {
     pub(crate) ctable: ComplexTable,
     pub(crate) caches: ComputeTables,
     pub(crate) config: PackageConfig,
-    /// `id_cache[k]` spans variables `0..k`; rebuilt lazily. Survives
-    /// routine GCs as a root set, flushed by pressure GCs.
-    id_cache: Vec<MatEdge>,
     /// Built gate operators by exact identity. Survives routine GCs as a
     /// root set (bounded by `GATE_CACHE_CAP`), flushed by pressure GCs.
     gate_cache: FxHashMap<GateKey, MatEdge>,
@@ -118,6 +124,10 @@ pub struct DdPackage {
     pub(crate) gate_cache_dirty: bool,
     gate_lookups: u64,
     gate_hits: u64,
+    /// How many matrix-node constructions collapsed into identity-skip
+    /// pass-through edges instead of materializing a node (atomic so the
+    /// shared construction surface can count without `&mut`).
+    pub(crate) identity_collapses: AtomicU64,
     /// Reference counts of the *weights* of registered root edges. Node
     /// roots are counted on the nodes themselves, but a root edge's own
     /// weight lives only in the caller's copy of the edge, so the
@@ -152,11 +162,11 @@ impl DdPackage {
             ctable: ComplexTable::with_tolerance(config.tolerance),
             caches: ComputeTables::bounded(config.limits.max_compute_entries),
             config,
-            id_cache: vec![MatEdge::ONE],
             gate_cache: FxHashMap::default(),
             gate_cache_dirty: false,
             gate_lookups: 0,
             gate_hits: 0,
+            identity_collapses: AtomicU64::new(0),
             root_weights: FxHashMap::default(),
             births: AtomicU64::new(0),
             gc_runs: 0,
@@ -173,7 +183,7 @@ impl DdPackage {
     /// Consumes the package into an immutable, `Arc`-shared [`FrozenDd`].
     ///
     /// Freezing is the cheap half of the share-a-warm-package protocol: the
-    /// node arenas, complex table, gate-DD cache and identity cache move
+    /// node arenas, complex table and gate-DD cache move
     /// (no copies) behind `Arc`s, and any number of worker packages can be
     /// minted over them with [`FrozenDd::overlay`]. Compute tables and
     /// root-weight pins are dropped — they are per-worker state.
@@ -185,7 +195,6 @@ impl DdPackage {
             vstore: Arc::new(self.vstore),
             mstore: Arc::new(self.mstore),
             ctable: Arc::new(self.ctable),
-            id_cache: self.id_cache,
             gate_cache: self.gate_cache,
             births: self.births.load(Ordering::Relaxed),
             config: self.config,
@@ -210,14 +219,10 @@ impl DdPackage {
             Some(base) => {
                 *self.births.get_mut() = base.births;
                 // Entries added during the run reference overlay-local
-                // nodes that were just cleared, so both operator caches
-                // must come back from the base. The identity cache only
-                // grows, so an unchanged length proves it unchanged; the
-                // gate cache can flush at capacity and regrow to any
-                // length, so it is re-cloned whenever it could differ.
-                if self.id_cache.len() != base.id_cache.len() {
-                    self.id_cache = base.id_cache.clone();
-                }
+                // nodes that were just cleared, so the gate cache must come
+                // back from the base. It can flush at capacity and regrow
+                // to any length, so it is re-cloned whenever it could
+                // differ.
                 if self.gate_cache_dirty {
                     self.gate_cache = base.gate_cache.clone();
                     self.gate_cache_dirty = false;
@@ -225,7 +230,6 @@ impl DdPackage {
             }
             None => {
                 *self.births.get_mut() = 0;
-                self.id_cache = vec![MatEdge::ONE];
                 self.gate_cache = FxHashMap::default();
                 self.gate_cache_dirty = false;
             }
@@ -364,11 +368,13 @@ impl Clone for DdPackage {
             ctable: self.ctable.clone(),
             caches: self.caches.clone(),
             config: self.config,
-            id_cache: self.id_cache.clone(),
             gate_cache: self.gate_cache.clone(),
             gate_cache_dirty: self.gate_cache_dirty,
             gate_lookups: self.gate_lookups,
             gate_hits: self.gate_hits,
+            identity_collapses: AtomicU64::new(
+                self.identity_collapses.load(Ordering::Relaxed),
+            ),
             root_weights: self.root_weights.clone(),
             births: AtomicU64::new(self.births.load(Ordering::Relaxed)),
             gc_runs: self.gc_runs,
@@ -381,7 +387,7 @@ impl Clone for DdPackage {
 
 /// An immutable, `Arc`-shared decision-diagram package produced by
 /// [`DdPackage::freeze`]: warm node arenas, the interned complex table, and
-/// the gate-DD/identity caches, ready to back any number of
+/// the gate-DD cache, ready to back any number of
 /// [`FrozenDd::overlay`] worker packages.
 ///
 /// The frozen state is never mutated — overlays resolve ids below the
@@ -393,7 +399,6 @@ pub struct FrozenDd {
     pub(crate) vstore: Arc<NodeStore<2>>,
     pub(crate) mstore: Arc<NodeStore<4>>,
     pub(crate) ctable: Arc<ComplexTable>,
-    pub(crate) id_cache: Vec<MatEdge>,
     pub(crate) gate_cache: FxHashMap<GateKey, MatEdge>,
     pub(crate) births: u64,
     pub(crate) config: PackageConfig,
@@ -414,11 +419,11 @@ impl FrozenDd {
             ctable: ComplexTable::overlay(self.ctable.clone()),
             caches: ComputeTables::bounded(self.config.limits.max_compute_entries),
             config: self.config,
-            id_cache: self.id_cache.clone(),
             gate_cache: self.gate_cache.clone(),
             gate_cache_dirty: false,
             gate_lookups: 0,
             gate_hits: 0,
+            identity_collapses: AtomicU64::new(0),
             root_weights: FxHashMap::default(),
             births: AtomicU64::new(self.births),
             gc_runs: 0,

@@ -47,6 +47,12 @@ pub struct PackageStats {
     pub gate_cache_lookups: u64,
     /// Gate-DD cache probes answered without rebuilding the operator DD.
     pub gate_cache_hits: u64,
+    /// High-water mark of live *matrix* nodes (the paper's operator-DD
+    /// size measure; drops when identity skip elides idle levels).
+    pub mat_peak_nodes: usize,
+    /// Matrix-node constructions elided by the identity-skip collapse rule
+    /// (would-be `[e 0; 0 e]` nodes turned into pass-through edges).
+    pub identity_nodes_skipped: u64,
 }
 
 impl Traversable<2> for DdPackage {
@@ -139,6 +145,18 @@ impl DdPackage {
         self.gate_hits
     }
 
+    /// High-water mark of live matrix nodes (constant time).
+    pub fn mat_peak_nodes(&self) -> usize {
+        self.mstore.peak_live()
+    }
+
+    /// Matrix-node constructions elided by the identity-skip collapse rule
+    /// so far (constant time). Always 0 when `identity_skip` is disabled.
+    pub fn identity_nodes_skipped(&self) -> u64 {
+        self.identity_collapses
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Statistics of the complex-weight interning table (constant time).
     pub fn complex_table_stats(&self) -> qdd_complex::ComplexTableStats {
         self.ctable.stats()
@@ -165,6 +183,8 @@ impl DdPackage {
         qdd_telemetry::gauge_set("core.nodes.vec_alive", s.vnodes_alive as f64);
         qdd_telemetry::gauge_set("core.nodes.mat_alive", s.mnodes_alive as f64);
         qdd_telemetry::gauge_set("core.nodes.peak_live", s.peak_live_nodes as f64);
+        qdd_telemetry::gauge_set("core.nodes.mat_peak", s.mat_peak_nodes as f64);
+        qdd_telemetry::gauge_set("core.nodes.identity_skipped", s.identity_nodes_skipped as f64);
         qdd_telemetry::gauge_set("core.compute.lookups", s.cache_lookups as f64);
         qdd_telemetry::gauge_set("core.compute.hits", s.cache_hits as f64);
         qdd_telemetry::gauge_set("core.compute.hit_rate", rate(s.cache_hits, s.cache_lookups));
@@ -229,6 +249,10 @@ impl DdPackage {
             peak_live_nodes: self.governor.peak_live_nodes,
             gate_cache_lookups: self.gate_lookups,
             gate_cache_hits: self.gate_hits,
+            mat_peak_nodes: self.mstore.peak_live(),
+            identity_nodes_skipped: self
+                .identity_collapses
+                .load(std::sync::atomic::Ordering::Relaxed),
         }
     }
 }
@@ -244,10 +268,12 @@ mod tests {
         // counts cannot observe stale marks.
         let mut dd = DdPackage::new();
         let e = dd.zero_state(5).unwrap();
-        let id = dd.identity(4).unwrap();
+        let cx = dd
+            .gate_dd(crate::gates::X, &[crate::Control::pos(3)], 0, 4)
+            .unwrap();
         for _ in 0..3 {
             assert_eq!(dd.vec_node_count(e), 5);
-            assert_eq!(dd.mat_node_count(id), 4);
+            assert_eq!(dd.mat_node_count(cx), 2);
         }
         assert_eq!(dd.vec_node_count(VecEdge::ZERO), 0);
         assert_eq!(dd.mat_node_count(MatEdge::ONE), 0);

@@ -69,6 +69,9 @@ pub(crate) struct NodeStore<const N: usize> {
     shards: Box<[RwLock<Shard<N>>]>,
     /// Total entries across all shard free lists (lock-free `live_len`).
     free_count: AtomicUsize,
+    /// High-water mark of [`Self::live_len`], maintained at allocation time
+    /// (per-kind peak, unlike the governor's combined peak).
+    peak_live: AtomicUsize,
     scratch: ScratchPool,
     /// Frozen base store this one overlays, if any.
     base: Option<Arc<NodeStore<N>>>,
@@ -82,10 +85,12 @@ impl<const N: usize> NodeStore<N> {
     }
 
     fn bare(base: Option<Arc<NodeStore<N>>>, base_len: u32) -> Self {
+        let inherited_peak = base.as_ref().map_or(0, |b| b.live_len());
         NodeStore {
             nodes: SlotVec::new(),
             shards: (0..NSHARDS).map(|_| RwLock::new(Shard::default())).collect(),
             free_count: AtomicUsize::new(0),
+            peak_live: AtomicUsize::new(inherited_peak),
             scratch: ScratchPool::new(),
             base,
             base_len,
@@ -149,6 +154,11 @@ impl<const N: usize> NodeStore<N> {
         self.nodes.set(slot, node);
         let id = NodeId::from_index((self.base_len + slot) as usize);
         shard.map.insert(key, id);
+        let live = self.live_len();
+        let peak = self.peak_live.get_mut();
+        if live > *peak {
+            *peak = live;
+        }
         id
     }
 
@@ -173,6 +183,8 @@ impl<const N: usize> NodeStore<N> {
         self.nodes.set(slot, node);
         let id = NodeId::from_index((self.base_len + slot) as usize);
         shard.map.insert(key, id);
+        drop(shard);
+        self.peak_live.fetch_max(self.live_len(), Ordering::Relaxed);
         id
     }
 
@@ -225,6 +237,12 @@ impl<const N: usize> NodeStore<N> {
             Some(b) => b.live_len() + local,
             None => local,
         }
+    }
+
+    /// High-water mark of [`Self::live_len`] (constant time).
+    #[inline]
+    pub(crate) fn peak_live(&self) -> usize {
+        self.peak_live.load(Ordering::Relaxed)
     }
 
     /// Exact live-node count (linear scan over the arenas).
@@ -350,6 +368,7 @@ impl<const N: usize> Clone for NodeStore<N> {
                 .map(|s| RwLock::new(s.read().unwrap().clone()))
                 .collect(),
             free_count: AtomicUsize::new(self.free_count.load(Ordering::Relaxed)),
+            peak_live: AtomicUsize::new(self.peak_live.load(Ordering::Relaxed)),
             scratch: ScratchPool::new(),
             base: self.base.clone(),
             base_len: self.base_len,

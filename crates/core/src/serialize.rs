@@ -18,11 +18,22 @@
 //! re-interned and nodes re-normalized on load, so a loaded diagram is
 //! canonical in its new package even if the file was edited by hand.
 //!
+//! Matrix diagrams are written in the `qdd-matrix v2` dialect, which
+//! annotates every node-to-node reference with the target's variable
+//! (`3@1` = node 3, sitting at `q1`). Under identity skip an edge may land
+//! strictly below the next level, and the annotation makes the gap — and
+//! therefore the implicit identity — explicit and checkable instead of a
+//! detail the reader must reconstruct from the node table. The reader
+//! accepts both `v1` (no annotations) and `v2`; because every node line
+//! carries its variable, old `v1` files deserialize unchanged, and their
+//! identity chains collapse into skip edges on load when the target
+//! package has identity skip enabled.
+//!
 //! Vector and matrix diagrams share one generic implementation
-//! parameterized by the node arity: only the header string and the number
+//! parameterized by the node arity: only the header strings and the number
 //! of child chunks per line (`3·N` tokens) differ.
 
-use crate::package::DdPackage;
+use crate::package::{DdPackage, HasStore};
 use crate::traverse::Traversable;
 use crate::types::{Edge, MatEdge, NodeId, VecEdge};
 use qdd_complex::{Complex, FxHashMap};
@@ -78,11 +89,12 @@ fn parse_err(line: usize, message: impl Into<String>) -> SerializeError {
     }
 }
 
-/// One child reference in the text format.
+/// One child reference in the text format. `Node` carries the optional
+/// `@var` annotation of the v2 matrix dialect.
 enum Ref {
     Terminal,
     Zero,
-    Node(u32),
+    Node(u32, Option<u8>),
 }
 
 fn format_ref(node_terminal: bool, zero: bool, id_map_value: Option<u32>) -> String {
@@ -99,10 +111,20 @@ fn parse_ref(token: &str, line: usize) -> Result<Ref, SerializeError> {
     match token {
         "T" => Ok(Ref::Terminal),
         "Z" => Ok(Ref::Zero),
-        other => other
-            .parse::<u32>()
-            .map(Ref::Node)
-            .map_err(|_| parse_err(line, format!("bad node reference `{other}`"))),
+        other => {
+            let (id, var) = match other.split_once('@') {
+                Some((id, var)) => {
+                    let var = var
+                        .parse::<u8>()
+                        .map_err(|_| parse_err(line, format!("bad edge variable `{var}`")))?;
+                    (id, Some(var))
+                }
+                None => (other, None),
+            };
+            id.parse::<u32>()
+                .map(|id| Ref::Node(id, var))
+                .map_err(|_| parse_err(line, format!("bad node reference `{other}`")))
+        }
     }
 }
 
@@ -113,6 +135,7 @@ impl DdPackage {
     fn write_dd<const N: usize, W: Write>(
         &self,
         header: &str,
+        annotate_vars: bool,
         e: Edge<N>,
         mut out: W,
     ) -> Result<(), SerializeError>
@@ -136,26 +159,32 @@ impl DdPackage {
             .map(|(i, id)| (id.raw(), i as u32))
             .collect();
 
+        let annotated_ref = |c: &Edge<N>| -> String {
+            let r = format_ref(c.is_terminal(), c.is_zero(), c.to_mapped(&id_map));
+            if annotate_vars && !c.is_terminal() && !c.is_zero() {
+                format!("{r}@{}", self.node(c.node).var)
+            } else {
+                r
+            }
+        };
         for id in &order {
             let node = self.node(*id);
             let mut line = format!("node {} {}", id_map[&id.raw()], node.var);
             for c in node.children {
                 let w = self.complex_value(c.weight);
-                let r = format_ref(c.is_terminal(), c.is_zero(), c.to_mapped(&id_map));
-                line.push_str(&format!(" {r} {} {}", w.re, w.im));
+                line.push_str(&format!(" {} {} {}", annotated_ref(&c), w.re, w.im));
             }
             writeln!(out, "{line}")?;
         }
         let w = self.complex_value(e.weight);
-        let root_ref = format_ref(e.is_terminal(), e.is_zero(), e.to_mapped(&id_map));
-        writeln!(out, "root {root_ref} {} {}", w.re, w.im)?;
+        writeln!(out, "root {} {} {}", annotated_ref(&e), w.re, w.im)?;
         Ok(())
     }
 
     /// Generic reader behind [`Self::read_vector`] / [`Self::read_matrix`].
     fn read_dd<const N: usize, R: BufRead>(
         &mut self,
-        header_want: &str,
+        headers_accepted: &[&str],
         input: R,
     ) -> Result<Edge<N>, SerializeError>
     where
@@ -164,12 +193,17 @@ impl DdPackage {
         let mut lines = input.lines().enumerate();
         let (num, header) = lines.next().ok_or_else(|| parse_err(1, "empty input"))?;
         let header = header?;
-        if header.trim() != header_want {
+        if !headers_accepted.contains(&header.trim()) {
             return Err(parse_err(
                 num + 1,
-                format!("expected header `{header_want}`"),
+                format!("expected header `{}`", headers_accepted.join("` or `")),
             ));
         }
+        // Skip-annotated files loaded into a package with identity skip
+        // disabled need the implicit identities materialized back into
+        // explicit level-by-level nodes.
+        let densify = N == 4 && !self.config.identity_skip;
+        let mut levels: Option<i64> = None;
         let mut nodes: FxHashMap<u32, Edge<N>> = FxHashMap::default();
         let mut root: Option<Edge<N>> = None;
         for (idx, line) in lines {
@@ -178,7 +212,10 @@ impl DdPackage {
             let tokens: Vec<&str> = line.split_whitespace().collect();
             match tokens.as_slice() {
                 [] => continue,
-                ["levels", _] => continue,
+                ["levels", n] => {
+                    levels = n.parse::<i64>().ok();
+                    continue;
+                }
                 ["node", id, var, rest @ ..] if rest.len() == 3 * N => {
                     let id: u32 = id.parse().map_err(|_| parse_err(lineno, "bad node id"))?;
                     let var: u8 = var
@@ -187,6 +224,10 @@ impl DdPackage {
                     let mut children = [Edge::ZERO; N];
                     for (k, chunk) in rest.chunks(3).enumerate() {
                         children[k] = self.resolve_child(chunk, &nodes, lineno)?;
+                        if densify {
+                            children[k] =
+                                self.raise_to_level(children[k], i64::from(var) - 1, lineno)?;
+                        }
                     }
                     let edge = self
                         .try_make_node_generic(var, children)
@@ -194,7 +235,13 @@ impl DdPackage {
                     nodes.insert(id, edge);
                 }
                 ["root", rest @ ..] if rest.len() == 3 => {
-                    root = Some(self.resolve_child(rest, &nodes, lineno)?);
+                    let mut e = self.resolve_child(rest, &nodes, lineno)?;
+                    if densify {
+                        if let Some(levels) = levels {
+                            e = self.raise_to_level(e, levels - 1, lineno)?;
+                        }
+                    }
+                    root = Some(e);
                 }
                 _ => return Err(parse_err(lineno, format!("unrecognized line `{line}`"))),
             }
@@ -207,7 +254,10 @@ impl DdPackage {
         chunk: &[&str],
         nodes: &FxHashMap<u32, Edge<N>>,
         lineno: usize,
-    ) -> Result<Edge<N>, SerializeError> {
+    ) -> Result<Edge<N>, SerializeError>
+    where
+        Self: crate::package::HasStore<N>,
+    {
         let re: f64 = chunk[1]
             .parse()
             .map_err(|_| parse_err(lineno, "bad real part"))?;
@@ -221,11 +271,31 @@ impl DdPackage {
         match parse_ref(chunk[0], lineno)? {
             Ref::Zero => Ok(Edge::ZERO),
             Ref::Terminal => Ok(Edge::terminal(self.intern(weight))),
-            Ref::Node(id) => {
+            Ref::Node(id, declared_var) => {
                 let base = nodes
                     .get(&id)
                     .copied()
                     .ok_or_else(|| parse_err(lineno, format!("forward reference to node {id}")))?;
+                // A v2 `@var` annotation records the variable the target
+                // sat at when written. Re-canonicalization on load can only
+                // *lower* structure (collapse to a skip edge or terminal),
+                // so the resolved target must not sit above it.
+                if let Some(declared) = declared_var {
+                    let actual = if base.is_terminal() || base.is_zero() {
+                        None
+                    } else {
+                        Some(self.store().node(base.node).var)
+                    };
+                    if actual.is_some_and(|v| v > declared) {
+                        return Err(parse_err(
+                            lineno,
+                            format!(
+                                "edge annotation @{declared} below target node {id} at variable {}",
+                                actual.unwrap_or(0)
+                            ),
+                        ));
+                    }
+                }
                 // `base.weight` is the factor node construction pulled out
                 // when re-normalizing the stored node: 1 for canonical
                 // files, meaningful for hand-edited ones. Fold it into the
@@ -241,13 +311,48 @@ impl DdPackage {
         }
     }
 
+    /// Wraps `e` in explicit identity nodes until its root sits at level
+    /// `want` (a variable index; -1 means "leave terminals alone"). Used
+    /// when loading into a package with identity skip disabled, where an
+    /// edge gap must be materialized as one `[e 0; 0 e]` node per skipped
+    /// level. No-op for gap-free (dense) input.
+    fn raise_to_level<const N: usize>(
+        &mut self,
+        e: Edge<N>,
+        want: i64,
+        lineno: usize,
+    ) -> Result<Edge<N>, SerializeError>
+    where
+        Self: crate::package::HasStore<N>,
+    {
+        if e.is_zero() {
+            return Ok(e);
+        }
+        let mut cur: i64 = if e.is_terminal() {
+            -1
+        } else {
+            i64::from(self.store().node(e.node).var)
+        };
+        let mut e = e;
+        while cur < want {
+            cur += 1;
+            let mut children = [Edge::ZERO; N];
+            children[0] = e;
+            children[N - 1] = e;
+            e = self
+                .try_make_node_generic(cur as crate::types::Qubit, children)
+                .map_err(|err| parse_err(lineno, format!("densification failed: {err}")))?;
+        }
+        Ok(e)
+    }
+
     /// Writes a state diagram in the `qdd-vector v1` text format.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_vector<W: Write>(&self, e: VecEdge, out: W) -> Result<(), SerializeError> {
-        self.write_dd(VECTOR_HEADER, e, out)
+        self.write_dd(VECTOR_HEADER, false, e, out)
     }
 
     /// Reads a state diagram written by [`Self::write_vector`].
@@ -257,31 +362,38 @@ impl DdPackage {
     /// [`SerializeError::Parse`] for malformed input, [`SerializeError::Io`]
     /// for read failures.
     pub fn read_vector<R: BufRead>(&mut self, input: R) -> Result<VecEdge, SerializeError> {
-        self.read_dd(VECTOR_HEADER, input)
+        self.read_dd(&[VECTOR_HEADER], input)
     }
 
-    /// Writes an operator diagram in the `qdd-matrix v1` text format.
+    /// Writes an operator diagram in the `qdd-matrix v2` text format,
+    /// where every node-to-node reference carries an explicit `@var`
+    /// annotation making identity-skip gaps self-describing.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_matrix<W: Write>(&self, e: MatEdge, out: W) -> Result<(), SerializeError> {
-        self.write_dd(MATRIX_HEADER, e, out)
+        self.write_dd(MATRIX_HEADER_V2, true, e, out)
     }
 
-    /// Reads an operator diagram written by [`Self::write_matrix`].
+    /// Reads an operator diagram in either the `qdd-matrix v1` or
+    /// `qdd-matrix v2` format. Old `v1` files keep loading: identity
+    /// chains collapse into skip edges when this package has identity
+    /// skip enabled, and skip gaps in `v2` files are densified back into
+    /// explicit identity nodes when it does not.
     ///
     /// # Errors
     ///
     /// [`SerializeError::Parse`] for malformed input, [`SerializeError::Io`]
     /// for read failures.
     pub fn read_matrix<R: BufRead>(&mut self, input: R) -> Result<MatEdge, SerializeError> {
-        self.read_dd(MATRIX_HEADER, input)
+        self.read_dd(&[MATRIX_HEADER, MATRIX_HEADER_V2], input)
     }
 }
 
 const VECTOR_HEADER: &str = "qdd-vector v1";
 const MATRIX_HEADER: &str = "qdd-matrix v1";
+const MATRIX_HEADER_V2: &str = "qdd-matrix v2";
 
 /// Helper: map an edge's target through the serialization id map.
 trait ToMapped {
@@ -408,6 +520,99 @@ mod tests {
                 "`{input}` → {err} (wanted `{needle}`)"
             );
         }
+    }
+
+    #[test]
+    fn matrix_v2_format_annotates_edge_vars() {
+        let mut dd = DdPackage::new();
+        let cx = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
+        let mut buffer = Vec::new();
+        dd.write_matrix(cx, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.starts_with("qdd-matrix v2\nlevels 2\n"));
+        // The root node's firing branch lands on the X node at q0,
+        // annotated explicitly.
+        assert!(text.contains("0@0"), "{text}");
+        // The root edge is annotated with the root node's variable.
+        assert!(text.lines().last().unwrap().starts_with("root 1@1 "), "{text}");
+    }
+
+    #[test]
+    fn matrix_v1_dense_file_still_loads() {
+        // A pinned pre-skip `qdd-matrix v1` file: CX written densely with
+        // an explicit identity node on the non-firing branch. Loading it
+        // into a default (identity-skip) package collapses that chain and
+        // reproduces the canonical 2-node CX.
+        let text = "qdd-matrix v1\nlevels 2\n\
+                    node 0 0 T 1 0 Z 0 0 Z 0 0 T 1 0\n\
+                    node 1 0 Z 0 0 T 1 0 T 1 0 Z 0 0\n\
+                    node 2 1 0 1 0 Z 0 0 Z 0 0 1 1 0\n\
+                    root 2 1 0\n";
+        let mut dd = DdPackage::new();
+        let loaded = dd.read_matrix(text.as_bytes()).unwrap();
+        let cx = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
+        assert_eq!(loaded, cx);
+        assert_eq!(dd.mat_node_count(loaded), 2);
+    }
+
+    #[test]
+    fn skip_edges_round_trip() {
+        // A long-range controlled gate has a multi-level gap under both
+        // the control and target branches.
+        let mut dd = DdPackage::new();
+        let g = dd.gate_dd(gates::X, &[Control::pos(4)], 0, 5).unwrap();
+        let mut buffer = Vec::new();
+        dd.write_matrix(g, &mut buffer).unwrap();
+
+        let mut dd2 = DdPackage::new();
+        let loaded = dd2.read_matrix(buffer.as_slice()).unwrap();
+        assert_eq!(dd2.mat_node_count(loaded), dd.mat_node_count(g));
+        let a = dd.to_dense_matrix(g, 5);
+        let b = dd2.to_dense_matrix(loaded, 5);
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert!(x.approx_eq(*y, 1e-10));
+            }
+        }
+        // Same-package reload is pointer-identical.
+        let reloaded = dd.read_matrix(buffer.as_slice()).unwrap();
+        assert_eq!(reloaded, g);
+    }
+
+    #[test]
+    fn v2_file_densifies_into_skip_off_package() {
+        let mut dd = DdPackage::new();
+        let cx = dd.gate_dd(gates::X, &[Control::pos(1)], 0, 2).unwrap();
+        let mut buffer = Vec::new();
+        dd.write_matrix(cx, &mut buffer).unwrap();
+
+        let mut dense = DdPackage::with_config(crate::PackageConfig {
+            identity_skip: false,
+            ..crate::PackageConfig::default()
+        });
+        let loaded = dense.read_matrix(buffer.as_slice()).unwrap();
+        // The skip edge is materialized back into an explicit identity
+        // node: the historical 3-node dense CX.
+        assert_eq!(dense.mat_node_count(loaded), 3);
+        let a = dd.to_dense_matrix(cx, 2);
+        let b = dense.to_dense_matrix(loaded, 2);
+        for (ra, rb) in a.iter().zip(b.iter()) {
+            for (x, y) in ra.iter().zip(rb.iter()) {
+                assert!(x.approx_eq(*y, 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_edge_annotation_is_rejected() {
+        // Node 1 sits at q1 but the root ref claims it sits at q0.
+        let text = "qdd-matrix v2\nlevels 2\n\
+                    node 0 0 Z 0 0 T 1 0 T 1 0 Z 0 0\n\
+                    node 1 1 T 1 0 Z 0 0 Z 0 0 0@0 1 0\n\
+                    root 1@0 1 0\n";
+        let mut dd = DdPackage::new();
+        let err = dd.read_matrix(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("below target"), "{err}");
     }
 
     #[test]

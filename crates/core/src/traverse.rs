@@ -182,10 +182,14 @@ mod tests {
     #[test]
     fn shared_nodes_are_visited_once() {
         let mut dd = DdPackage::new();
-        let id = dd.identity(4).unwrap();
+        // H ⊗ H: all four children of the root are the same H node.
+        let h1 = dd.gate_dd(crate::gates::H, &[], 1, 2).unwrap();
+        let h0 = dd.gate_dd(crate::gates::H, &[], 0, 2).unwrap();
+        let hh = dd.mat_mat(h1, h0);
         let mut count = 0;
-        dd.visit_postorder(id, |_, _| count += 1);
-        assert_eq!(count, 4, "identity shares one node per level");
+        dd.visit_postorder(hh, |_, _| count += 1);
+        // One root plus one shared H node — not four H copies.
+        assert_eq!(count, 2, "the shared H node is visited once");
     }
 
     #[test]
@@ -205,7 +209,9 @@ mod tests {
         // fine.
         let mut dd = DdPackage::new();
         let v = dd.zero_state(2).unwrap();
-        let m = dd.identity(2).unwrap();
+        let m = dd
+            .gate_dd(crate::gates::X, &[crate::Control::pos(1)], 0, 2)
+            .unwrap();
         let mut pairs = 0;
         dd.visit_preorder(v, |_, _| {
             dd.visit_preorder(m, |_, _| pairs += 1);

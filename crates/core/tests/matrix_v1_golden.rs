@@ -1,0 +1,95 @@
+//! Backward-compatibility pin for the matrix text format: a committed
+//! `qdd-matrix v1` file — written before identity-skip edges existed, so
+//! its identity structure is spelled out as dense per-level nodes and its
+//! child references carry no `@var` annotations — must keep loading, and
+//! must load to the *same canonical diagram* the current package builds
+//! natively (the dense identity chains collapse into skip edges on read).
+//!
+//! To regenerate after an *intentional* format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p qdd-core --test matrix_v1_golden
+//! ```
+
+use qdd_core::{gates, Control, DdPackage, MatEdge, PackageConfig};
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/qft3_dense_v1.qdd")
+}
+
+/// The pinned operator: the controlled-phase core of a 3-qubit QFT — two
+/// long-range controlled gates (so the dense form carries real identity
+/// chains) followed by a Hadamard on the middle qubit.
+fn build_operator(dd: &mut DdPackage) -> MatEdge {
+    let mut u = dd.identity(3).unwrap();
+    for theta in [0.5, 0.25] {
+        let g = dd
+            .gate_dd(gates::phase(theta), &[Control::pos(2)], 0, 3)
+            .unwrap();
+        u = dd.mat_mat(g, u);
+    }
+    let h = dd.gate_dd(gates::H, &[], 1, 3).unwrap();
+    dd.mat_mat(h, u)
+}
+
+/// Regenerates the golden by writing the operator from an identity-skip-off
+/// package (whose diagram is fully dense) and downgrading the text to the
+/// pre-skip `v1` dialect: the old header, and no `@var` annotations.
+fn regenerate() -> String {
+    let mut dense = DdPackage::with_config(PackageConfig {
+        identity_skip: false,
+        ..PackageConfig::default()
+    });
+    let op = build_operator(&mut dense);
+    let mut buffer = Vec::new();
+    dense.write_matrix(op, &mut buffer).unwrap();
+    let v2 = String::from_utf8(buffer).unwrap();
+    let mut out = String::with_capacity(v2.len());
+    for line in v2.lines() {
+        if line == "qdd-matrix v2" {
+            out.push_str("qdd-matrix v1\n");
+            continue;
+        }
+        // Strip `@var` suffixes from node-reference tokens.
+        let stripped: Vec<&str> = line
+            .split(' ')
+            .map(|tok| tok.split_once('@').map_or(tok, |(id, _)| id))
+            .collect();
+        out.push_str(&stripped.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn pinned_v1_matrix_golden_still_loads() {
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, regenerate()).unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    assert!(
+        text.starts_with("qdd-matrix v1\n"),
+        "golden must stay a v1 file"
+    );
+    assert!(!text.contains('@'), "golden must stay annotation-free");
+
+    let mut dd = DdPackage::new();
+    let loaded = dd.read_matrix(text.as_bytes()).unwrap();
+    let native = build_operator(&mut dd);
+    // Loading collapses the file's dense identity chains, landing on the
+    // exact canonical diagram of the natively built operator.
+    assert_eq!(loaded, native, "v1 golden must load to the native diagram");
+
+    let a = dd.to_dense_matrix(loaded, 3);
+    let b = dd.to_dense_matrix(native, 3);
+    for i in 0..8 {
+        for j in 0..8 {
+            assert!(a[i][j].approx_eq(b[i][j], 1e-12), "({i},{j})");
+        }
+    }
+}

@@ -158,7 +158,7 @@ impl EquivalenceChecker {
         } else {
             let u2d = self.dd.adjoint_mat(u2);
             let m = self.dd.try_mat_mat(u2d, u1)?;
-            match self.find_magnitude_deviation(m, n) {
+            match self.find_magnitude_deviation(m) {
                 Some(cx) => {
                     counterexample = Some(cx);
                     Equivalence::NotEquivalent
@@ -404,7 +404,7 @@ impl EquivalenceChecker {
             Equivalence::NotEquivalent
         };
         let counterexample = if result == Equivalence::NotEquivalent {
-            self.find_magnitude_deviation(m, n)
+            self.find_magnitude_deviation(m)
         } else {
             None
         };
@@ -426,7 +426,7 @@ impl EquivalenceChecker {
     /// Finds a matrix entry deviating from `M[0][0] · δ_rc` — i.e. a
     /// witness that `M` is not the identity up to a global phase. Catches
     /// both magnitude deviations and phase-only deviations (e.g. `M = Z`).
-    fn find_magnitude_deviation(&self, m: MatEdge, n: usize) -> Option<Counterexample> {
+    fn find_magnitude_deviation(&self, m: MatEdge) -> Option<Counterexample> {
         const TOL: f64 = 1e-9;
         let reference = self.dd.matrix_entry(m, 0, 0);
         fn rec(
@@ -436,7 +436,6 @@ impl EquivalenceChecker {
             reference: qdd_complex::Complex,
             row: u64,
             col: u64,
-            level: usize,
         ) -> Option<Counterexample> {
             if e.is_zero() {
                 // An all-zero block deviates iff it intersects the diagonal
@@ -462,26 +461,25 @@ impl EquivalenceChecker {
                 };
             }
             let node = dd.mnode(e.node);
-            let half = level - 1;
+            // Identity-skip edges may land strictly below `level - 1`; the
+            // gap reads as `diag(sub, sub)` per skipped level. The
+            // off-diagonal blocks are zero where row != col (never a
+            // deviation), and both diagonal blocks are the same subproblem,
+            // so descending straight to the node's own level — leaving the
+            // skipped row/col bits at equal zeros — searches a
+            // representative diagonal block without re-reading the weight.
+            let half = node.var as usize;
             for (idx, child) in node.children.iter().enumerate() {
                 let (bi, bj) = ((idx >> 1) as u64, (idx & 1) as u64);
                 let r = row | (bi << half);
                 let c = col | (bj << half);
-                if let Some(cx) = rec(dd, *child, acc, reference, r, c, half) {
+                if let Some(cx) = rec(dd, *child, acc, reference, r, c) {
                     return Some(cx);
                 }
             }
             None
         }
-        rec(
-            &self.dd,
-            m,
-            qdd_complex::Complex::ONE,
-            reference,
-            0,
-            0,
-            n,
-        )
+        rec(&self.dd, m, qdd_complex::Complex::ONE, reference, 0, 0)
     }
 }
 
@@ -609,6 +607,26 @@ mod tests {
             // phase differs from M[0][0]).
             assert!(cx.row < 16 && cx.col < 16);
         }
+    }
+
+    /// With identity-skip edges, the miscompare diagram `U₂†·U₁` for an
+    /// extra X on q0 in a 5-qubit register is a single node at the *bottom*
+    /// level, reached through a 4-level skip. The witness search must map
+    /// that node's branches to bit 0 — not to the bit of the level the
+    /// recursion happens to be at — so the counterexample coordinates stay
+    /// meaningful.
+    #[test]
+    fn counterexample_coordinates_respect_skip_edges() {
+        let empty = QuantumCircuit::new(5);
+        let mut with_x = QuantumCircuit::new(5);
+        with_x.x(0);
+        let mut checker = EquivalenceChecker::new();
+        let report = checker
+            .check(&empty, &with_x, Strategy::Construction)
+            .unwrap();
+        assert_eq!(report.result, Equivalence::NotEquivalent);
+        let cx = report.counterexample.expect("witness");
+        assert_eq!((cx.row, cx.col), (0, 1), "X on q0 deviates at (0, 1)");
     }
 
     #[test]

@@ -105,12 +105,17 @@ pub fn graph_to_dot(graph: &DdGraph, style: &VizStyle) -> String {
             Some(key) => format!("n{key}"),
             None => "terminal".to_string(),
         };
+        let mut attrs = edge_attrs(edge.weight, style);
+        if edge.skip > 0 {
+            // Identity-skip pass-through: open arrowhead plus the number
+            // of skipped levels at the tail.
+            let _ = write!(attrs, ", arrowhead=empty, taillabel=\"⧉{}\"", edge.skip);
+        }
         let _ = writeln!(
             out,
-            "  n{}{} -> {target} [{}];",
+            "  n{}{} -> {target} [{attrs}];",
             edge.from,
             port(style, graph.kind, edge.slot),
-            edge_attrs(edge.weight, style)
         );
     }
     out.push_str("}\n");

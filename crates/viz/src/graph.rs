@@ -37,6 +37,11 @@ pub struct GraphEdge {
     pub to: Option<u32>,
     /// The edge weight.
     pub weight: Complex,
+    /// Identity levels skipped between source and target (matrix diagrams
+    /// only): the edge passes through this many levels as `I₂` without a
+    /// node. Renderers draw skip edges with a distinct style and this
+    /// count as a label.
+    pub skip: u8,
 }
 
 impl GraphEdge {
@@ -100,6 +105,18 @@ impl DdGraph {
                 if child.is_zero() {
                     zero_mask |= 1 << slot;
                 }
+                // Identity-skip annotation: in matrix diagrams an edge may
+                // land strictly below the next level (or on the terminal
+                // above level 0), passing through the gap as identity.
+                let skip = if kind == NodeKind::Matrix && !child.is_zero() {
+                    if child.is_terminal() {
+                        node.var
+                    } else {
+                        node.var - 1 - dd.node(child.node).var
+                    }
+                } else {
+                    0
+                };
                 graph.edges.push(GraphEdge {
                     from: id.raw(),
                     slot: slot as u8,
@@ -109,6 +126,7 @@ impl DdGraph {
                         Some(child.node.raw())
                     },
                     weight: dd.complex_value(child.weight),
+                    skip,
                 });
             }
             graph.nodes.push(GraphNode {
@@ -207,9 +225,27 @@ mod tests {
         let g = DdGraph::from_matrix(&dd, cx);
         assert_eq!(g.kind, NodeKind::Matrix);
         assert_eq!(g.slots(), 4);
-        assert_eq!(g.node_count(), 3);
+        // Fig. 2(c) draws 3 nodes; under identity skip the idle I branch
+        // is a pass-through edge, leaving the q1 root and the X node.
+        assert_eq!(g.node_count(), 2);
         // Root has the two off-diagonal blocks as 0-stubs.
         assert_eq!(g.nodes[0].zero_mask, 0b0110);
+        // The non-firing branch skips the q0 level to the terminal.
+        let root_key = g.nodes[0].key;
+        let skip_edge = g
+            .edges
+            .iter()
+            .find(|e| e.from == root_key && e.slot == 0)
+            .unwrap();
+        assert_eq!(skip_edge.to, None);
+        assert_eq!(skip_edge.skip, 1);
+        // The firing branch lands on the X node without a gap.
+        let fire_edge = g
+            .edges
+            .iter()
+            .find(|e| e.from == root_key && e.slot == 3)
+            .unwrap();
+        assert_eq!(fire_edge.skip, 0);
     }
 
     #[test]

@@ -111,6 +111,27 @@ pub fn graph_to_svg(graph: &DdGraph, style: &VizStyle) -> String {
             None => (terminal_pos.0, terminal_pos.1 - 14.0),
         };
         draw_edge(&mut out, (fx, fy), to, edge.weight, style, false);
+        if edge.skip > 0 {
+            // Identity-skip pass-through: a parallel hairline plus the
+            // skipped-level count beside the midpoint.
+            let _ = write!(
+                out,
+                "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+                 stroke=\"#7b2d8b\" stroke-width=\"0.8\"/>\n",
+                fx + 3.0,
+                fy,
+                to.0 + 3.0,
+                to.1
+            );
+            let mx = (fx + to.0) / 2.0 - 22.0;
+            let my = (fy + to.1) / 2.0 + 12.0;
+            let _ = write!(
+                out,
+                "<text x=\"{mx:.1}\" y=\"{my:.1}\" font-size=\"10\" \
+                 fill=\"#7b2d8b\">⧉{}</text>\n",
+                edge.skip
+            );
+        }
     }
 
     // Nodes.

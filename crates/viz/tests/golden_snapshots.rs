@@ -62,6 +62,33 @@ fn ghz3_svg_matches_golden() {
     check_golden("ghz3_colored.svg", &svg);
 }
 
+/// A long-range CX (control q2, target q0 in a 3-qubit register) has a
+/// two-level identity gap on the non-firing branch and a one-level gap
+/// below the control: the matrix snapshots pin how skip edges render
+/// (open arrowheads + `⧉k` tail labels in DOT, the offset hairline and
+/// `⧉k` annotation in SVG).
+fn cx_long(dd: &mut DdPackage) -> qdd_core::MatEdge {
+    dd.gate_dd(gates::X, &[Control::pos(2)], 0, 3).unwrap()
+}
+
+#[test]
+fn cx_skip_dot_matches_golden() {
+    let mut dd = DdPackage::new();
+    let cx = cx_long(&mut dd);
+    let dot = qdd_viz::dot::matrix_to_dot(&dd, cx, &VizStyle::classic());
+    assert!(dot.contains("⧉2"), "skip annotation missing:\n{dot}");
+    check_golden("cx_skip_classic.dot", &dot);
+}
+
+#[test]
+fn cx_skip_svg_matches_golden() {
+    let mut dd = DdPackage::new();
+    let cx = cx_long(&mut dd);
+    let svg = qdd_viz::svg::matrix_to_svg(&dd, cx, &VizStyle::colored());
+    assert!(svg.contains("⧉2"), "skip annotation missing:\n{svg}");
+    check_golden("cx_skip_colored.svg", &svg);
+}
+
 /// The snapshots are only meaningful if the state is what we think it is.
 #[test]
 fn ghz3_sanity() {

@@ -62,6 +62,16 @@ def diff_metrics(name, b, c, hit_rate_threshold, warnings):
         if growth > 25.0:
             warnings.append(
                 f"{name}: peak nodes grew {bp} -> {cp} ({growth:+.0f}%)")
+    # Peak *matrix* nodes: the operator-DD footprint identity skip keeps
+    # small. Tighter threshold than the combined peak — a growth here means
+    # gates or system matrices re-materialized identity structure.
+    bm, cm = b.get("mat_peak_nodes"), c.get("mat_peak_nodes")
+    if bm and cm and bm > 0:
+        growth = (cm - bm) / bm * 100.0
+        if growth > 10.0:
+            warnings.append(
+                f"{name}: peak matrix nodes grew {bm} -> {cm} "
+                f"({growth:+.0f}%, threshold 10%)")
     # Sampling throughput (higher is better — the inverse of wall time, so
     # a *drop* is the regression direction).
     bs, cs = b.get("shots_per_sec", 0.0), c.get("shots_per_sec", 0.0)

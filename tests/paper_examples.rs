@@ -127,7 +127,9 @@ fn example_8_tensor_product() {
     let mut dd = DdPackage::new();
     let h = dd.gate_dd(gates::H, &[], 0, 1).unwrap();
     let i2 = dd.identity(1).unwrap();
-    let kron = dd.kron_mat(h, i2);
+    // Identity skip makes I₂ a nodeless terminal edge; its one-level span
+    // must be stated for the tensor product to shift H past it.
+    let kron = dd.kron_mat_spanned(h, i2, 1);
     let direct = dd.gate_dd(gates::H, &[], 1, 2).unwrap();
     assert_eq!(kron, direct);
 }

@@ -15,8 +15,10 @@
 //!   its node count and semantics (dense amplitudes) intact.
 
 use proptest::prelude::*;
+use qdd::circuit::QuantumCircuit;
 use qdd::complex::Complex;
-use qdd::core::{DdPackage, MatEdge, VecEdge};
+use qdd::core::{DdPackage, MatEdge, PackageConfig, VecEdge};
+use qdd::sim::DdSimulator;
 
 /// One child slot in a random diagram spec: a selector byte plus a complex
 /// weight. The selector picks zero / terminal / an already-built node.
@@ -250,8 +252,81 @@ fn check_gc_survivor_identity<A: StoreArity>(spec: &DdSpec) {
     assert_eq!(A::alive(&dd), 0, "{} root not reclaimed", A::NAME);
 }
 
+/// Strategy: a random gate list over a 5-qubit register. Wide enough that
+/// most two-qubit gates leave idle levels in their operator DDs, so the
+/// identity-skip representation actually diverges from the dense one.
+const SKIP_QUBITS: usize = 5;
+
+fn skip_circuit() -> impl Strategy<Value = QuantumCircuit> {
+    let op = (0u8..6, 0usize..SKIP_QUBITS, 0usize..SKIP_QUBITS, -3.0f64..3.0);
+    prop::collection::vec(op, 1..20).prop_map(|ops| {
+        let mut qc = QuantumCircuit::new(SKIP_QUBITS);
+        for (kind, a, b, theta) in ops {
+            match kind {
+                0 => {
+                    qc.h(a);
+                }
+                1 => {
+                    qc.t(a);
+                }
+                2 => {
+                    qc.rz(theta, a);
+                }
+                3 if a != b => {
+                    qc.cx(a, b);
+                }
+                4 if a != b => {
+                    qc.cp(theta, a, b);
+                }
+                _ => {
+                    qc.x(a);
+                }
+            }
+        }
+        qc
+    })
+}
+
+/// Runs `qc` under the given identity-skip setting; returns the final
+/// amplitudes and a shot histogram.
+fn run_with_skip(
+    qc: &QuantumCircuit,
+    skip: bool,
+    shots: u64,
+) -> (Vec<Complex>, std::collections::HashMap<u64, u64>) {
+    let config = PackageConfig {
+        identity_skip: skip,
+        ..PackageConfig::default()
+    };
+    let mut sim = DdSimulator::with_config(qc.clone(), 7, config);
+    sim.run().expect("simulation");
+    let amps = sim.package().to_dense_vector(sim.state(), SKIP_QUBITS);
+    let hist = sim.sample(shots).into_iter().collect();
+    (amps, hist)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole contract of identity-skipped matrix DDs: the
+    /// representation change is invisible to results. Amplitudes are
+    /// *bit-identical* (not approximately equal) between skip-on and
+    /// skip-off runs — skipping only elides multiplications by exact 1 —
+    /// and seeded shot histograms therefore match exactly too.
+    #[test]
+    fn identity_skip_is_semantically_invisible(
+        qc in skip_circuit(),
+        shots in 1u64..64,
+    ) {
+        let (amps_on, hist_on) = run_with_skip(&qc, true, shots);
+        let (amps_off, hist_off) = run_with_skip(&qc, false, shots);
+        prop_assert_eq!(amps_on.len(), amps_off.len());
+        for (x, y) in amps_on.iter().zip(amps_off.iter()) {
+            prop_assert_eq!(x.re.to_bits(), y.re.to_bits());
+            prop_assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+        prop_assert_eq!(hist_on, hist_off);
+    }
 
     #[test]
     fn unique_table_canonicity_vec(spec in dd_spec(2)) {
