@@ -58,6 +58,11 @@ struct Record {
     /// Fidelity lower bound achieved by the run (1.0 for exact phases; the
     /// `approx` family records what its node budget cost in state quality).
     fidelity: f64,
+    /// Wall-time cost of the execution-timeline recorder at snapshot
+    /// stride 16, as a percentage over the recording-off time (the `sim`
+    /// family; 0.0 elsewhere). `scripts/bench_diff.py` warns above 5%:
+    /// the recorder's contract is that observation stays cheap.
+    timeline_overhead_pct: f64,
     /// Telemetry snapshot of one extra untimed repetition (span timings,
     /// GC pauses, table hit rates) — the *why* behind `wall_ms` moves.
     /// Timed repetitions always run with telemetry disabled.
@@ -83,7 +88,8 @@ impl Record {
              \"cache_lookups\": {}, \"cache_hits\": {}, \"cache_hit_rate\": {:.4}, \
              \"gate_cache_lookups\": {}, \"gate_cache_hits\": {}, \"gate_cache_hit_rate\": {:.4}, \
              \"shots_per_sec\": {:.1}, \"threads\": {}, \"speedup\": {:.4}, \
-             \"fidelity\": {:.6}, \"complex_entries\": {}}}",
+             \"fidelity\": {:.6}, \"timeline_overhead_pct\": {:.2}, \
+             \"complex_entries\": {}}}",
             self.family,
             self.phase,
             self.n,
@@ -102,6 +108,7 @@ impl Record {
             self.threads,
             self.speedup,
             self.fidelity,
+            self.timeline_overhead_pct,
             self.complex_entries,
         );
         // Splice in the (already serialized) telemetry snapshot.
@@ -216,6 +223,31 @@ fn verify_widths(family: Family, small: bool) -> &'static [usize] {
     }
 }
 
+/// Re-times `work` with the execution-timeline recorder armed at snapshot
+/// stride 16 and returns the best wall time's overhead over `best_off_ms`
+/// as a percentage. Records are drained and discarded — this measures the
+/// recorder's cost, not its output. Noise can make the result slightly
+/// negative; the honest number is kept (bench_diff only warns above +5%).
+fn timeline_overhead(best_off_ms: f64, reps: usize, work: impl Fn()) -> f64 {
+    use qdd_telemetry::timeline;
+    timeline::set_enabled(true);
+    timeline::set_snapshot_stride(16);
+    let mut best_on = f64::INFINITY;
+    for _ in 0..reps {
+        timeline::reset();
+        let t0 = Instant::now();
+        work();
+        best_on = best_on.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let _ = timeline::drain();
+    timeline::set_enabled(false);
+    if best_off_ms > 0.0 {
+        (best_on - best_off_ms) / best_off_ms * 100.0
+    } else {
+        0.0
+    }
+}
+
 fn bench_sim(family: Family, n: usize, reps: usize, no_skip: bool) -> Record {
     let circuit = family.circuit(n);
     let mut best = f64::INFINITY;
@@ -230,6 +262,10 @@ fn bench_sim(family: Family, n: usize, reps: usize, no_skip: bool) -> Record {
         peak = sim.stats().peak_nodes;
         stats = sim.package().stats();
     }
+    let timeline_overhead_pct = timeline_overhead(best, reps, || {
+        let mut sim = DdSimulator::with_config(circuit.clone(), 1, suite_config(no_skip));
+        sim.run().expect("simulation");
+    });
     let metrics = collect_metrics(|| {
         let mut sim = DdSimulator::with_config(circuit.clone(), 1, suite_config(no_skip));
         sim.run().expect("simulation");
@@ -253,6 +289,7 @@ fn bench_sim(family: Family, n: usize, reps: usize, no_skip: bool) -> Record {
         threads: 0,
         speedup: 0.0,
         fidelity: 1.0,
+        timeline_overhead_pct,
         metrics,
     }
 }
@@ -301,6 +338,7 @@ fn bench_verify(family: Family, n: usize, reps: usize, no_skip: bool) -> Record 
         threads: 0,
         speedup: 0.0,
         fidelity: 1.0,
+        timeline_overhead_pct: 0.0,
         metrics,
     }
 }
@@ -360,6 +398,7 @@ fn bench_approx(
         threads: 0,
         speedup: 0.0,
         fidelity: sim.stats().fidelity_lower_bound,
+        timeline_overhead_pct: 0.0,
         metrics,
     }
 }
@@ -412,6 +451,7 @@ fn bench_sampling_shared(n: usize, shots: u64, reps: usize, memoized: bool, no_s
         threads: 1,
         speedup: 0.0,
         fidelity: 1.0,
+        timeline_overhead_pct: 0.0,
         metrics: snapshot.to_json(),
     }
 }
@@ -473,6 +513,7 @@ fn bench_sampling_midcircuit(shots: u64, reps: usize, threads: usize, no_skip: b
         threads: threads.max(1),
         speedup: 0.0,
         fidelity: 1.0,
+        timeline_overhead_pct: 0.0,
         metrics: snapshot.to_json(),
     }
 }
@@ -561,6 +602,7 @@ fn bench_scaling(
         threads,
         speedup,
         fidelity: 1.0,
+        timeline_overhead_pct: 0.0,
         metrics: snapshot.to_json(),
     };
     (record, (best, histogram))

@@ -13,7 +13,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--seed", "--shots", "--threads", "--style", "--svg", "--dot", "--html",
     "--strategy", "--stimuli", "-o", "--threshold", "--node-limit",
     "--timeout-ms", "--metrics-out", "--trace-out", "--min-fidelity",
-    "--approx-policy",
+    "--approx-policy", "--record-timeline", "--snapshot-stride",
 ];
 
 impl Args {

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod circuit;
+pub mod inspect;
 pub mod render;
 pub mod simulate;
 pub mod verify;

@@ -49,6 +49,15 @@ OPTIONS:
   --metrics-out P   write the telemetry metrics snapshot as JSON to P
   --trace-out P     write the telemetry event stream to P (Chrome
                     trace_event JSON for .json paths, JSONL otherwise)
+  --record-timeline P
+                    record a per-op execution timeline (live/peak nodes,
+                    allocation and cache-hit deltas, GC/approximation/
+                    fallback events) and write it to P as qdd-timeline-v1
+                    JSONL; render it with `qdd inspect P`. Multi-threaded
+                    shot runs merge worker timelines deterministically
+  --snapshot-stride K
+                    with --record-timeline: every K-th op embeds a full
+                    structural snapshot of the diagram (0 = off, default)
   --svg PATH        write the final diagram as SVG
   --dot PATH        write the final diagram as Graphviz DOT
   --html PATH       write a step-by-step HTML explorer of the whole run
@@ -62,7 +71,8 @@ const FLAGS: &[&str] = &[
     "--seed", "--shots", "--threads", "--state", "--threshold", "--node-limit",
     "--timeout-ms", "--stats", "--stats-json", "--svg", "--dot", "--html",
     "--style", "--profile", "--metrics-out", "--trace-out", "--min-fidelity",
-    "--approx-policy", "--no-identity-skip",
+    "--approx-policy", "--no-identity-skip", "--record-timeline",
+    "--snapshot-stride",
 ];
 
 /// Exit code reported to `main` when the run finished but the state was
@@ -77,8 +87,13 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
         )));
     };
     // Enable recording before the circuit loads so parse spans are captured.
-    let telemetry_on = crate::telemetry::start(&args);
+    let telemetry_on = crate::telemetry::start(&args)?;
     let circuit = load_circuit(path)?;
+    let workload = crate::telemetry::Workload {
+        name: circuit.name().to_string(),
+        qubits: circuit.num_qubits(),
+        ops: circuit.len(),
+    };
     let seed: u64 = args.number("--seed", 1)?;
     let shots: u64 = args.number("--shots", 0)?;
     let threads: usize = args.number("--threads", 0)?;
@@ -139,7 +154,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
         }
         // Still write the requested telemetry outputs: the trace of a run
         // that hit its budget is exactly what a post-mortem needs.
-        let _ = crate::telemetry::finish(&args, telemetry_on);
+        let _ = crate::telemetry::finish(&args, telemetry_on, Some(&workload));
         return Err(CmdError::from_sim(&e));
     }
     if sim.stats().is_approximate() {
@@ -215,6 +230,10 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
             "  GC: {} runs ({} under pressure)",
             pkg.gc_runs, pkg.gc_pressure_runs
         );
+        println!(
+            "  telemetry: {} events dropped at the buffer cap",
+            qdd_telemetry::merged_snapshot().dropped_events
+        );
         if sim.stats().approx_rounds > 0 {
             println!(
                 "  approximation: {} rounds, {} nodes pruned, \
@@ -280,7 +299,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
         let report = match qdd_sim::shots::run(&circuit, &opts) {
             Ok(r) => r,
             Err(e) => {
-                let _ = crate::telemetry::finish(&args, telemetry_on);
+                let _ = crate::telemetry::finish(&args, telemetry_on, Some(&workload));
                 return Err(CmdError::from_sim(&e));
             }
         };
@@ -333,7 +352,7 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
         std::fs::write(dot_path, dot).map_err(|e| format!("writing `{dot_path}`: {e}"))?;
         println!("wrote {dot_path}");
     }
-    crate::telemetry::finish(&args, telemetry_on)?;
+    crate::telemetry::finish(&args, telemetry_on, Some(&workload))?;
     Ok(if approximate { EXIT_APPROXIMATE } else { 0 })
 }
 
@@ -455,8 +474,13 @@ fn stats_json(circuit: &qdd_circuit::QuantumCircuit, sim: &qdd_sim::DdSimulator)
     let _ = write!(
         out,
         ",\"complex_table\":{{\"entries\":{},\"lookups\":{},\"hits\":{},\
-         \"front_hits\":{},\"reclaimed\":{},\"approx_bytes\":{}}}}}",
+         \"front_hits\":{},\"reclaimed\":{},\"approx_bytes\":{}}}",
         ct.entries, ct.lookups, ct.hits, ct.front_hits, ct.reclaimed, ct.approx_bytes
+    );
+    let _ = write!(
+        out,
+        ",\"telemetry\":{{\"dropped_events\":{}}}}}",
+        qdd_telemetry::merged_snapshot().dropped_events
     );
     out
 }

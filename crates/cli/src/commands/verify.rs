@@ -47,7 +47,7 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         )));
     };
     // Enable recording before the circuits load so parse spans are captured.
-    let telemetry_on = crate::telemetry::start(&args);
+    let telemetry_on = crate::telemetry::start(&args)?;
     let left = load_circuit(left_path)?;
     let right = load_circuit(right_path)?;
     let strategy = parse_strategy(args.value("--strategy"))?;
@@ -85,7 +85,7 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
             // Still write the requested telemetry outputs: the trace of a
             // check that blew its budget is exactly what a post-mortem needs.
             checker.package().publish_telemetry();
-            let _ = crate::telemetry::finish(&args, telemetry_on);
+            let _ = crate::telemetry::finish(&args, telemetry_on, None);
             return Err(CmdError::from_verify(&e));
         }
     };
@@ -109,7 +109,7 @@ pub fn run(argv: &[String]) -> Result<(), CmdError> {
         );
     }
 
-    crate::telemetry::finish(&args, telemetry_on)?;
+    crate::telemetry::finish(&args, telemetry_on, None)?;
     match report.result {
         Equivalence::NotEquivalent => {
             Err(CmdError::Input("circuits are NOT equivalent".to_string()))

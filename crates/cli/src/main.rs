@@ -6,9 +6,10 @@
 //! qdd verify   <left> <right> [--strategy STRATEGY] [--stimuli N]
 //! qdd render   <file> [--matrix] [--style STYLE] -o OUT.{svg,dot,json,html}
 //! qdd circuit  <file> [--optimize]
+//! qdd inspect  <timeline.jsonl> [-o OUT.html] [--style STYLE]
 //! ```
 //!
-//! Argument parsing is hand-rolled (the surface is four subcommands and a
+//! Argument parsing is hand-rolled (the surface is five subcommands and a
 //! dozen flags; a parser dependency isn't warranted — see DESIGN.md).
 
 mod args;
@@ -26,6 +27,7 @@ USAGE:
   qdd verify   <left> <right> [options]       check two circuits for equivalence
   qdd render   <file> [options]               export a diagram (svg/dot/json/html)
   qdd circuit  <file> [--optimize]            show the circuit as ASCII art + stats
+  qdd inspect  <timeline.jsonl> [options]     render a recorded timeline as HTML
   qdd help [command]                          this message / command details
 
 Run `qdd help <command>` for per-command options.";
@@ -48,12 +50,14 @@ fn main() -> ExitCode {
         "verify" => commands::verify::run(rest).map(|()| 0),
         "render" => commands::render::run(rest).map(|()| 0).map_err(Into::into),
         "circuit" => commands::circuit::run(rest).map(|()| 0).map_err(Into::into),
+        "inspect" => commands::inspect::run(rest).map(|()| 0).map_err(Into::into),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("simulate") => println!("{}", commands::simulate::HELP),
                 Some("verify") => println!("{}", commands::verify::HELP),
                 Some("render") => println!("{}", commands::render::HELP),
                 Some("circuit") => println!("{}", commands::circuit::HELP),
+                Some("inspect") => println!("{}", commands::inspect::HELP),
                 _ => println!("{USAGE}"),
             }
             Ok(0)

@@ -50,6 +50,7 @@ mod compute;
 mod error;
 mod export;
 pub mod gates;
+pub mod graph;
 mod limits;
 mod measure;
 mod node;

@@ -162,6 +162,53 @@ impl DdPackage {
         self.ctable.stats()
     }
 
+    /// Monotone count of node creations (vector + matrix) since the package
+    /// was built — the birth-stamp counter, read in constant time. Deltas of
+    /// this counter attribute allocations to individual operations.
+    pub fn node_births(&self) -> u64 {
+        self.births.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total compute-table lookups so far (constant time).
+    pub fn compute_lookups(&self) -> u64 {
+        self.caches.total_lookups()
+    }
+
+    /// Compute-table lookups answered from cache so far (constant time).
+    pub fn compute_hits(&self) -> u64 {
+        self.caches.total_hits()
+    }
+
+    /// Distinct interned complex values (constant time).
+    pub fn complex_entry_count(&self) -> usize {
+        self.ctable.len()
+    }
+
+    /// Constant-time estimate of live matrix nodes (allocated minus
+    /// free-listed slots in the matrix store).
+    pub fn mat_live_estimate(&self) -> usize {
+        self.mstore.live_len()
+    }
+
+    /// Garbage-collection runs so far (constant time).
+    pub fn gc_runs(&self) -> u64 {
+        self.gc_runs
+    }
+
+    /// Per-level node counts of the diagram reachable from `e`: entry `i`
+    /// is the number of distinct nodes labelled with qubit variable `i`.
+    /// One allocation-free preorder walk plus one `Vec` of `n` counters —
+    /// cheap enough for per-op timeline capture.
+    pub fn vec_level_profile(&self, e: VecEdge, num_qubits: usize) -> Vec<u32> {
+        let mut levels = vec![0u32; num_qubits];
+        self.visit_preorder(e, |_, node| {
+            if let Some(slot) = levels.get_mut(node.var as usize) {
+                *slot += 1;
+            }
+        });
+        levels
+    }
+
     /// Publishes the package's internal counters into the thread's telemetry
     /// registry as gauges, so a metrics snapshot taken afterwards carries
     /// node counts, per-table hit rates, gate-DD-cache stats, GC totals, and

@@ -319,21 +319,40 @@ fn run_mid_circuit(
         })
         .collect();
 
-    // Workers inherit the coordinator's telemetry toggle, record into their
-    // own thread-local registries (no shared state on the hot path), and
-    // publish into the process-wide merged registry before exiting, so
-    // `--stats`/`--metrics-out` reflect every thread's work.
+    // Workers inherit the coordinator's telemetry and timeline toggles,
+    // record into their own thread-local registries (no shared state on the
+    // hot path), and publish into the process-wide merged registries before
+    // exiting, so `--stats`/`--metrics-out`/`--record-timeline` reflect
+    // every thread's work. Worker ids follow the shot-range order, so the
+    // merged timeline is deterministic for any thread schedule.
     let telemetry = qdd_telemetry::enabled();
+    let timeline = qdd_telemetry::timeline::enabled();
+    let snapshot_stride = qdd_telemetry::timeline::snapshot_stride();
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .iter()
-            .map(|&(lo, hi)| {
+            .enumerate()
+            .map(|(w, &(lo, hi))| {
                 let cancel = &cancel;
                 let base = base.as_ref();
                 scope.spawn(move || {
                     qdd_telemetry::set_enabled(telemetry);
+                    if telemetry {
+                        qdd_telemetry::register_worker_name(
+                            w as u32 + 1,
+                            format!("shot-worker-{}", w + 1),
+                        );
+                    }
+                    if timeline {
+                        qdd_telemetry::timeline::set_enabled(true);
+                        qdd_telemetry::timeline::set_worker(w as u32 + 1);
+                        qdd_telemetry::timeline::set_snapshot_stride(snapshot_stride);
+                    }
                     let result = shot_worker(circuit, analysis, opts, base, lo, hi, cancel, start);
                     qdd_telemetry::publish();
+                    if timeline {
+                        qdd_telemetry::timeline::publish();
+                    }
                     result
                 })
             })

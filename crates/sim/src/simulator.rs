@@ -86,6 +86,42 @@ fn op_name(op: &Operation) -> &'static str {
     }
 }
 
+/// Counter baseline captured at an op's start so the timeline can attribute
+/// deltas (allocations, cache hits, GC/approx activity) to that op. All
+/// reads are constant-time package getters; the probe only exists while
+/// timeline recording is enabled.
+struct TimelineProbe {
+    start: std::time::Instant,
+    births: u64,
+    compute_lookups: u64,
+    compute_hits: u64,
+    gate_lookups: u64,
+    gate_hits: u64,
+    live_nodes: usize,
+    gc_runs: u64,
+    gc_pressure_runs: u64,
+    approx_rounds: u64,
+    dense_fallback: bool,
+}
+
+impl TimelineProbe {
+    fn begin(sim: &DdSimulator) -> Self {
+        TimelineProbe {
+            start: std::time::Instant::now(),
+            births: sim.dd.node_births(),
+            compute_lookups: sim.dd.compute_lookups(),
+            compute_hits: sim.dd.compute_hits(),
+            gate_lookups: sim.dd.gate_cache_lookups(),
+            gate_hits: sim.dd.gate_cache_hits(),
+            live_nodes: sim.dd.live_node_estimate(),
+            gc_runs: sim.dd.gc_runs(),
+            gc_pressure_runs: sim.dd.gc_pressure_runs(),
+            approx_rounds: sim.stats.approx_rounds,
+            dense_fallback: sim.stats.dense_fallback,
+        }
+    }
+}
+
 /// Simulates a [`QuantumCircuit`] by consecutive matrix–vector products on
 /// decision diagrams (paper Example 9), handling the tool's special
 /// operations — measurements collapse with seeded randomness, resets
@@ -130,6 +166,9 @@ pub struct DdSimulator {
     dense_fallback_enabled: bool,
     /// Worker threads for the data-parallel dense kernels (1 = serial).
     threads: usize,
+    /// Run (restart) index stamped onto timeline records, so shot replays
+    /// of the same circuit stay distinguishable in a merged timeline.
+    tl_run: u32,
 }
 
 impl DdSimulator {
@@ -178,6 +217,7 @@ impl DdSimulator {
             dense: None,
             dense_fallback_enabled: true,
             threads: 1,
+            tl_run: qdd_telemetry::timeline::next_run(),
         }
     }
 
@@ -315,6 +355,7 @@ impl DdSimulator {
     /// Propagates [`DdError`] if re-preparing `|0…0⟩` fails (node budget
     /// fully consumed by retained live states).
     pub fn restart(&mut self, seed: u64) -> Result<(), SimError> {
+        self.tl_run = qdd_telemetry::timeline::next_run();
         if self.dd.is_overlay() {
             // Overlay-backed simulator: drop the previous run's local nodes
             // wholesale and replay over the untouched frozen base. The old
@@ -372,6 +413,14 @@ impl DdSimulator {
         let op = self.circuit.ops()[self.cursor].clone();
         let op_index = self.cursor;
         self.cursor += 1;
+        // Timeline delta capture: one branch when recording is off. The
+        // probe window closes after auto-GC and the node count below, so
+        // GC an op provokes is attributed to that op.
+        let tl_probe = if qdd_telemetry::timeline::enabled() {
+            Some(TimelineProbe::begin(self))
+        } else {
+            None
+        };
         let applied = if self.dense.is_some() {
             self.apply_dense(&op)
         } else {
@@ -399,15 +448,119 @@ impl DdSimulator {
                 .field("op", op_name(&op))
                 .field("nodes", nodes);
             qdd_telemetry::observe("sim.nodes_after_op", nodes as u64);
+            if let Some(probe) = tl_probe {
+                self.record_timeline(probe, op_index, &op, nodes);
+            }
         } else {
             qdd_telemetry::emit("sim.op")
                 .field("op_index", op_index)
                 .field("op", op_name(&op))
                 .field("dense", true);
+            if let Some(probe) = tl_probe {
+                self.record_timeline(probe, op_index, &op, 0);
+            }
         }
         self.stats.applied_ops += 1;
         self.sync_governor_stats();
         Ok(true)
+    }
+
+    /// Closes a timeline probe into one [`TimelineRecord`] and buffers it:
+    /// deltas of the constant-time package counters over the op window,
+    /// absolute gauges at the op's end, folded-in GC/approx/fallback
+    /// events, the per-level node histogram, and — every
+    /// `snapshot_stride`-th op — a full structural snapshot of the state
+    /// diagram. Only called while timeline recording is enabled.
+    fn record_timeline(
+        &self,
+        probe: TimelineProbe,
+        op_index: usize,
+        op: &Operation,
+        vec_nodes: usize,
+    ) {
+        use qdd_telemetry::timeline::{self, TimelineEvent, TimelineRecord};
+        let dur_us = probe.start.elapsed().as_micros() as u64;
+        let allocated = self.dd.node_births() - probe.births;
+        let live_after = self.dd.live_node_estimate() as u64;
+        // Freed = births minus net live growth; GC inside the window makes
+        // the live estimate shrink, which shows up here as extra frees.
+        let freed = (allocated + probe.live_nodes as u64).saturating_sub(live_after);
+        let compute_lookups = self.dd.compute_lookups() - probe.compute_lookups;
+        let compute_hits = self.dd.compute_hits() - probe.compute_hits;
+        let gate_lookups = self.dd.gate_cache_lookups() - probe.gate_lookups;
+        let gate_hits = self.dd.gate_cache_hits() - probe.gate_hits;
+        let mut events = Vec::new();
+        let gc_delta = self.dd.gc_runs() - probe.gc_runs;
+        if gc_delta > 0 {
+            events.push(TimelineEvent {
+                kind: "gc",
+                fields: vec![
+                    ("runs", gc_delta.into()),
+                    (
+                        "pressure_runs",
+                        (self.dd.gc_pressure_runs() - probe.gc_pressure_runs).into(),
+                    ),
+                ],
+            });
+        }
+        let approx_delta = self.stats.approx_rounds - probe.approx_rounds;
+        if approx_delta > 0 {
+            events.push(TimelineEvent {
+                kind: "approx",
+                fields: vec![
+                    ("rounds", approx_delta.into()),
+                    ("nodes_removed", self.stats.approx_nodes_removed.into()),
+                    (
+                        "fidelity_lower_bound",
+                        self.stats.fidelity_lower_bound.into(),
+                    ),
+                ],
+            });
+        }
+        if self.stats.dense_fallback && !probe.dense_fallback {
+            events.push(TimelineEvent {
+                kind: "dense_fallback",
+                fields: vec![("qubits", (self.circuit.num_qubits() as u64).into())],
+            });
+        }
+        let (levels, snapshot) = if self.dense.is_some() {
+            (Vec::new(), None)
+        } else {
+            let stride = timeline::snapshot_stride();
+            let snapshot = if stride > 0 && (op_index as u64).is_multiple_of(u64::from(stride)) {
+                Some(qdd_core::graph::DdGraph::from_vector(&self.dd, self.state).to_json())
+            } else {
+                None
+            };
+            (
+                self.dd
+                    .vec_level_profile(self.state, self.circuit.num_qubits()),
+                snapshot,
+            )
+        };
+        timeline::record(TimelineRecord {
+            seq: 0,    // stamped by record()
+            worker: 0, // stamped by record()
+            run: self.tl_run,
+            op_index: op_index as u64,
+            op: op_name(op),
+            qubits: op.qubits().iter().map(|&q| q as u16).collect(),
+            ts_us: 0, // stamped by record()
+            dur_us,
+            vec_nodes: vec_nodes as u64,
+            mat_nodes: self.dd.mat_live_estimate() as u64,
+            peak_nodes: self.dd.peak_live_nodes() as u64,
+            nodes_allocated: allocated,
+            nodes_freed: freed,
+            complex_entries: self.dd.complex_entry_count() as u64,
+            compute_hits,
+            compute_misses: compute_lookups - compute_hits,
+            gate_hits,
+            gate_misses: gate_lookups - gate_hits,
+            levels,
+            events,
+            snapshot,
+        });
     }
 
     fn sync_governor_stats(&mut self) {

@@ -45,12 +45,43 @@ pub fn events_to_jsonl(events: &[Event]) -> String {
 /// Spans become complete (`"ph":"X"`) events; instants become
 /// thread-scoped instant (`"ph":"i"`) events.
 pub fn events_to_chrome_trace(events: &[Event]) -> String {
+    events_to_chrome_trace_named(events, None, &[])
+}
+
+/// [`events_to_chrome_trace`] plus Chrome metadata (`"ph":"M"`) records:
+/// a `process_name` record naming the workload and `thread_name` records
+/// for the coordinator (tid 1) and each registered worker (worker index
+/// `i` becomes tid `i + 1`), so multi-threaded traces read with labelled
+/// lanes in `chrome://tracing` / Perfetto.
+pub fn events_to_chrome_trace_named(
+    events: &[Event],
+    process_name: Option<&str>,
+    workers: &[(u32, String)],
+) -> String {
     let mut out = String::with_capacity(events.len() * 112 + 64);
     out.push_str("{\"traceEvents\":[");
-    for (i, ev) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    let meta = |out: &mut String, name: &str, tid: u64, value: &str, first: &mut bool| {
+        if !*first {
             out.push(',');
         }
+        *first = false;
+        let _ = write!(out, "\n{{\"name\":\"{name}\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":");
+        write_json_string(out, value);
+        out.push_str("}}");
+    };
+    if let Some(process) = process_name {
+        meta(&mut out, "process_name", 1, process, &mut first);
+        meta(&mut out, "thread_name", 1, "coordinator", &mut first);
+    }
+    for (index, worker) in workers {
+        meta(&mut out, "thread_name", u64::from(*index) + 1, worker, &mut first);
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
         out.push_str("\n{\"name\":");
         write_json_string(&mut out, ev.name);
         match ev.dur_us {
@@ -179,6 +210,19 @@ mod tests {
         assert!(text.contains("\"pid\":1"));
         assert!(text.contains("\"ts\":10"));
         assert!(text.contains("\"dur\":5"));
+    }
+
+    #[test]
+    fn chrome_trace_metadata_records_name_threads() {
+        let workers = vec![(1, "shot-worker-1".to_string()), (2, "shot-worker-2".to_string())];
+        let text = events_to_chrome_trace_named(&sample_events(), Some("qft16"), &workers);
+        assert!(text.contains("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"qft16\"}"));
+        assert!(text.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"coordinator\"}"));
+        assert!(text.contains("\"tid\":2,\"args\":{\"name\":\"shot-worker-1\"}"));
+        assert!(text.contains("\"tid\":3,\"args\":{\"name\":\"shot-worker-2\"}"));
+        // Span/instant events still present after the metadata prologue.
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"i\""));
     }
 
     #[test]

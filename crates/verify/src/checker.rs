@@ -220,15 +220,18 @@ impl EquivalenceChecker {
         // thread-local metrics into the process-wide merged registry on the
         // way out, so aggregate reports see both construction halves.
         let telemetry = qdd_telemetry::enabled();
-        let run = |flat: &[Flat]| -> Built {
+        let run = |flat: &[Flat], worker: u32, name: &'static str| -> Built {
             qdd_telemetry::set_enabled(telemetry);
+            if telemetry {
+                qdd_telemetry::register_worker_name(worker, name);
+            }
             let result = build(flat);
             qdd_telemetry::publish();
             result
         };
         let (left, right) = std::thread::scope(|scope| {
-            let lh = scope.spawn(|| run(lflat));
-            let rh = scope.spawn(|| run(rflat));
+            let lh = scope.spawn(|| run(lflat, 1, "verify-left"));
+            let rh = scope.spawn(|| run(rflat, 2, "verify-right"));
             (
                 lh.join().expect("left construction worker panicked"),
                 rh.join().expect("right construction worker panicked"),

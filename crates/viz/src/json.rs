@@ -3,87 +3,18 @@
 //!
 //! The format is what a web front-end would consume to draw the diagram —
 //! the data interchange the paper's hosted tool uses between its DD backend
-//! and its browser renderer.
+//! and its browser renderer. The writer itself lives on
+//! [`DdGraph::to_json`] in `qdd-core` so the timeline recorder can emit the
+//! same schema; this function is the stable viz-layer entry point.
 
-use crate::graph::{DdGraph, NodeKind};
-use qdd_complex::Complex;
-use std::fmt::Write as _;
+use crate::graph::DdGraph;
 
 /// Serializes a [`DdGraph`] to a compact JSON document.
 ///
-/// Schema:
-///
-/// ```json
-/// {
-///   "kind": "vector" | "matrix",
-///   "numLevels": 2,
-///   "rootWeight": {"re": 0.707, "im": 0.0},
-///   "root": 12,
-///   "nodes": [{"key": 12, "var": 1, "zeroMask": 0}],
-///   "edges": [{"from": 12, "slot": 0, "to": 3, "weight": {"re": 1.0, "im": 0.0}}]
-/// }
-/// ```
-///
-/// `"to": null` denotes the terminal; numbers are plain IEEE doubles.
+/// See [`DdGraph::to_json`] for the schema (`"to": null` denotes the
+/// terminal; numbers are plain IEEE doubles).
 pub fn graph_to_json(graph: &DdGraph) -> String {
-    let mut out = String::from("{");
-    let kind = match graph.kind {
-        NodeKind::Vector => "vector",
-        NodeKind::Matrix => "matrix",
-    };
-    let _ = write!(out, "\"kind\":\"{kind}\",");
-    let _ = write!(out, "\"numLevels\":{},", graph.num_levels);
-    let _ = write!(out, "\"rootWeight\":{},", complex_json(graph.root_weight));
-    match graph.root {
-        Some(key) => {
-            let _ = write!(out, "\"root\":{key},");
-        }
-        None => out.push_str("\"root\":null,"),
-    }
-    out.push_str("\"nodes\":[");
-    for (i, n) in graph.nodes.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            "{{\"key\":{},\"var\":{},\"zeroMask\":{}}}",
-            n.key, n.var, n.zero_mask
-        );
-    }
-    out.push_str("],\"edges\":[");
-    for (i, e) in graph.edges.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let to = match e.to {
-            Some(key) => key.to_string(),
-            None => "null".to_string(),
-        };
-        let _ = write!(
-            out,
-            "{{\"from\":{},\"slot\":{},\"to\":{to},\"weight\":{}}}",
-            e.from,
-            e.slot,
-            complex_json(e.weight)
-        );
-    }
-    out.push_str("]}");
-    out
-}
-
-fn complex_json(c: Complex) -> String {
-    format!("{{\"re\":{},\"im\":{}}}", json_number(c.re), json_number(c.im))
-}
-
-/// JSON has no NaN/Infinity; diagrams never contain them (the complex table
-/// rejects non-finite values), but stay defensive.
-fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
+    graph.to_json()
 }
 
 #[cfg(test)]

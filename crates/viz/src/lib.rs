@@ -19,6 +19,9 @@
 //!   gates applied from either side onto a shared working diagram;
 //! * [`html`] — bundles frames into a single self-contained HTML explorer
 //!   with ⏮ ← → ⏭ controls: the offline stand-in for the hosted web tool;
+//! * [`inspect`] — parses `qdd-timeline-v1` JSONL recordings back into a
+//!   model, feeding the time-resolved run inspector
+//!   ([`html::timeline_report`]);
 //! * [`text`] — terminal renderings: ASCII circuit diagrams and amplitude
 //!   tables.
 //!
@@ -49,6 +52,7 @@ pub mod color;
 pub mod dot;
 pub mod graph;
 pub mod html;
+pub mod inspect;
 pub mod json;
 pub mod session;
 pub mod style;

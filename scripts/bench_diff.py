@@ -100,6 +100,17 @@ def diff_metrics(name, b, c, hit_rate_threshold, warnings):
             warnings.append(
                 f"{name}: fidelity lower bound dropped {bf:.4f} -> {cf:.4f} "
                 f"({fidelity_drop:.1f}-point drop, threshold 5)")
+    # Timeline-recording overhead (the sim family re-times each workload
+    # with the execution-timeline recorder armed at snapshot stride 16).
+    # Unlike the diffs above this is an absolute bound on the *current*
+    # value: the recorder's contract is <5% wall time regardless of what
+    # the baseline paid.
+    overhead = c.get("timeline_overhead_pct")
+    if (overhead is not None and overhead > 5.0
+            and c.get("wall_ms", 0.0) >= MIN_MEANINGFUL_MS):
+        warnings.append(
+            f"{name}: timeline recording costs {overhead:.1f}% wall time "
+            f"(stride 16 vs recording off, threshold 5%)")
     # GC pause totals from the embedded telemetry snapshot, when both sides
     # carry one (older baselines predate the `metrics` field).
     bgc = gc_total_ms(b)
