@@ -14,6 +14,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--strategy", "--stimuli", "-o", "--threshold", "--node-limit",
     "--timeout-ms", "--metrics-out", "--trace-out", "--min-fidelity",
     "--approx-policy", "--record-timeline", "--snapshot-stride",
+    "--histogram-out", "--port", "--host", "--cache-capacity",
+    "--quota-shots", "--quota-body-bytes", "--quota-sessions",
+    "--quota-nodes", "--quota-complex", "--quota-deadline-ms",
 ];
 
 impl Args {

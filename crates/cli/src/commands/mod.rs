@@ -3,6 +3,7 @@
 pub mod circuit;
 pub mod inspect;
 pub mod render;
+pub mod serve;
 pub mod simulate;
 pub mod verify;
 

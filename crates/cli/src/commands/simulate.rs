@@ -58,6 +58,11 @@ OPTIONS:
   --snapshot-stride K
                     with --record-timeline: every K-th op embeds a full
                     structural snapshot of the diagram (0 = off, default)
+  --histogram-out P with --shots: write the histogram to P as
+                    qdd-histogram-v1 JSONL (a header line, then one sorted
+                    {\"value\":V,\"count\":C} line per outcome) — the same
+                    bytes `qdd serve`'s /v1/shots endpoint streams, so the
+                    two paths can be diffed bit-for-bit
   --svg PATH        write the final diagram as SVG
   --dot PATH        write the final diagram as Graphviz DOT
   --html PATH       write a step-by-step HTML explorer of the whole run
@@ -72,7 +77,7 @@ const FLAGS: &[&str] = &[
     "--timeout-ms", "--stats", "--stats-json", "--svg", "--dot", "--html",
     "--style", "--profile", "--metrics-out", "--trace-out", "--min-fidelity",
     "--approx-policy", "--no-identity-skip", "--record-timeline",
-    "--snapshot-stride",
+    "--snapshot-stride", "--histogram-out",
 ];
 
 /// Exit code reported to `main` when the run finished but the state was
@@ -309,6 +314,25 @@ pub fn run(argv: &[String]) -> Result<u8, CmdError> {
                 "shots are approximate: per-shot fidelity ≥ {:.6}",
                 report.fidelity_lower_bound
             );
+        }
+        if let Some(hist_path) = args.value("--histogram-out") {
+            // Same header and line bytes as `qdd serve`'s /v1/shots stream,
+            // so CLI and daemon histograms diff bit-for-bit.
+            let kind = match report.kind {
+                qdd_sim::HistogramKind::BasisStates => "basis_states",
+                qdd_sim::HistogramKind::ClassicalBits => "classical_bits",
+            };
+            let mut out = format!(
+                "{{\"schema\":\"qdd-histogram-v1\",\"kind\":\"{kind}\",\"shots\":{}}}\n",
+                report.shots
+            );
+            for line in report.histogram_lines() {
+                out.push_str(&line);
+                out.push('\n');
+            }
+            std::fs::write(hist_path, out)
+                .map_err(|e| format!("writing `{hist_path}`: {e}"))?;
+            println!("wrote histogram to {hist_path}");
         }
         let mut entries: Vec<_> = report.histogram.into_iter().collect();
         entries.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -7,6 +7,7 @@
 //! qdd render   <file> [--matrix] [--style STYLE] -o OUT.{svg,dot,json,html}
 //! qdd circuit  <file> [--optimize]
 //! qdd inspect  <timeline.jsonl> [-o OUT.html] [--style STYLE]
+//! qdd serve    [--port N] [--quota-* ...]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the surface is five subcommands and a
@@ -28,6 +29,7 @@ USAGE:
   qdd render   <file> [options]               export a diagram (svg/dot/json/html)
   qdd circuit  <file> [--optimize]            show the circuit as ASCII art + stats
   qdd inspect  <timeline.jsonl> [options]     render a recorded timeline as HTML
+  qdd serve    [options]                      run the engine as an HTTP daemon
   qdd help [command]                          this message / command details
 
 Run `qdd help <command>` for per-command options.";
@@ -51,6 +53,7 @@ fn main() -> ExitCode {
         "render" => commands::render::run(rest).map(|()| 0).map_err(Into::into),
         "circuit" => commands::circuit::run(rest).map(|()| 0).map_err(Into::into),
         "inspect" => commands::inspect::run(rest).map(|()| 0).map_err(Into::into),
+        "serve" => commands::serve::run(rest).map(|()| 0),
         "help" | "--help" | "-h" => {
             match rest.first().map(String::as_str) {
                 Some("simulate") => println!("{}", commands::simulate::HELP),
@@ -58,6 +61,7 @@ fn main() -> ExitCode {
                 Some("render") => println!("{}", commands::render::HELP),
                 Some("circuit") => println!("{}", commands::circuit::HELP),
                 Some("inspect") => println!("{}", commands::inspect::HELP),
+                Some("serve") => println!("{}", commands::serve::HELP),
                 _ => println!("{USAGE}"),
             }
             Ok(0)

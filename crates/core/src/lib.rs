@@ -46,6 +46,7 @@
 //! ```
 
 mod approx;
+mod cachekey;
 mod compute;
 mod error;
 mod export;
@@ -64,6 +65,7 @@ mod traverse;
 mod types;
 
 pub use approx::ApproxReport;
+pub use cachekey::fnv1a_64;
 pub use compute::ComputeTableStat;
 pub use error::{DdError, ResourceKind};
 pub use gates::{Control, GateMatrix, Polarity};

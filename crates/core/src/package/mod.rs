@@ -257,6 +257,15 @@ impl DdPackage {
         &self.config.limits
     }
 
+    /// Replaces the active resource limits. Drivers use this to exempt
+    /// mandatory setup (e.g. the initial `|0…0⟩` state, whose size is the
+    /// register width, not "work") from a node budget, restoring the
+    /// budget before governed operations begin. The compute-table bound is
+    /// fixed at construction and is not affected.
+    pub fn set_limits(&mut self, limits: Limits) {
+        self.config.limits = limits;
+    }
+
     // ------------------------------------------------------------------
     // Resource governor
     // ------------------------------------------------------------------

@@ -1,0 +1,182 @@
+//! The shared compiled-circuit + warm gate-DD cache.
+//!
+//! Parsing QASM and constructing every gate operator of a circuit is
+//! per-circuit work, not per-request work. The daemon interns both behind
+//! a key of `fnv1a_64(qasm) ⊕ PackageConfig::structural_key()`: requests
+//! for the same source under the same structural configuration share one
+//! parsed [`QuantumCircuit`] and one frozen [`FrozenDd`] warm base
+//! (`Arc`-shared, per DESIGN.md §15 overlay semantics). Warm bases are
+//! built with **default limits** — resource budgets are per-request leashes
+//! and must not be baked into a shared artifact (see
+//! [`PackageConfig::structural_key`]).
+
+use crate::quota::ApiError;
+use qdd_circuit::QuantumCircuit;
+use qdd_core::{fnv1a_64, FrozenDd, PackageConfig};
+use qdd_sim::shots;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One interned circuit: source-derived artifacts every request reuses.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The parsed circuit.
+    pub circuit: QuantumCircuit,
+    /// The frozen warm base (zero state + every gate DD).
+    pub base: Arc<FrozenDd>,
+    /// Gate-DD cache lookups construction cost (attributed to the building
+    /// request only).
+    pub build_lookups: u64,
+    /// Gate-DD cache hits during construction.
+    pub build_hits: u64,
+    /// Times this entry served a request after its insertion.
+    pub hits: AtomicU64,
+}
+
+/// A cache probe result.
+#[derive(Debug)]
+pub struct CacheOutcome {
+    /// The (possibly just-built) entry.
+    pub entry: Arc<CacheEntry>,
+    /// Whether the entry existed before this request.
+    pub hit: bool,
+    /// The cache key, echoed in responses for observability.
+    pub key: u64,
+}
+
+/// A bounded, FIFO-evicting intern table of compiled circuits.
+#[derive(Debug)]
+pub struct CircuitCache {
+    entries: Mutex<CacheMap>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheMap {
+    by_key: HashMap<u64, Arc<CacheEntry>>,
+    insertion_order: VecDeque<u64>,
+}
+
+impl CircuitCache {
+    /// Creates a cache holding at most `capacity` compiled circuits.
+    pub fn new(capacity: usize) -> Self {
+        CircuitCache {
+            entries: Mutex::new(CacheMap::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the interned artifacts for `qasm` under `config`, parsing
+    /// and warming on first sight. Construction happens under the cache
+    /// lock: concurrent first-sight requests for one circuit build it once
+    /// and the rest wait — slower than racing, but never duplicates a
+    /// multi-hundred-megabyte warm base.
+    pub fn get_or_build(
+        &self,
+        qasm: &str,
+        config: PackageConfig,
+    ) -> Result<CacheOutcome, ApiError> {
+        let key = fnv1a_64(qasm.as_bytes()) ^ config.structural_key();
+        let mut map = self.entries.lock().unwrap();
+        if let Some(entry) = map.by_key.get(&key) {
+            entry.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CacheOutcome {
+                entry: entry.clone(),
+                hit: true,
+                key,
+            });
+        }
+        let circuit = qdd_circuit::qasm::parse(qasm)
+            .map_err(|e| ApiError::bad_request(format!("QASM parse error: {e}")))?;
+        // Structural config only: budgets stay per-request.
+        let build_config = PackageConfig {
+            limits: qdd_core::Limits::default(),
+            ..config
+        };
+        let warm = shots::build_warm_base(&circuit, build_config)
+            .map_err(|e| ApiError::bad_request(format!("circuit rejected: {e}")))?;
+        let entry = Arc::new(CacheEntry {
+            circuit,
+            base: warm.frozen,
+            build_lookups: warm.gate_cache_lookups,
+            build_hits: warm.gate_cache_hits,
+            hits: AtomicU64::new(0),
+        });
+        if map.insertion_order.len() >= self.capacity {
+            if let Some(oldest) = map.insertion_order.pop_front() {
+                map.by_key.remove(&oldest);
+            }
+        }
+        map.by_key.insert(key, entry.clone());
+        map.insertion_order.push_back(key);
+        Ok(CacheOutcome {
+            entry,
+            hit: false,
+            key,
+        })
+    }
+
+    /// Number of cached circuits.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().by_key.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BELL: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+
+    #[test]
+    fn repeat_requests_hit_and_share_the_base() {
+        let cache = CircuitCache::new(4);
+        let first = cache.get_or_build(BELL, PackageConfig::default()).unwrap();
+        assert!(!first.hit);
+        let second = cache.get_or_build(BELL, PackageConfig::default()).unwrap();
+        assert!(second.hit);
+        assert_eq!(first.key, second.key);
+        assert!(Arc::ptr_eq(&first.entry, &second.entry));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn structural_config_partitions_the_key_space() {
+        let cache = CircuitCache::new(4);
+        let a = cache.get_or_build(BELL, PackageConfig::default()).unwrap();
+        let no_skip = PackageConfig {
+            identity_skip: false,
+            ..PackageConfig::default()
+        };
+        let b = cache.get_or_build(BELL, no_skip).unwrap();
+        assert!(!b.hit);
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = CircuitCache::new(1);
+        cache.get_or_build(BELL, PackageConfig::default()).unwrap();
+        let ghz = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+        cache.get_or_build(ghz, PackageConfig::default()).unwrap();
+        assert_eq!(cache.len(), 1);
+        // The bell entry was evicted; probing it again is a miss.
+        assert!(!cache.get_or_build(BELL, PackageConfig::default()).unwrap().hit);
+    }
+
+    #[test]
+    fn malformed_qasm_is_a_typed_400() {
+        let cache = CircuitCache::new(4);
+        let err = cache
+            .get_or_build("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q;\n", PackageConfig::default())
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("QASM parse error"));
+    }
+}

@@ -1,0 +1,197 @@
+//! A minimal, dependency-free HTTP/1.1 server transport.
+//!
+//! The workspace carries no web framework; this module implements exactly
+//! the subset `qdd serve` needs: request-line + header parsing,
+//! `Content-Length` bodies with a hard cap, fixed responses, and chunked
+//! transfer encoding for the JSONL shot streams. Every connection serves
+//! one request (`Connection: close`), which keeps the daemon's concurrency
+//! model one-thread-per-request with no keep-alive state machine.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request: method, percent-unencoded path, and body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, `DELETE`).
+    pub method: String,
+    /// Request target path (query strings are not used by the API).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Socket-level failure or premature close.
+    Io(std::io::Error),
+    /// The request line or headers were not HTTP.
+    Malformed(&'static str),
+    /// The declared body length exceeds the server's cap.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ParseError::BodyTooLarge { declared, cap } => {
+                write!(f, "declared body of {declared} bytes exceeds the {cap}-byte cap")
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one request from the stream. `body_cap` bounds the bytes this
+/// connection may make the server buffer.
+pub fn read_request(stream: &mut TcpStream, body_cap: usize) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(ParseError::Malformed("request line lacks a target"))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("not an HTTP/1.x request"));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed("header lacks a colon"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed("unparseable Content-Length"))?;
+        }
+    }
+    if content_length > body_cap {
+        return Err(ParseError::BodyTooLarge {
+            declared: content_length,
+            cap: body_cap,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Human phrase for the status codes the API uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A chunked-transfer response body: each [`ChunkedWriter::write_line`]
+/// leaves the wire immediately as its own chunk, so clients observe JSONL
+/// lines as the server produces them.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Sends the status line + headers announcing a chunked body.
+    pub fn begin(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+            content_type,
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends `line` plus a trailing newline as one flushed chunk.
+    pub fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+        write!(self.stream, "{:x}\r\n", line.len() + 1)?;
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Sends the zero-length terminating chunk.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// Whether the peer has closed the connection (EOF on read). Used while a
+/// long job runs: the request was fully consumed, so any read yielding
+/// `Ok(0)` means the client went away and the job should be cancelled.
+/// Non-blocking via a short read timeout; stray pipelined bytes are
+/// ignored.
+pub fn peer_disconnected(stream: &TcpStream) -> bool {
+    let mut probe = [0u8; 16];
+    let previous = stream.read_timeout().ok().flatten();
+    if stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(1)))
+        .is_err()
+    {
+        return false;
+    }
+    let gone = matches!((&mut (&*stream)).read(&mut probe), Ok(0));
+    let _ = stream.set_read_timeout(previous);
+    gone
+}

@@ -1,0 +1,206 @@
+//! Server-side quota ceilings and per-request `Limits` clamping.
+//!
+//! Requests carry their own resource asks (`limits` object, `shots`
+//! count); the operator sets hard ceilings with `--quota-*` flags. The
+//! contract (DESIGN.md §18):
+//!
+//! * **Work-size asks** (`shots`, body bytes, live sessions) above the
+//!   ceiling are *rejected* with a typed 429-style error naming the
+//!   tripped budget — silently shrinking the job would return an answer to
+//!   a different question than the client asked.
+//! * **Resource budgets** (`max_nodes`, `max_complex_entries`,
+//!   `deadline_ms`) are *clamped* to the ceiling: the request still means
+//!   the same thing, just under a tighter leash, and the ceiling applies
+//!   as the default when a request does not ask at all.
+
+use crate::json::{get_f64, get_u64, JsonValue};
+use qdd_core::Limits;
+use std::time::Duration;
+
+/// Operator-configured ceilings. `None` ceilings leave the dimension
+/// unlimited.
+#[derive(Clone, Debug)]
+pub struct Quota {
+    /// Most shots a single `/v1/shots` job may draw.
+    pub max_shots: u64,
+    /// Largest request body accepted, bytes.
+    pub max_body_bytes: usize,
+    /// Most concurrently live sessions.
+    pub max_sessions: usize,
+    /// Ceiling on a request's `max_nodes` budget (and the default when the
+    /// request sets none).
+    pub node_ceiling: Option<usize>,
+    /// Ceiling on a request's `max_complex_entries` budget.
+    pub complex_ceiling: Option<usize>,
+    /// Ceiling on a request's `deadline_ms`.
+    pub deadline_ms_ceiling: Option<u64>,
+}
+
+impl Default for Quota {
+    fn default() -> Self {
+        Quota {
+            max_shots: 1_000_000,
+            max_body_bytes: 1 << 20,
+            max_sessions: 64,
+            node_ceiling: None,
+            complex_ceiling: None,
+            deadline_ms_ceiling: None,
+        }
+    }
+}
+
+/// A typed API error: HTTP status plus a machine-readable JSON body. The
+/// `budget` field names the tripped quota dimension on 429s.
+#[derive(Clone, Debug)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable code (`over_quota`, `bad_request`, …).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The tripped budget dimension, for `over_quota` errors.
+    pub budget: Option<&'static str>,
+}
+
+impl ApiError {
+    /// A 400 with code `bad_request`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            code: "bad_request",
+            message: message.into(),
+            budget: None,
+        }
+    }
+
+    /// A 404 with code `not_found`.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 404,
+            code: "not_found",
+            message: message.into(),
+            budget: None,
+        }
+    }
+
+    /// A 429 with code `over_quota`, naming the tripped budget.
+    pub fn over_quota(budget: &'static str, message: impl Into<String>) -> Self {
+        ApiError {
+            status: 429,
+            code: "over_quota",
+            message: message.into(),
+            budget: Some(budget),
+        }
+    }
+
+    /// The JSON body of the error response.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"error\":{{\"code\":\"{}\",\"message\":\"{}\"",
+            self.code,
+            crate::json::esc(&self.message)
+        );
+        if let Some(budget) = self.budget {
+            s.push_str(&format!(",\"budget\":\"{budget}\""));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+impl Quota {
+    /// Validates a shot count against the ceiling.
+    pub fn check_shots(&self, shots: u64) -> Result<(), ApiError> {
+        if shots > self.max_shots {
+            return Err(ApiError::over_quota(
+                "shots",
+                format!(
+                    "requested {shots} shots exceeds the server quota of {}",
+                    self.max_shots
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds this request's [`Limits`] from its optional `limits` object,
+    /// clamping every resource budget to the server ceilings (ceilings
+    /// apply as defaults when the request does not ask).
+    pub fn clamp_limits(&self, body: &JsonValue) -> Result<Limits, ApiError> {
+        let mut limits = Limits::default();
+        let requested = body.get("limits");
+        let req = |key: &str| requested.and_then(|r| get_u64(r, key));
+        limits.max_nodes = clamp_opt(req("max_nodes").map(|v| v as usize), self.node_ceiling);
+        limits.max_complex_entries = clamp_opt(
+            req("max_complex_entries").map(|v| v as usize),
+            self.complex_ceiling,
+        );
+        let deadline_ms = clamp_opt(req("deadline_ms"), self.deadline_ms_ceiling);
+        limits.deadline = deadline_ms.map(Duration::from_millis);
+        if let Some(f) = requested.and_then(|r| get_f64(r, "min_fidelity")) {
+            if !(f > 0.0 && f <= 1.0) {
+                return Err(ApiError::bad_request(format!(
+                    "limits.min_fidelity must be in (0, 1], got {f}"
+                )));
+            }
+            limits.min_fidelity = Some(f);
+        }
+        Ok(limits)
+    }
+}
+
+/// `min(requested, ceiling)`, with either side optional: no ceiling passes
+/// the request through, no request adopts the ceiling.
+fn clamp_opt<T: Ord + Copy>(requested: Option<T>, ceiling: Option<T>) -> Option<T> {
+    match (requested, ceiling) {
+        (Some(r), Some(c)) => Some(r.min(c)),
+        (Some(r), None) => Some(r),
+        (None, Some(c)) => Some(c),
+        (None, None) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_json;
+
+    #[test]
+    fn limits_clamp_to_ceilings_and_default_to_them() {
+        let quota = Quota {
+            node_ceiling: Some(1000),
+            deadline_ms_ceiling: Some(500),
+            ..Quota::default()
+        };
+        // Asks above the ceiling are clamped down.
+        let body =
+            parse_json("{\"limits\":{\"max_nodes\":999999,\"deadline_ms\":60000}}").unwrap();
+        let limits = quota.clamp_limits(&body).unwrap();
+        assert_eq!(limits.max_nodes, Some(1000));
+        assert_eq!(limits.deadline, Some(Duration::from_millis(500)));
+        // Asks below pass through.
+        let body = parse_json("{\"limits\":{\"max_nodes\":10,\"deadline_ms\":20}}").unwrap();
+        let limits = quota.clamp_limits(&body).unwrap();
+        assert_eq!(limits.max_nodes, Some(10));
+        assert_eq!(limits.deadline, Some(Duration::from_millis(20)));
+        // No ask adopts the ceiling as the default.
+        let body = parse_json("{}").unwrap();
+        let limits = quota.clamp_limits(&body).unwrap();
+        assert_eq!(limits.max_nodes, Some(1000));
+        assert_eq!(limits.deadline, Some(Duration::from_millis(500)));
+    }
+
+    #[test]
+    fn over_quota_shots_name_the_budget() {
+        let quota = Quota {
+            max_shots: 100,
+            ..Quota::default()
+        };
+        assert!(quota.check_shots(100).is_ok());
+        let err = quota.check_shots(101).unwrap_err();
+        assert_eq!(err.status, 429);
+        assert_eq!(err.budget, Some("shots"));
+        assert!(err.to_json().contains("\"budget\":\"shots\""));
+    }
+}

@@ -1,0 +1,132 @@
+//! Interactive sessions: the paper tool's step/play state machine over
+//! HTTP.
+//!
+//! `POST /v1/sessions` opens a [`SteppableSimulation`]; `step` advances one
+//! operation (returning the tool's measurement/reset *choice dialog* when
+//! one opens), `play` runs to the end resolving dialogs with seeded
+//! randomness, and `DELETE` releases the slot. Sessions hold live decision
+//! diagrams, so the store enforces the `sessions` quota and expires
+//! abandoned sessions to keep a long-lived daemon bounded.
+
+use crate::quota::ApiError;
+use qdd_circuit::QuantumCircuit;
+use qdd_sim::SteppableSimulation;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How long an untouched session lives before the store may reap it.
+pub const SESSION_IDLE_EXPIRY: Duration = Duration::from_secs(15 * 60);
+
+struct Session {
+    stepper: SteppableSimulation,
+    last_touch: Instant,
+}
+
+/// A bounded registry of live interactive sessions.
+pub struct SessionStore {
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_id: AtomicU64,
+    max_sessions: usize,
+}
+
+impl SessionStore {
+    /// Creates a store admitting at most `max_sessions` live sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        SessionStore {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Opens a session on `circuit`, returning its id. Reaps expired
+    /// sessions first; a full store yields a typed 429 naming the
+    /// `sessions` budget.
+    pub fn create(&self, circuit: QuantumCircuit) -> Result<u64, ApiError> {
+        let mut sessions = self.sessions.lock().unwrap();
+        let now = Instant::now();
+        sessions.retain(|_, s| now.duration_since(s.last_touch) < SESSION_IDLE_EXPIRY);
+        if sessions.len() >= self.max_sessions {
+            return Err(ApiError::over_quota(
+                "sessions",
+                format!(
+                    "all {} session slots are in use; DELETE one or retry later",
+                    self.max_sessions
+                ),
+            ));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(
+            id,
+            Session {
+                stepper: SteppableSimulation::new(circuit),
+                last_touch: now,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Runs `f` on the session's stepper under the store lock, refreshing
+    /// its idle clock. Unknown ids yield a typed 404.
+    pub fn with<R>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut SteppableSimulation) -> R,
+    ) -> Result<R, ApiError> {
+        let mut sessions = self.sessions.lock().unwrap();
+        let session = sessions
+            .get_mut(&id)
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))?;
+        session.last_touch = Instant::now();
+        Ok(f(&mut session.stepper))
+    }
+
+    /// Closes the session, releasing its slot. Unknown ids yield 404.
+    pub fn delete(&self, id: u64) -> Result<(), ApiError> {
+        let mut sessions = self.sessions.lock().unwrap();
+        sessions
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| ApiError::not_found(format!("no session {id}")))
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdd_circuit::library;
+
+    #[test]
+    fn slots_are_bounded_and_released_by_delete() {
+        let store = SessionStore::new(2);
+        let a = store.create(library::bell()).unwrap();
+        let _b = store.create(library::bell()).unwrap();
+        let err = store.create(library::bell()).unwrap_err();
+        assert_eq!(err.status, 429);
+        assert_eq!(err.budget, Some("sessions"));
+        store.delete(a).unwrap();
+        assert!(store.create(library::bell()).is_ok());
+        assert_eq!(store.delete(999).unwrap_err().status, 404);
+    }
+
+    #[test]
+    fn with_steps_the_underlying_simulation() {
+        let store = SessionStore::new(4);
+        let id = store.create(library::bell()).unwrap();
+        let outcome = store.with(id, |s| s.step_forward()).unwrap().unwrap();
+        assert!(matches!(outcome, qdd_sim::StepOutcome::Applied { op_index: 0 }));
+        assert_eq!(store.with(id, |s| s.position()).unwrap(), 1);
+    }
+}

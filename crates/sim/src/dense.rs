@@ -162,7 +162,7 @@ impl DenseSimulator {
                 if controls.is_empty() {
                     self.apply_swap(*a, *b);
                 } else {
-                    for g in op.to_gate_sequence().expect("swap is unitary") {
+                    for g in crate::gate_sequence(op)? {
                         self.apply_gate(&g.gate.matrix(), &g.controls, g.target);
                     }
                 }

@@ -31,6 +31,25 @@ pub enum SimError {
         /// The maximum size the dense simulator accepts.
         max: usize,
     },
+    /// A shot worker panicked. The coordinator contains the panic instead of
+    /// aborting the process: remaining workers stop at the next shot
+    /// boundary and partial telemetry already published still merges.
+    WorkerPanicked {
+        /// Index of the panicking worker (shot-range order).
+        worker: usize,
+        /// The panic payload, if it was a string (the common
+        /// `panic!`/`expect` case); `"<non-string payload>"` otherwise.
+        payload: String,
+    },
+    /// The job was cancelled through its cooperative cancel flag (e.g. a
+    /// server dropped the request after the client disconnected).
+    Cancelled,
+    /// An operation could not be decomposed into elementary gates (its
+    /// `to_gate_sequence` returned nothing) where a unitary was required.
+    NonDecomposableOp {
+        /// Name of the offending operation.
+        op: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -43,6 +62,13 @@ impl fmt::Display for SimError {
             SimError::InvalidTransition { reason } => write!(f, "{reason}"),
             SimError::TooLarge { num_qubits, max } => {
                 write!(f, "dense simulation of {num_qubits} qubits exceeds the {max}-qubit limit")
+            }
+            SimError::WorkerPanicked { worker, payload } => {
+                write!(f, "shot worker {worker} panicked: {payload}")
+            }
+            SimError::Cancelled => write!(f, "job cancelled"),
+            SimError::NonDecomposableOp { op } => {
+                write!(f, "operation '{op}' has no elementary gate decomposition")
             }
         }
     }

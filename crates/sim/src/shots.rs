@@ -99,6 +99,22 @@ pub struct ShotOptions {
     /// Whether workers may degrade to dense simulation under node-budget
     /// pressure (mirrors [`DdSimulator::set_dense_fallback`]).
     pub dense_fallback: bool,
+    /// Cooperative external cancel flag. When a caller (e.g. a server whose
+    /// client disconnected mid-stream) sets it, workers stop at the next
+    /// shot boundary and the job returns [`SimError::Cancelled`] instead of
+    /// burning CPU to completion.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// A prebuilt warm base (from [`build_warm_base`] on the **same circuit
+    /// and structural config**) to reuse instead of rebuilding the job's
+    /// gate DDs. Only consulted when the shared frozen-base path applies
+    /// (no node/complex budgets); budgeted jobs keep their per-worker
+    /// packages for exact budget semantics.
+    pub warm_base: Option<Arc<FrozenDd>>,
+    /// Test-only hook: forces the worker owning this shot index to panic at
+    /// that shot, exercising the panic-containment path. Not part of the
+    /// stable API.
+    #[doc(hidden)]
+    pub panic_at_shot: Option<u64>,
 }
 
 impl Default for ShotOptions {
@@ -109,6 +125,9 @@ impl Default for ShotOptions {
             threads: 0,
             config: PackageConfig::default(),
             dense_fallback: true,
+            cancel: None,
+            warm_base: None,
+            panic_at_shot: None,
         }
     }
 }
@@ -147,12 +166,41 @@ pub struct ShotReport {
     /// a run. In the mid-circuit regime this is the **minimum** across all
     /// workers' shots: the weakest guarantee any sampled trajectory had.
     pub fidelity_lower_bound: f64,
+    /// Gate-DD cache lookups across the whole job (warm-base construction
+    /// plus every worker), for per-request cache accounting.
+    pub gate_cache_lookups: u64,
+    /// Gate-DD cache hits across the whole job. A job served from an
+    /// already-warm injected base ([`ShotOptions::warm_base`]) skips the
+    /// construction misses, so its hit rate is strictly higher.
+    pub gate_cache_hits: u64,
 }
 
 impl ShotReport {
     /// Whether any contributing run was degraded by the approximation rung.
     pub fn is_approximate(&self) -> bool {
         self.fidelity_lower_bound < 1.0
+    }
+
+    /// Gate-DD cache hit rate over the whole job (`0.0` when no lookups).
+    pub fn gate_cache_hit_rate(&self) -> f64 {
+        if self.gate_cache_lookups == 0 {
+            0.0
+        } else {
+            self.gate_cache_hits as f64 / self.gate_cache_lookups as f64
+        }
+    }
+
+    /// The histogram as deterministic JSONL lines (`qdd-histogram-v1`
+    /// entries), sorted by outcome value. The CLI `--histogram-out` path and
+    /// the `qdd-serve` `/v1/shots` stream both emit exactly these lines, so
+    /// the two transports are byte-comparable.
+    pub fn histogram_lines(&self) -> Vec<String> {
+        let mut entries: Vec<(u64, u64)> = self.histogram.iter().map(|(&v, &c)| (v, c)).collect();
+        entries.sort_unstable();
+        entries
+            .into_iter()
+            .map(|(value, count)| format!("{{\"value\":{value},\"count\":{count}}}"))
+            .collect()
     }
 }
 
@@ -172,6 +220,9 @@ pub fn run(circuit: &QuantumCircuit, opts: &ShotOptions) -> Result<ShotReport, S
     let mut span = qdd_telemetry::span("shots.engine");
     span.field("regime", analysis.regime.name());
     span.field("shots", opts.shots);
+    if externally_cancelled(opts) {
+        return Err(SimError::Cancelled);
+    }
     let regime_gauge = match analysis.regime {
         MeasurementRegime::NoMeasurement => 0.0,
         MeasurementRegime::TerminalMeasurement => 1.0,
@@ -200,9 +251,24 @@ fn run_shared_state(
     analysis: &MeasurementAnalysis,
     opts: &ShotOptions,
 ) -> Result<ShotReport, SimError> {
-    let mut sim = DdSimulator::with_config(circuit.clone(), opts.seed, opts.config);
+    let warm = opts.warm_base.as_ref().filter(|_| shared_path_applies(opts));
+    let mut sim = match warm {
+        Some(base) => {
+            let mut s = DdSimulator::with_frozen_base(circuit.clone(), opts.seed, base);
+            // The overlay copies the base's config, which carries no
+            // deadline; arm this request's budget explicitly.
+            if let Some(budget) = opts.config.limits.deadline {
+                s.package_mut().arm_deadline_for(budget);
+            }
+            s
+        }
+        None => DdSimulator::with_config(circuit.clone(), opts.seed, opts.config),
+    };
     sim.set_dense_fallback(opts.dense_fallback);
     sim.run_prefix(analysis.prefix_len)?;
+    if externally_cancelled(opts) {
+        return Err(SimError::Cancelled);
+    }
     // Sampling consumes the simulator's seeded stream whether the prefix
     // stayed on diagrams or degraded to dense — backend-transparent
     // seeding. The tableau walk is bit-identical to `sample_once`, so the
@@ -243,22 +309,57 @@ fn run_shared_state(
         elapsed: Duration::ZERO,
         // One shared state served every shot; its bound is the job's bound.
         fidelity_lower_bound: sim.stats().fidelity_lower_bound,
+        gate_cache_lookups: sim.package().gate_cache_lookups(),
+        gate_cache_hits: sim.package().gate_cache_hits(),
     })
 }
 
-/// What one worker returns: its partial histogram, completed-shot count,
-/// and the weakest fidelity lower bound among its shots — or the index of
-/// the shot that failed and why.
-type WorkerResult = Result<(FxHashMap<u64, u64>, u64, f64), (u64, SimError)>;
+/// Whether the job's external cancel flag has been raised.
+fn externally_cancelled(opts: &ShotOptions) -> bool {
+    opts.cancel
+        .as_ref()
+        .is_some_and(|c| c.load(Ordering::Relaxed))
+}
+
+/// What one worker returns on success: its partial histogram,
+/// completed-shot count, the weakest fidelity lower bound among its shots,
+/// and its package's gate-DD cache traffic.
+struct WorkerOutput {
+    counts: FxHashMap<u64, u64>,
+    done: u64,
+    bound: f64,
+    gate_lookups: u64,
+    gate_hits: u64,
+}
+
+/// What one worker returns: its output, or the index of the shot that
+/// failed and why.
+type WorkerResult = Result<WorkerOutput, (u64, SimError)>;
+
+/// A frozen warm base plus the gate-DD cache traffic its construction
+/// generated, so jobs can account construction misses against the request
+/// that paid for them (a cached base re-injected via
+/// [`ShotOptions::warm_base`] contributes neither).
+#[derive(Clone, Debug)]
+pub struct WarmBase {
+    /// The frozen package: `|0…0⟩` plus every gate operator of the circuit.
+    pub frozen: Arc<FrozenDd>,
+    /// Gate-DD cache lookups during construction.
+    pub gate_cache_lookups: u64,
+    /// Gate-DD cache hits during construction.
+    pub gate_cache_hits: u64,
+}
 
 /// Builds the job-wide warm base for the shared-package path: `|0…0⟩` and
 /// every gate operator the circuit applies, constructed **sequentially** (so
 /// the result is a deterministic function of the circuit and config), then
-/// frozen for overlay sharing.
-fn build_warm_base(
+/// frozen for overlay sharing. Servers cache the result keyed by
+/// (circuit source, structural config) and re-inject it via
+/// [`ShotOptions::warm_base`] so later requests skip construction entirely.
+pub fn build_warm_base(
     circuit: &QuantumCircuit,
     config: PackageConfig,
-) -> Result<Arc<FrozenDd>, SimError> {
+) -> Result<WarmBase, SimError> {
     let n = circuit.num_qubits();
     let mut dd = DdPackage::with_config(config);
     let zero = dd.zero_state(n)?;
@@ -269,14 +370,20 @@ fn build_warm_base(
                 dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
             }
             Operation::Swap { .. } => {
-                for g in op.to_gate_sequence().expect("swap is unitary") {
+                for g in crate::gate_sequence(op)? {
                     dd.gate_dd(g.gate.matrix(), &g.controls, g.target, n)?;
                 }
             }
             _ => {}
         }
     }
-    Ok(dd.freeze())
+    let gate_cache_lookups = dd.gate_cache_lookups();
+    let gate_cache_hits = dd.gate_cache_hits();
+    Ok(WarmBase {
+        frozen: dd.freeze(),
+        gate_cache_lookups,
+        gate_cache_hits,
+    })
 }
 
 /// Whether the shared frozen-base path may serve this job. Budgeted runs
@@ -295,10 +402,18 @@ fn run_mid_circuit(
 ) -> Result<ShotReport, SimError> {
     let threads = crate::resolve_threads(opts.threads);
     let threads = threads.clamp(1, opts.shots.max(1) as usize);
-    let base = if shared_path_applies(opts) {
-        Some(build_warm_base(circuit, opts.config)?)
+    let (base, build_lookups, build_hits) = if shared_path_applies(opts) {
+        match &opts.warm_base {
+            // An injected, already-warm base: construction was paid for by
+            // an earlier job, so this one records no construction traffic.
+            Some(frozen) => (Some(frozen.clone()), 0, 0),
+            None => {
+                let warm = build_warm_base(circuit, opts.config)?;
+                (Some(warm.frozen), warm.gate_cache_lookups, warm.gate_cache_hits)
+            }
+        }
     } else {
-        None
+        (None, 0, 0)
     };
     qdd_telemetry::gauge_set(
         "shots.shared_base",
@@ -326,60 +441,86 @@ fn run_mid_circuit(
     // every thread's work. Worker ids follow the shot-range order, so the
     // merged timeline is deterministic for any thread schedule.
     let telemetry = qdd_telemetry::enabled();
+    let telemetry_scope = qdd_telemetry::scope_id();
     let timeline = qdd_telemetry::timeline::enabled();
     let snapshot_stride = qdd_telemetry::timeline::snapshot_stride();
-    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .iter()
-            .enumerate()
-            .map(|(w, &(lo, hi))| {
-                let cancel = &cancel;
-                let base = base.as_ref();
-                scope.spawn(move || {
-                    qdd_telemetry::set_enabled(telemetry);
-                    if telemetry {
-                        qdd_telemetry::register_worker_name(
-                            w as u32 + 1,
-                            format!("shot-worker-{}", w + 1),
-                        );
-                    }
-                    if timeline {
-                        qdd_telemetry::timeline::set_enabled(true);
-                        qdd_telemetry::timeline::set_worker(w as u32 + 1);
-                        qdd_telemetry::timeline::set_snapshot_stride(snapshot_stride);
-                    }
-                    let result = shot_worker(circuit, analysis, opts, base, lo, hi, cancel, start);
-                    qdd_telemetry::publish();
-                    if timeline {
-                        qdd_telemetry::timeline::publish();
-                    }
-                    result
+    // `join()` errors (worker panics) are captured, not propagated: one bad
+    // request must not abort a long-lived process. The drop guard flips the
+    // cancel flag *during unwinding*, so surviving workers stop at their
+    // next shot boundary instead of running the job to completion; whatever
+    // telemetry they publish before exiting still merges.
+    let results: Vec<(usize, u64, std::thread::Result<WorkerResult>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .enumerate()
+                .map(|(w, &(lo, hi))| {
+                    let cancel = &cancel;
+                    let base = base.as_ref();
+                    let handle = scope.spawn(move || {
+                        let _panic_guard = PanicCancel(cancel);
+                        qdd_telemetry::set_enabled(telemetry);
+                        qdd_telemetry::set_scope(telemetry_scope);
+                        if telemetry {
+                            qdd_telemetry::register_worker_name(
+                                w as u32 + 1,
+                                format!("shot-worker-{}", w + 1),
+                            );
+                        }
+                        if timeline {
+                            qdd_telemetry::timeline::set_enabled(true);
+                            qdd_telemetry::timeline::set_worker(w as u32 + 1);
+                            qdd_telemetry::timeline::set_snapshot_stride(snapshot_stride);
+                        }
+                        let result =
+                            shot_worker(circuit, analysis, opts, base, lo, hi, cancel, start);
+                        qdd_telemetry::publish();
+                        if timeline {
+                            qdd_telemetry::timeline::publish();
+                        }
+                        result
+                    });
+                    (w, lo, handle)
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shot worker panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|(w, lo, h)| (w, lo, h.join()))
+                .collect()
+        });
 
     let mut histogram: FxHashMap<u64, u64> = FxHashMap::default();
     let mut worker_shots = Vec::with_capacity(results.len());
     let mut first_error: Option<(u64, SimError)> = None;
     let mut fidelity_lower_bound = 1.0f64;
-    for r in results {
-        match r {
-            Ok((counts, done, bound)) => {
-                worker_shots.push(done);
-                fidelity_lower_bound = fidelity_lower_bound.min(bound);
-                for (value, count) in counts {
+    let mut gate_cache_lookups = build_lookups;
+    let mut gate_cache_hits = build_hits;
+    let consider = |shot: u64, e: SimError, slot: &mut Option<(u64, SimError)>| {
+        if slot.as_ref().is_none_or(|(s, _)| shot < *s) {
+            *slot = Some((shot, e));
+        }
+    };
+    for (worker, lo, joined) in results {
+        match joined {
+            Ok(Ok(out)) => {
+                worker_shots.push(out.done);
+                fidelity_lower_bound = fidelity_lower_bound.min(out.bound);
+                gate_cache_lookups += out.gate_lookups;
+                gate_cache_hits += out.gate_hits;
+                for (value, count) in out.counts {
                     *histogram.entry(value).or_insert(0) += count;
                 }
             }
-            Err((shot, e)) => {
-                if first_error.as_ref().is_none_or(|(s, _)| shot < *s) {
-                    first_error = Some((shot, e));
-                }
+            Ok(Err((shot, e))) => consider(shot, e, &mut first_error),
+            Err(payload) => {
+                // The panicking worker's first shot index is its range
+                // start: deterministic "lowest failing shot wins" ordering
+                // even against typed errors from other workers.
+                let e = SimError::WorkerPanicked {
+                    worker,
+                    payload: panic_payload_string(payload.as_ref()),
+                };
+                consider(lo, e, &mut first_error);
             }
         }
     }
@@ -400,7 +541,34 @@ fn run_mid_circuit(
         worker_shots,
         elapsed: Duration::ZERO,
         fidelity_lower_bound,
+        gate_cache_lookups,
+        gate_cache_hits,
     })
+}
+
+/// Raises the job's cancel flag if its worker is unwinding from a panic, so
+/// sibling workers stop at the next shot boundary. Runs during unwinding —
+/// before the coordinator ever observes the `join()` error.
+struct PanicCancel<'a>(&'a AtomicBool);
+
+impl Drop for PanicCancel<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Renders a `join()` panic payload: the string message in the common
+/// `panic!`/`expect` case, a placeholder otherwise.
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
+    }
 }
 
 /// One worker: re-executes the circuit for shots `lo..hi`, reusing a single
@@ -425,6 +593,12 @@ fn shot_worker(
     for shot in lo..hi {
         if cancel.load(Ordering::Relaxed) {
             break;
+        }
+        if externally_cancelled(opts) {
+            return Err(abort(cancel, shot, SimError::Cancelled));
+        }
+        if opts.panic_at_shot == Some(shot) {
+            panic!("test hook: forced panic at shot {shot}");
         }
         if let Some(budget) = opts.config.limits.deadline {
             if start.elapsed() >= budget {
@@ -469,7 +643,19 @@ fn shot_worker(
         // in before the next one wipes it.
         bound = bound.min(sim.stats().fidelity_lower_bound);
     }
-    Ok((counts, done, bound))
+    // Package-level counters accumulate across restarts: this worker's
+    // whole-job gate-cache traffic.
+    let (gate_lookups, gate_hits) = match &sim {
+        Some(s) => (s.package().gate_cache_lookups(), s.package().gate_cache_hits()),
+        None => (0, 0),
+    };
+    Ok(WorkerOutput {
+        counts,
+        done,
+        bound,
+        gate_lookups,
+        gate_hits,
+    })
 }
 
 /// Flags cancellation and shapes a worker error.

@@ -76,7 +76,7 @@ impl SimStats {
 }
 
 /// Stable label of an operation for telemetry events.
-fn op_name(op: &Operation) -> &'static str {
+pub(crate) fn op_name(op: &Operation) -> &'static str {
     match op {
         Operation::Barrier => "barrier",
         Operation::Gate(g) => g.gate.name(),
@@ -201,9 +201,21 @@ impl DdSimulator {
     }
 
     fn from_package(mut dd: DdPackage, circuit: QuantumCircuit, seed: u64) -> Self {
+        // The initial |0…0⟩ state is mandatory structure sized by the
+        // register width, not governed "work": a node budget smaller than
+        // the register must not panic the (infallible) constructors. Build
+        // it with the memory budgets lifted and restore them — the first
+        // governed operation then reports exhaustion as a typed error.
+        let limits = *dd.limits();
+        dd.set_limits(qdd_core::Limits {
+            max_nodes: None,
+            max_complex_entries: None,
+            ..limits
+        });
         let state = dd
             .zero_state(circuit.num_qubits())
             .expect("circuit widths are validated at construction");
+        dd.set_limits(limits);
         dd.inc_ref_vec(state);
         let classical = vec![false; circuit.num_clbits()];
         DdSimulator {
@@ -741,7 +753,7 @@ impl DdSimulator {
             }
             Operation::Swap { .. } => {
                 let mut s = self.state;
-                for g in op.to_gate_sequence().expect("swap is unitary") {
+                for g in crate::gate_sequence(op)? {
                     s = self.dd.apply_gate(s, g.gate.matrix(), &g.controls, g.target)?;
                 }
                 self.set_state(s);

@@ -194,7 +194,7 @@ impl SteppableSimulation {
             }
             Operation::Swap { .. } => {
                 let mut s = self.state;
-                for g in op.to_gate_sequence().expect("swap is unitary") {
+                for g in crate::gate_sequence(&op)? {
                     s = self.dd.apply_gate(s, g.gate.matrix(), &g.controls, g.target)?;
                 }
                 self.snapshot();

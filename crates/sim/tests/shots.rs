@@ -216,6 +216,120 @@ fn node_budget_error_propagates_without_fallback() {
 }
 
 #[test]
+fn worker_panic_is_contained_at_every_thread_count() {
+    // Regression for the `h.join().expect("shot worker panicked")` abort: a
+    // panicking worker must surface as a typed error, not kill the process.
+    let qc = library::teleportation(0.5);
+    for threads in [1, 2, 4, 8] {
+        let mut opts = ShotOptions::new(64, 3);
+        opts.threads = threads;
+        opts.panic_at_shot = Some(40);
+        let err = shots::run(&qc, &opts).unwrap_err();
+        match err {
+            SimError::WorkerPanicked { payload, .. } => {
+                assert!(
+                    payload.contains("forced panic at shot 40"),
+                    "payload not propagated at {threads} threads: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanicked at {threads} threads, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn worker_panic_keeps_published_telemetry_mergeable() {
+    // Surviving workers publish their partial metrics before exiting; a
+    // panic in one worker must not discard them.
+    qdd_telemetry::set_scope(qdd_telemetry::next_scope_id());
+    qdd_telemetry::set_enabled(true);
+    qdd_telemetry::reset();
+    let qc = library::teleportation(0.5);
+    let mut opts = ShotOptions::new(64, 3);
+    opts.threads = 4;
+    opts.panic_at_shot = Some(1); // worker 0 dies almost immediately
+    let err = shots::run(&qc, &opts).unwrap_err();
+    assert!(matches!(err, SimError::WorkerPanicked { .. }));
+    let snap = qdd_telemetry::take_merged_snapshot();
+    qdd_telemetry::set_enabled(false);
+    qdd_telemetry::set_scope(0);
+    // The coordinator's own span is always there; at least it must have
+    // merged cleanly instead of poisoning the registry.
+    assert!(snap.span_stats("shots.engine").is_some());
+}
+
+#[test]
+fn external_cancel_stops_the_job_early() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    // The dropped-connection path: a server flips the cooperative cancel
+    // flag and the engine returns Cancelled at the next shot boundary — the
+    // `shots.engine` span ends early instead of burning through the job.
+    qdd_telemetry::set_scope(qdd_telemetry::next_scope_id());
+    qdd_telemetry::set_enabled(true);
+    qdd_telemetry::reset();
+    let qc = library::teleportation(0.8);
+    let flag = Arc::new(AtomicBool::new(false));
+    let mut opts = ShotOptions::new(50_000_000, 5);
+    opts.threads = 2;
+    opts.cancel = Some(flag.clone());
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        flag.store(true, Ordering::Relaxed);
+    });
+    let t0 = std::time::Instant::now();
+    let err = shots::run(&qc, &opts).unwrap_err();
+    let elapsed = t0.elapsed();
+    killer.join().unwrap();
+    assert_eq!(err, SimError::Cancelled);
+    // 50M teleportation shots take minutes; cancellation must cut that to
+    // roughly the flag delay.
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "cancel did not stop the job promptly ({elapsed:?})"
+    );
+    let snap = qdd_telemetry::take_merged_snapshot();
+    qdd_telemetry::set_enabled(false);
+    qdd_telemetry::set_scope(0);
+    let span = snap.span_stats("shots.engine").expect("span recorded");
+    assert_eq!(span.count, 1);
+    // The span ended early: its wall time is nowhere near a full 50M-shot
+    // job (which would be minutes even on fast hardware).
+    assert!(span.total_ns < 30_000_000_000, "span ran too long: {}ns", span.total_ns);
+}
+
+#[test]
+fn already_cancelled_job_never_starts() {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+    let mut opts = ShotOptions::new(100, 1);
+    opts.cancel = Some(Arc::new(AtomicBool::new(true)));
+    let err = shots::run(&library::teleportation(0.2), &opts).unwrap_err();
+    assert_eq!(err, SimError::Cancelled);
+}
+
+#[test]
+fn warm_base_injection_preserves_histograms_and_skips_construction() {
+    // A server-cached warm base must change cache accounting only — the
+    // histogram stays bit-identical, and the injected job records no
+    // construction lookups, so its hit rate is strictly higher.
+    let qc = library::teleportation(0.6);
+    let cold = shots::run(&qc, &ShotOptions::new(400, 8)).unwrap();
+    let warm_base = shots::build_warm_base(&qc, PackageConfig::default()).unwrap();
+    let mut opts = ShotOptions::new(400, 8);
+    opts.warm_base = Some(warm_base.frozen.clone());
+    let warm = shots::run(&qc, &opts).unwrap();
+    assert_eq!(warm.histogram, cold.histogram);
+    assert!(warm.gate_cache_lookups < cold.gate_cache_lookups);
+    assert!(
+        warm.gate_cache_hit_rate() > cold.gate_cache_hit_rate(),
+        "warm {} ≤ cold {}",
+        warm.gate_cache_hit_rate(),
+        cold.gate_cache_hit_rate()
+    );
+}
+
+#[test]
 fn dense_degraded_fast_path_is_seed_deterministic() {
     // Under a tight node budget the fast path degrades to the dense
     // backend; sampling must still come from the engine's seeded stream,

@@ -71,20 +71,23 @@ use std::time::Instant;
 /// instead of stored, bounding memory on very long traced runs.
 pub const MAX_EVENTS: usize = 1 << 20;
 
-/// Process-wide registry of metrics published by finished worker threads.
-/// Off the hot path: touched only by [`publish`] and [`merged_snapshot`].
-static PUBLISHED: Mutex<Snapshot> = Mutex::new(Snapshot {
-    counters: Vec::new(),
-    gauges: Vec::new(),
-    histograms: Vec::new(),
-    spans: Vec::new(),
-    dropped_events: 0,
-});
+/// Process-wide registry of metrics published by finished worker threads,
+/// keyed by publication **scope** (see [`set_scope`]). Scope `0` is the
+/// default process-wide scope; servers give each request its own scope so
+/// concurrent jobs' metrics never bleed into each other's snapshots. Off
+/// the hot path: touched only by [`publish`] and the snapshot readers.
+static PUBLISHED: Mutex<BTreeMap<u64, Snapshot>> = Mutex::new(BTreeMap::new());
+
+/// Source of fresh scope ids ([`next_scope_id`]); `0` stays the default.
+static NEXT_SCOPE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 thread_local! {
     /// The hot-path toggle, split from the collector so the disabled check
     /// is a plain `Cell` read with no `RefCell` borrow.
     static ENABLED: Cell<bool> = const { Cell::new(false) };
+    /// The scope this thread publishes into and reads merged snapshots
+    /// from. Coordinators propagate it to their workers.
+    static SCOPE: Cell<u64> = const { Cell::new(0) };
     static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
 }
 
@@ -355,23 +358,68 @@ pub fn publish() {
     if snap == Snapshot::default() {
         return;
     }
-    PUBLISHED.lock().unwrap().merge(&snap);
+    PUBLISHED
+        .lock()
+        .unwrap()
+        .entry(scope_id())
+        .or_default()
+        .merge(&snap);
 }
 
-/// A snapshot combining everything published by worker threads
-/// ([`publish`]) with the current thread's own recordings. Reading does not
-/// consume either side, so repeated calls are consistent. Deterministic:
-/// names stay sorted and all merge operations are commutative.
+/// A snapshot combining everything published into this thread's scope by
+/// worker threads ([`publish`]) with the current thread's own recordings.
+/// Reading does not consume either side, so repeated calls are consistent.
+/// Deterministic: names stay sorted and all merge operations are
+/// commutative.
 pub fn merged_snapshot() -> Snapshot {
-    let mut snap = PUBLISHED.lock().unwrap().clone();
+    let mut snap = PUBLISHED
+        .lock()
+        .unwrap()
+        .get(&scope_id())
+        .cloned()
+        .unwrap_or_default();
     snap.merge(&snapshot());
     snap
 }
 
-/// Clears the process-wide published registry. The thread-local collector
-/// is untouched; pair with [`reset`] for a fully fresh start.
+/// Consumes and returns this thread's scope: the local collector is folded
+/// in (and cleared) and the scope's published entry is removed from the
+/// process-wide registry. This is the per-request read a server makes once
+/// a job finishes — the returned snapshot covers exactly that request's
+/// coordinator and workers, and the registry does not leak per-request
+/// entries.
+pub fn take_merged_snapshot() -> Snapshot {
+    publish();
+    PUBLISHED
+        .lock()
+        .unwrap()
+        .remove(&scope_id())
+        .unwrap_or_default()
+}
+
+/// The publication scope of the current thread (`0` = process-wide
+/// default).
+pub fn scope_id() -> u64 {
+    SCOPE.with(|s| s.get())
+}
+
+/// Sets the publication scope of the current thread. Coordinators (e.g. the
+/// shot engine) read their own scope and propagate it to workers, so a
+/// request's whole thread tree publishes into one scope.
+pub fn set_scope(id: u64) {
+    SCOPE.with(|s| s.set(id));
+}
+
+/// Allocates a fresh, never-before-used scope id (process-unique).
+pub fn next_scope_id() -> u64 {
+    NEXT_SCOPE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Clears the process-wide published registry — every scope. The
+/// thread-local collector is untouched; pair with [`reset`] for a fully
+/// fresh start.
 pub fn reset_published() {
-    *PUBLISHED.lock().unwrap() = Snapshot::default();
+    PUBLISHED.lock().unwrap().clear();
 }
 
 /// Removes and returns all buffered events (oldest first, in completion
@@ -579,6 +627,35 @@ mod tests {
         assert_eq!(merged_snapshot().counter("pubtest.work"), Some(31));
         reset();
         reset_published();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn scopes_isolate_published_metrics() {
+        fresh();
+        let scope_a = next_scope_id();
+        let scope_b = next_scope_id();
+        let spawn = |scope: u64, amount: u64| {
+            std::thread::spawn(move || {
+                set_enabled(true);
+                set_scope(scope);
+                counter_add("scopetest.work", amount);
+                publish();
+            })
+        };
+        spawn(scope_a, 5).join().unwrap();
+        spawn(scope_b, 7).join().unwrap();
+        set_scope(scope_a);
+        // Each scope sees only its own published metrics.
+        assert_eq!(merged_snapshot().counter("scopetest.work"), Some(5));
+        let taken = take_merged_snapshot();
+        assert_eq!(taken.counter("scopetest.work"), Some(5));
+        // Taking consumes the scope's entry.
+        assert_eq!(merged_snapshot().counter("scopetest.work"), None);
+        set_scope(scope_b);
+        assert_eq!(take_merged_snapshot().counter("scopetest.work"), Some(7));
+        set_scope(0);
+        reset();
         set_enabled(false);
     }
 

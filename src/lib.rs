@@ -14,6 +14,7 @@
 //! | [`sim`] | `qdd-sim` | DD simulation, interactive stepper, dense baseline |
 //! | [`verify`] | `qdd-verify` | equivalence checking (naive + advanced) |
 //! | [`viz`] | `qdd-viz` | styles, DOT/SVG/JSON/HTML visualization, sessions |
+//! | [`serve`] | `qdd-serve` | simulation-as-a-service HTTP daemon |
 //!
 //! # Quick start
 //!
@@ -42,6 +43,7 @@
 pub use qdd_circuit as circuit;
 pub use qdd_complex as complex;
 pub use qdd_core as core;
+pub use qdd_serve as serve;
 pub use qdd_sim as sim;
 pub use qdd_telemetry as telemetry;
 pub use qdd_verify as verify;
