@@ -20,8 +20,11 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// 64-bit FNV-1a over a byte string: the workspace's one deterministic,
 /// dependency-free content hash for cache keys (QASM sources, config
-/// fingerprints). Not cryptographic — collisions are tolerable because a
-/// cache miss only costs a rebuild.
+/// fingerprints). Not cryptographic — so any cache serving results by this
+/// key alone would conflate colliding inputs. Callers keying shared state
+/// off this hash must verify the stored source on lookup (as
+/// `qdd_serve::cache` does), making a collision cost a rebuild instead of
+/// a wrong answer.
 pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     let mut h = FNV_OFFSET;
     for &b in bytes {

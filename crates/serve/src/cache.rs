@@ -21,6 +21,14 @@ use std::sync::{Arc, Mutex};
 /// One interned circuit: source-derived artifacts every request reuses.
 #[derive(Debug)]
 pub struct CacheEntry {
+    /// The exact QASM source this entry was built from. Lookups verify
+    /// this against the probe before serving the entry: the 64-bit key is
+    /// FNV-1a-based (non-cryptographic), and a collision — accidental or
+    /// crafted — must cost a rebuild, never silently hand one tenant
+    /// another tenant's circuit.
+    qasm: String,
+    /// The structural key the entry was built under (the other key half).
+    structural: u64,
     /// The parsed circuit.
     pub circuit: QuantumCircuit,
     /// The frozen warm base (zero state + every gate DD).
@@ -77,15 +85,26 @@ impl CircuitCache {
         qasm: &str,
         config: PackageConfig,
     ) -> Result<CacheOutcome, ApiError> {
-        let key = fnv1a_64(qasm.as_bytes()) ^ config.structural_key();
+        let structural = config.structural_key();
+        let key = fnv1a_64(qasm.as_bytes()) ^ structural;
         let mut map = self.entries.lock().unwrap();
+        // A key match alone is not identity: the key is a 64-bit FNV-1a
+        // xor, so distinct (qasm, config) pairs can collide. Verify the
+        // stored source and structural key byte-for-byte before serving —
+        // on mismatch this probe falls through to a private rebuild (the
+        // resident entry keeps its slot; a collision costs the colliding
+        // request a rebuild, never correctness and never eviction).
+        let mut collided = false;
         if let Some(entry) = map.by_key.get(&key) {
-            entry.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(CacheOutcome {
-                entry: entry.clone(),
-                hit: true,
-                key,
-            });
+            if entry.qasm == qasm && entry.structural == structural {
+                entry.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(CacheOutcome {
+                    entry: entry.clone(),
+                    hit: true,
+                    key,
+                });
+            }
+            collided = true;
         }
         let circuit = qdd_circuit::qasm::parse(qasm)
             .map_err(|e| ApiError::bad_request(format!("QASM parse error: {e}")))?;
@@ -97,19 +116,23 @@ impl CircuitCache {
         let warm = shots::build_warm_base(&circuit, build_config)
             .map_err(|e| ApiError::bad_request(format!("circuit rejected: {e}")))?;
         let entry = Arc::new(CacheEntry {
+            qasm: qasm.to_string(),
+            structural,
             circuit,
             base: warm.frozen,
             build_lookups: warm.gate_cache_lookups,
             build_hits: warm.gate_cache_hits,
             hits: AtomicU64::new(0),
         });
-        if map.insertion_order.len() >= self.capacity {
-            if let Some(oldest) = map.insertion_order.pop_front() {
-                map.by_key.remove(&oldest);
+        if !collided {
+            if map.insertion_order.len() >= self.capacity {
+                if let Some(oldest) = map.insertion_order.pop_front() {
+                    map.by_key.remove(&oldest);
+                }
             }
+            map.by_key.insert(key, entry.clone());
+            map.insertion_order.push_back(key);
         }
-        map.by_key.insert(key, entry.clone());
-        map.insertion_order.push_back(key);
         Ok(CacheOutcome {
             entry,
             hit: false,
@@ -168,6 +191,34 @@ mod tests {
         assert_eq!(cache.len(), 1);
         // The bell entry was evicted; probing it again is a miss.
         assert!(!cache.get_or_build(BELL, PackageConfig::default()).unwrap().hit);
+    }
+
+    #[test]
+    fn key_collisions_rebuild_instead_of_serving_the_wrong_circuit() {
+        let cache = CircuitCache::new(4);
+        let ghz = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+        cache.get_or_build(ghz, PackageConfig::default()).unwrap();
+        // Forge a 64-bit collision: re-file the resident 3-qubit GHZ entry
+        // under BELL's key, as a crafted FNV-1a collision would.
+        let structural = PackageConfig::default().structural_key();
+        let ghz_key = fnv1a_64(ghz.as_bytes()) ^ structural;
+        let bell_key = fnv1a_64(BELL.as_bytes()) ^ structural;
+        {
+            let mut map = cache.entries.lock().unwrap();
+            let forged = map.by_key.remove(&ghz_key).unwrap();
+            map.by_key.insert(bell_key, forged);
+        }
+        // The probe's key hits the forged entry, but source verification
+        // catches the mismatch: the request gets its own correctly parsed
+        // circuit (2 qubits, not the resident 3) and reads as a miss.
+        let outcome = cache.get_or_build(BELL, PackageConfig::default()).unwrap();
+        assert!(!outcome.hit);
+        assert_eq!(outcome.key, bell_key);
+        assert_eq!(outcome.entry.circuit.num_qubits(), 2);
+        // The resident (colliding) entry keeps its slot: collisions cannot
+        // be used to evict another tenant's warm entry.
+        let map = cache.entries.lock().unwrap();
+        assert_eq!(map.by_key.get(&bell_key).unwrap().circuit.num_qubits(), 3);
     }
 
     #[test]

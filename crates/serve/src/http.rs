@@ -55,12 +55,42 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
+/// Longest request line or header line accepted, bytes (including CRLF).
+/// Without a per-line cap, a client streaming bytes with no newline grows
+/// the line buffer without bound.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+
+/// Most header bytes accepted per request across all header lines. Bounds
+/// a client sending endless (individually small) headers.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Reads one `\n`-terminated line of at most `cap` bytes. A line still
+/// unterminated at the cap is malformed — the connection is buying buffer
+/// space the server will not grant.
+fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> Result<String, ParseError> {
+    let mut buf = Vec::new();
+    reader
+        .by_ref()
+        .take(cap as u64 + 1)
+        .read_until(b'\n', &mut buf)?;
+    if buf.len() > cap {
+        return Err(ParseError::Malformed("line exceeds the per-line byte cap"));
+    }
+    String::from_utf8(buf).map_err(|_| ParseError::Malformed("line is not UTF-8"))
+}
+
 /// Reads one request from the stream. `body_cap` bounds the bytes this
-/// connection may make the server buffer.
+/// connection may make the server buffer; request-line and header reads
+/// are bounded by [`MAX_LINE_BYTES`] / [`MAX_HEADER_BYTES`] so that *no*
+/// phase of request parsing buffers unbounded client input.
 pub fn read_request(stream: &mut TcpStream, body_cap: usize) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    read_request_from(&mut BufReader::new(stream), body_cap)
+}
+
+/// [`read_request`] over any buffered reader (unit-testable without a
+/// socket).
+fn read_request_from<R: BufRead>(reader: &mut R, body_cap: usize) -> Result<Request, ParseError> {
+    let line = read_line_capped(reader, MAX_LINE_BYTES)?;
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -75,9 +105,13 @@ pub fn read_request(stream: &mut TcpStream, body_cap: usize) -> Result<Request, 
         return Err(ParseError::Malformed("not an HTTP/1.x request"));
     }
     let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
+        let header = read_line_capped(reader, MAX_LINE_BYTES)?;
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseError::Malformed("headers exceed the total byte cap"));
+        }
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -177,6 +211,29 @@ impl<'a> ChunkedWriter<'a> {
     }
 }
 
+/// Reads and discards whatever else the client already sent. Called after
+/// an early error response when the request was rejected *before* being
+/// fully consumed (over-long line, over-cap body): closing a socket with
+/// unread bytes in its receive queue raises a TCP RST, which can destroy
+/// the in-flight error response before the client reads it. Bounded by
+/// bytes and wall clock, best-effort — worst case the client sees the
+/// reset it would have seen anyway.
+pub fn drain_before_close(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    let start = std::time::Instant::now();
+    loop {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+        if drained > (1 << 20) || start.elapsed() > std::time::Duration::from_millis(500) {
+            break;
+        }
+    }
+}
+
 /// Whether the peer has closed the connection (EOF on read). Used while a
 /// long job runs: the request was fully consumed, so any read yielding
 /// `Ok(0)` means the client went away and the job should be cancelled.
@@ -194,4 +251,59 @@ pub fn peer_disconnected(stream: &TcpStream) -> bool {
     let gone = matches!((&mut (&*stream)).read(&mut probe), Ok(0));
     let _ = stream.set_read_timeout(previous);
     gone
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Request, ParseError> {
+        read_request_from(&mut Cursor::new(raw), 1 << 20)
+    }
+
+    #[test]
+    fn well_formed_requests_parse() {
+        let req = parse(b"POST /v1/simulate HTTP/1.1\r\nHost: qdd\r\nContent-Length: 2\r\n\r\nhi")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/simulate");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn newline_free_request_line_is_rejected_at_the_line_cap() {
+        // A client streaming bytes with no newline must hit the cap, not
+        // grow the server's buffer indefinitely.
+        let raw = vec![b'A'; MAX_LINE_BYTES * 4];
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn oversized_single_header_is_rejected() {
+        let mut raw = b"GET /healthz HTTP/1.1\r\nX-Big: ".to_vec();
+        raw.extend(std::iter::repeat(b'x').take(MAX_LINE_BYTES * 2));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn endless_headers_are_rejected_at_the_total_cap() {
+        let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+        // Individually small headers whose sum exceeds the total cap.
+        for i in 0..(2 * MAX_HEADER_BYTES / 8) {
+            raw.extend_from_slice(format!("X-{i}: y\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(parse(&raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn declared_body_over_the_cap_is_a_typed_error() {
+        let raw = b"POST /v1/shots HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+        assert!(matches!(
+            read_request_from(&mut Cursor::new(&raw[..]), 1024),
+            Err(ParseError::BodyTooLarge { declared: 999999999, cap: 1024 })
+        ));
+    }
 }

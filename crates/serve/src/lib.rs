@@ -134,17 +134,22 @@ impl Server {
 fn handle_connection(mut stream: TcpStream, state: Arc<ServerState>) {
     let req = match http::read_request(&mut stream, state.quota.max_body_bytes) {
         Ok(req) => req,
+        // Both rejections can leave unread request bytes on the socket;
+        // drain them after responding so the close does not RST away the
+        // error before the client reads it.
         Err(ParseError::BodyTooLarge { declared, cap }) => {
             let e = ApiError::over_quota(
                 "body_bytes",
                 format!("declared body of {declared} bytes exceeds the {cap}-byte cap"),
             );
             let _ = http::write_response(&mut stream, e.status, "application/json", e.to_json().as_bytes());
+            http::drain_before_close(&mut stream);
             return;
         }
         Err(ParseError::Malformed(why)) => {
             let e = ApiError::bad_request(format!("malformed request: {why}"));
             let _ = http::write_response(&mut stream, e.status, "application/json", e.to_json().as_bytes());
+            http::drain_before_close(&mut stream);
             return;
         }
         Err(ParseError::Io(_)) => return,
@@ -397,10 +402,18 @@ fn handle_shots(
     let outcome = state.cache.get_or_build(qasm, config)?;
     let entry = &outcome.entry;
     let cancel = Arc::new(AtomicBool::new(false));
+    // A request may ask for *fewer* workers than the server default, never
+    // more: `threads` is an OS-resource ask, and honoring a huge value
+    // (`"threads": 1000000`) would let one request exhaust the host with
+    // thread spawns — the one work-size dimension the shots quota does not
+    // cover. Resolve the server default (0 = per-CPU) and cap there.
+    let thread_cap = qdd_sim::resolve_threads(state.threads);
     let mut opts = ShotOptions {
         shots: shots_requested,
         seed: get_u64(body, "seed").unwrap_or(1),
-        threads: get_u64(body, "threads").map(|t| t as usize).unwrap_or(state.threads),
+        threads: get_u64(body, "threads")
+            .map(|t| (t as usize).clamp(1, thread_cap))
+            .unwrap_or(state.threads),
         config,
         cancel: Some(Arc::clone(&cancel)),
         warm_base: Some(Arc::clone(&entry.base)),
@@ -573,7 +586,18 @@ fn handle_session_create(body: &JsonValue, state: &ServerState) -> Result<(u16, 
         .map_err(|e| ApiError::bad_request(format!("QASM parse error: {e}")))?;
     let qubits = circuit.num_qubits();
     let ops = circuit.ops().len();
-    let id = state.sessions.create(circuit)?;
+    // Sessions run under the same quota-clamped per-tenant budgets as
+    // batch requests: step/play do governed work and must trip the node /
+    // complex ceilings as typed errors. The deadline ceiling is the one
+    // exception — it is a per-run wall-clock leash, meaningless across an
+    // interactive session's idle gaps, and is enforced by idle expiry
+    // instead.
+    let limits = state.quota.clamp_limits(body)?;
+    let config = request_config(Limits {
+        deadline: None,
+        ..limits
+    });
+    let id = state.sessions.create(circuit, config)?;
     let snap = qdd_telemetry::take_merged_snapshot();
     Ok((
         201,

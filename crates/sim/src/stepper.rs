@@ -19,7 +19,7 @@
 use crate::creg_value;
 use crate::error::SimError;
 use qdd_circuit::{Operation, QuantumCircuit};
-use qdd_core::{DdPackage, MeasurementOutcome, VecEdge};
+use qdd_core::{DdPackage, MeasurementOutcome, PackageConfig, VecEdge};
 
 /// Why a choice is pending.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -78,10 +78,28 @@ impl SteppableSimulation {
     /// Opens a session on `circuit`, positioned before the first operation
     /// in state `|0…0⟩` (the tool's initial screen, Fig. 8(a)).
     pub fn new(circuit: QuantumCircuit) -> Self {
-        let mut dd = DdPackage::new();
+        Self::with_config(circuit, PackageConfig::default())
+    }
+
+    /// Opens a session whose package runs under `config` — the budgeted
+    /// form used by `qdd serve`, where interactive sessions must honor the
+    /// same per-tenant resource leashes as batch requests. The initial
+    /// `|0…0⟩` state is mandatory structure sized by the register width,
+    /// not governed "work": it is built with the memory budgets lifted
+    /// (matching `DdSimulator`), so a budget smaller than the register
+    /// surfaces as a typed error on the first step, not a panic here.
+    pub fn with_config(circuit: QuantumCircuit, config: PackageConfig) -> Self {
+        let mut dd = DdPackage::with_config(config);
+        let limits = *dd.limits();
+        dd.set_limits(qdd_core::Limits {
+            max_nodes: None,
+            max_complex_entries: None,
+            ..limits
+        });
         let state = dd
             .zero_state(circuit.num_qubits())
             .expect("circuit widths are validated at construction");
+        dd.set_limits(limits);
         dd.inc_ref_vec(state);
         let classical = vec![false; circuit.num_clbits()];
         SteppableSimulation {

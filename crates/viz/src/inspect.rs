@@ -82,6 +82,7 @@ pub fn parse_json(text: &str) -> Result<JsonValue, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -92,12 +93,32 @@ pub fn parse_json(text: &str) -> Result<JsonValue, String> {
     Ok(value)
 }
 
+/// Maximum container nesting. The parser recurses per nesting level, so
+/// without a cap a hostile document of consecutive `[`s overflows the
+/// thread's stack — fatal for the whole process, which matters when the
+/// input is an untrusted HTTP body (`qdd serve`) rather than a local
+/// timeline file. 128 is far beyond anything the timeline writer or the
+/// serve API emits.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    /// Tracks entry into an object/array; errors past [`MAX_DEPTH`].
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
     fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
@@ -145,10 +166,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(members));
         }
         loop {
@@ -164,6 +187,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(members));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -173,10 +197,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -187,6 +213,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -593,6 +620,25 @@ mod tests {
         assert_eq!(v.get("c").unwrap().as_str(), Some("x\nA"));
         assert_eq!(v.get("d").unwrap().as_array().unwrap().len(), 3);
         assert_eq!(v.get("e"), Some(&JsonValue::Object(Vec::new())));
+    }
+
+    #[test]
+    fn json_nesting_is_capped_not_a_stack_overflow() {
+        // At the cap: fine. The closing brackets must match.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse_json(&ok).is_ok());
+        // One past the cap: a typed error.
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        let err = parse_json(&over).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "{err}");
+        // Hundreds of KB of open brackets (the daemon-killing shape) must
+        // return an error, not exhaust the thread's stack. Mixed
+        // object/array nesting takes the same guard.
+        assert!(parse_json(&"[".repeat(500_000)).is_err());
+        assert!(parse_json(&"{\"k\":[".repeat(100_000)).is_err());
+        // Depth resets between sibling containers: wide-but-shallow
+        // documents are unaffected.
+        assert!(parse_json(&format!("[{}]", vec!["[1]"; 1000].join(","))).is_ok());
     }
 
     #[test]

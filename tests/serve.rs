@@ -309,6 +309,80 @@ fn client_disconnect_cancels_the_job_and_frees_the_daemon() {
 }
 
 #[test]
+fn hostile_inputs_get_typed_400s_not_a_dead_daemon() {
+    let addr = default_server();
+    // Deeply nested JSON: the parser's depth cap must reject it as a 400.
+    // Without the cap this recursed once per '[' and overflowed the
+    // connection thread's stack — aborting the whole process.
+    let bomb = "[".repeat(200_000);
+    let resp = request(addr, "POST", "/v1/simulate", &bomb);
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(resp.body.contains("nesting"), "{}", resp.body);
+    // A request line that never ends is cut off at the per-line cap.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        write!(stream, "GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024)).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let head = String::from_utf8_lossy(&raw);
+        assert!(head.starts_with("HTTP/1.1 400"), "{head}");
+    }
+    // The daemon survived both.
+    assert_eq!(request(addr, "GET", "/healthz", "").status, 200);
+}
+
+#[test]
+fn thread_asks_are_clamped_to_the_server_ceiling() {
+    let addr = default_server();
+    // An absurd thread ask must not spawn a million OS threads: the server
+    // clamps it to its own default worker count and answers normally.
+    let resp = request(
+        addr,
+        "POST",
+        "/v1/shots",
+        &shots_body(BELL_MEASURED, 100, ",\"threads\":1000000"),
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let trailer = parse_json(resp.lines().last().unwrap()).unwrap();
+    let used = trailer
+        .get("stats")
+        .unwrap()
+        .get("threads_used")
+        .and_then(JsonValue::as_u64)
+        .unwrap();
+    let cap = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
+    assert!(used <= cap, "threads_used {used} exceeds the {cap}-CPU cap");
+}
+
+#[test]
+fn sessions_honor_the_server_node_ceiling() {
+    // Sessions must run under the same clamped budgets as batch requests:
+    // with an 8-node ceiling, playing a 12-qubit GHZ cascade trips the
+    // node budget as a typed 422 instead of running unbudgeted.
+    let addr = spawn_server(ServerConfig {
+        quota: Quota {
+            node_ceiling: Some(8),
+            ..Quota::default()
+        },
+        ..ServerConfig::default()
+    });
+    let mut ghz = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[12];\nh q[0];\n");
+    for i in 0..11 {
+        ghz.push_str(&format!("cx q[{i}],q[{}];\n", i + 1));
+    }
+    let created = request(addr, "POST", "/v1/sessions", &shots_body(&ghz, 0, ""));
+    assert_eq!(created.status, 201, "{}", created.body);
+    let id = created.json().get("session").and_then(JsonValue::as_u64).unwrap();
+    let played = request(addr, "POST", &format!("/v1/sessions/{id}/play"), "");
+    assert_eq!(played.status, 422, "{}", played.body);
+    assert_eq!(
+        get_str(played.json().get("error").unwrap(), "code"),
+        "resource_exhausted"
+    );
+}
+
+#[test]
 fn responses_embed_request_scoped_telemetry() {
     let addr = default_server();
     let resp = request(addr, "POST", "/v1/shots", &shots_body(MID_CIRCUIT, 100, ""));
